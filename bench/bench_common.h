@@ -1,0 +1,171 @@
+#ifndef CGKGR_BENCH_BENCH_COMMON_H_
+#define CGKGR_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the experiment harness binaries (one per paper
+// table/figure). Each binary composes: preset datasets -> model registry ->
+// multi-trial training -> eval protocols -> paper-style table rows.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/corruption.h"
+#include "data/presets.h"
+#include "eval/experiment.h"
+#include "eval/protocol.h"
+#include "eval/wilcoxon.h"
+#include "models/registry.h"
+
+namespace cgkgr {
+namespace bench {
+
+/// Registers the flags every experiment binary accepts. `default_trials`
+/// is calibrated per binary so the full suite stays runnable on one core.
+inline void AddCommonFlags(FlagParser* flags, int64_t default_trials = 2) {
+  flags->DefineInt64("trials", default_trials,
+                     "repeated trials (split seed x init seed)");
+  flags->DefineInt64("epochs", 0, "override max epochs (0 = preset default)");
+  flags->DefineInt64("seed", 17, "base random seed");
+  flags->DefineDouble("scale", 1.0, "dataset scale factor");
+  flags->DefineInt64("max_eval_users", 100,
+                     "users sampled for Top-K evaluation");
+  flags->DefineString("datasets", "music,book,movie,restaurant",
+                      "comma-separated dataset presets");
+  flags->DefineBool("verbose", false, "log per-epoch progress");
+}
+
+/// Parses flags; exits the process for --help or parse errors.
+inline void ParseFlagsOrDie(FlagParser* flags, int argc, char** argv) {
+  const Status st = flags->Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags->Usage().c_str());
+    std::exit(1);
+  }
+  if (flags->help_requested()) {
+    std::printf("%s", flags->Usage().c_str());
+    std::exit(0);
+  }
+}
+
+/// Splits a comma-separated flag value.
+inline std::vector<std::string> SplitList(const std::string& value) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= value.size(); ++i) {
+    if (i == value.size() || value[i] == ',') {
+      if (i > start) out.push_back(value.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+/// Per-user mask of train+eval positives (what full-ranking test-split
+/// evaluation must exclude from the candidate set).
+inline std::vector<std::vector<int64_t>> BuildTestMask(
+    const data::Dataset& dataset) {
+  auto mask = dataset.BuildTrainPositives();
+  const auto eval_pos =
+      data::Dataset::BuildPositives(dataset.eval, dataset.num_users);
+  for (int64_t u = 0; u < dataset.num_users; ++u) {
+    auto& m = mask[static_cast<size_t>(u)];
+    m.insert(m.end(), eval_pos[static_cast<size_t>(u)].begin(),
+             eval_pos[static_cast<size_t>(u)].end());
+    std::sort(m.begin(), m.end());
+  }
+  return mask;
+}
+
+/// Everything a single (dataset, model, trial) run produces.
+struct TrialOutcome {
+  eval::TopKResult topk;
+  eval::CtrResult ctr;
+  models::TrainStats stats;
+};
+
+/// Options controlling one trial.
+struct TrialOptions {
+  int64_t trial_index = 0;
+  uint64_t base_seed = 17;
+  int64_t epochs_override = 0;  // 0 = preset default
+  int64_t max_eval_users = 120;
+  std::vector<int64_t> ks = {20};
+  bool verbose = false;
+  bool run_topk = true;
+  bool run_ctr = true;
+};
+
+/// Trains `model_name` on `dataset` (built from `preset`) and evaluates the
+/// requested protocols on the test split. The trial index shifts every seed
+/// so repeated trials reproduce the paper's split/seed repetition protocol.
+inline TrialOutcome RunTrial(const data::Preset& preset,
+                             const data::Dataset& dataset,
+                             const std::string& model_name,
+                             const TrialOptions& options) {
+  auto model = models::CreateModel(model_name, preset.hparams);
+  models::TrainOptions train;
+  train.max_epochs = options.epochs_override > 0 ? options.epochs_override
+                                                 : preset.hparams.max_epochs;
+  train.patience = preset.hparams.patience;
+  train.batch_size = preset.hparams.batch_size;
+  train.seed = options.base_seed + 1000003ULL *
+               static_cast<uint64_t>(options.trial_index + 1);
+  // Early-stop on the metric of the task being reported (paper protocol).
+  train.early_stop_metric = options.run_topk
+                                ? models::EarlyStopMetric::kRecallAt20
+                                : models::EarlyStopMetric::kAuc;
+  train.verbose = options.verbose;
+  const Status st = model->Fit(dataset, train);
+  CGKGR_CHECK_MSG(st.ok(), "Fit(%s) failed: %s", model_name.c_str(),
+                  st.ToString().c_str());
+
+  TrialOutcome outcome;
+  outcome.stats = model->train_stats();
+  if (options.run_topk) {
+    eval::TopKOptions topk;
+    topk.ks = options.ks;
+    topk.max_users = options.max_eval_users;
+    topk.user_sample_seed = train.seed ^ 0x55AA55AA55AA55AAULL;
+    outcome.topk = eval::EvaluateTopK(model.get(), dataset, dataset.test,
+                                      BuildTestMask(dataset), topk);
+  }
+  if (options.run_ctr) {
+    Rng ctr_rng(train.seed ^ 0x1234123412341234ULL);
+    const auto all_positives = dataset.BuildAllPositives();
+    const auto examples = data::MakeCtrExamples(
+        dataset.test, all_positives, dataset.num_items, &ctr_rng);
+    outcome.ctr = eval::EvaluateCtr(model.get(), examples);
+  }
+  return outcome;
+}
+
+/// Builds the trial'th dataset for a preset (fresh split per trial, like
+/// the paper's five random partitions).
+inline data::Dataset BuildTrialDataset(const data::Preset& preset,
+                                       uint64_t base_seed,
+                                       int64_t trial_index) {
+  return data::GenerateSyntheticDataset(
+      preset.data,
+      base_seed + 7919ULL * static_cast<uint64_t>(trial_index));
+}
+
+/// Marks `value` with '*' when a Wilcoxon signed-rank test between `ours`
+/// and `second_best` is significant at the 95% level (the paper's marker).
+inline std::string SignificanceMark(const std::vector<double>& ours,
+                                    const std::vector<double>& second_best) {
+  if (ours.size() != second_best.size() || ours.size() < 2) return "";
+  const eval::WilcoxonResult test =
+      eval::WilcoxonSignedRank(ours, second_best);
+  return test.p_value < 0.05 ? "*" : "";
+}
+
+}  // namespace bench
+}  // namespace cgkgr
+
+#endif  // CGKGR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,74 @@
+// Reproduces Figure 4: Recall@K and NDCG@K curves for K in
+// {1, 5, 10, 20, 50, 100} for every model on every dataset.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cgkgr;
+  FlagParser flags;
+  bench::AddCommonFlags(&flags, /*default_trials=*/1);
+  flags.DefineString("models", "", "comma-separated subset (default: all)");
+  bench::ParseFlagsOrDie(&flags, argc, argv);
+  // Default to the light presets so the full suite stays runnable on one
+  // core; pass --datasets music,book,movie,restaurant for the full grid.
+  std::string datasets_flag = flags.GetString("datasets");
+  if (datasets_flag == "music,book,movie,restaurant") datasets_flag = "music";
+
+
+  const std::vector<int64_t> ks = {1, 5, 10, 20, 50, 100};
+  const auto datasets = bench::SplitList(datasets_flag);
+  std::vector<std::string> model_names = models::AllModelNames();
+  if (!flags.GetString("models").empty()) {
+    model_names = bench::SplitList(flags.GetString("models"));
+  }
+  const int64_t trials = flags.GetInt64("trials");
+
+  std::printf("== Figure 4: Recall@K and NDCG@K curves ==\n\n");
+  for (const auto& dataset_name : datasets) {
+    const data::Preset preset =
+        data::GetPreset(dataset_name, flags.GetDouble("scale"));
+    eval::TrialAggregator agg;
+    for (int64_t t = 0; t < trials; ++t) {
+      const data::Dataset dataset = bench::BuildTrialDataset(
+          preset, static_cast<uint64_t>(flags.GetInt64("seed")), t);
+      for (const auto& model_name : model_names) {
+        bench::TrialOptions opt;
+        opt.trial_index = t;
+        opt.base_seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+        opt.epochs_override = flags.GetInt64("epochs");
+        opt.max_eval_users = flags.GetInt64("max_eval_users");
+        opt.ks = ks;
+        opt.run_ctr = false;
+        opt.verbose = flags.GetBool("verbose");
+        const bench::TrialOutcome outcome =
+            bench::RunTrial(preset, dataset, model_name, opt);
+        for (int64_t k : ks) {
+          agg.Add(model_name, "recall@" + std::to_string(k),
+                  outcome.topk.recall.at(k));
+          agg.Add(model_name, "ndcg@" + std::to_string(k),
+                  outcome.topk.ndcg.at(k));
+        }
+      }
+    }
+    for (const std::string metric : {"recall", "ndcg"}) {
+      std::vector<std::string> headers = {"Model"};
+      for (int64_t k : ks) headers.push_back("@" + std::to_string(k));
+      TablePrinter table(headers);
+      for (const auto& model_name : model_names) {
+        std::vector<std::string> row = {model_name};
+        for (int64_t k : ks) {
+          row.push_back(StrFormat(
+              "%.2f", agg.Summary(model_name,
+                                  metric + "@" + std::to_string(k)).mean *
+                          100.0));
+        }
+        table.AddRow(row);
+      }
+      std::printf("--- %s: %s@K (%%) ---\n", dataset_name.c_str(),
+                  metric.c_str());
+      table.Print();
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces Figure 5: a case study of the Collaborative Guidance
+// Mechanism on the book benchmark. Shows the hop-1 knowledge attention of
+// one item (a) without guidance (w/o CG variant), and (b)/(c) with guidance
+// for two different users — demonstrating that guidance sharpens and
+// personalizes the triplet weights.
+
+#include <map>
+
+#include "bench_common.h"
+#include "core/cgkgr_model.h"
+
+namespace {
+
+using namespace cgkgr;
+
+void PrintInspection(const std::string& title,
+                     const core::CgKgrModel::AttentionInspection& insp) {
+  std::printf("%s\n", title.c_str());
+  // Aggregate duplicate sampled triplets for readability.
+  std::map<std::pair<int64_t, int64_t>, float> weights;
+  for (size_t i = 0; i < insp.entities.size(); ++i) {
+    weights[{insp.entities[i], insp.relations[i]}] += insp.weights[i];
+  }
+  TablePrinter table({"Entity", "Relation", "Weight"});
+  for (const auto& [key, weight] : weights) {
+    table.AddRow({"e_" + std::to_string(key.first),
+                  "r_" + std::to_string(key.second),
+                  StrFormat("%.3f", weight)});
+  }
+  table.Print();
+}
+
+double Spread(const core::CgKgrModel::AttentionInspection& insp) {
+  float lo = 1.0f;
+  float hi = 0.0f;
+  for (float w : insp.weights) {
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cgkgr;
+  FlagParser flags;
+  bench::AddCommonFlags(&flags);
+  flags.DefineString("dataset", "book", "preset for the case study");
+  flags.DefineInt64("item", 1, "target item id");
+  flags.DefineInt64("user_a", 0, "first target user id");
+  flags.DefineInt64("user_b", 1, "second target user id");
+  bench::ParseFlagsOrDie(&flags, argc, argv);
+
+  const data::Preset preset =
+      data::GetPreset(flags.GetString("dataset"), flags.GetDouble("scale"));
+  const data::Dataset dataset = bench::BuildTrialDataset(
+      preset, static_cast<uint64_t>(flags.GetInt64("seed")), 0);
+
+  models::TrainOptions train;
+  train.max_epochs = flags.GetInt64("epochs") > 0 ? flags.GetInt64("epochs")
+                                                  : preset.hparams.max_epochs;
+  train.patience = preset.hparams.patience;
+  train.batch_size = preset.hparams.batch_size;
+  train.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  train.early_stop_metric = models::EarlyStopMetric::kRecallAt20;
+  train.verbose = flags.GetBool("verbose");
+
+  const int64_t item = flags.GetInt64("item");
+  const int64_t user_a = flags.GetInt64("user_a");
+  const int64_t user_b = flags.GetInt64("user_b");
+  const uint64_t sample_seed = 12345;
+
+  std::printf("== Figure 5: guidance case study on %s, item i_%lld ==\n\n",
+              dataset.name.c_str(), (long long)item);
+
+  // (a) Without collaborative guidance: weights are user-independent.
+  core::CgKgrConfig no_cg = core::CgKgrConfig::FromPreset(preset.hparams);
+  no_cg.use_collaborative_guidance = false;
+  core::CgKgrModel baseline(no_cg, "CG-KGR w/o CG");
+  CGKGR_CHECK(baseline.Fit(dataset, train).ok());
+  const auto insp_a =
+      baseline.InspectKnowledgeAttention(user_a, item, sample_seed);
+  PrintInspection("(a) without Collaborative Guidance:", insp_a);
+
+  // (b)/(c) Full model: weights are customized per target user.
+  core::CgKgrModel full(core::CgKgrConfig::FromPreset(preset.hparams));
+  CGKGR_CHECK(full.Fit(dataset, train).ok());
+  const auto insp_b =
+      full.InspectKnowledgeAttention(user_a, item, sample_seed);
+  PrintInspection(
+      StrFormat("\n(b) guided by user u_%lld:", (long long)user_a), insp_b);
+  const auto insp_c =
+      full.InspectKnowledgeAttention(user_b, item, sample_seed);
+  PrintInspection(
+      StrFormat("\n(c) guided by user u_%lld:", (long long)user_b), insp_c);
+
+  double divergence = 0.0;
+  for (size_t i = 0; i < insp_b.weights.size(); ++i) {
+    divergence += std::abs(insp_b.weights[i] - insp_c.weights[i]);
+  }
+  std::printf(
+      "\nweight spread w/o guidance: %.3f; with guidance: %.3f / %.3f\n"
+      "L1 divergence between the two users' weight vectors: %.3f\n"
+      "(guidance personalizes the knowledge extraction, paper Sec. "
+      "IV-F-2)\n",
+      Spread(insp_a), Spread(insp_b), Spread(insp_c), divergence);
+  return 0;
+}

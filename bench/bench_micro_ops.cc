@@ -1,0 +1,136 @@
+// Kernel-level microbenchmarks (Google Benchmark): the numeric and
+// sampling primitives every model in this repo is built from. Not a paper
+// artifact; used to track substrate performance.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "graph/sampler.h"
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using namespace cgkgr;
+
+tensor::Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed) {
+  Rng rng(seed);
+  tensor::Tensor t(std::move(shape));
+  tensor::UniformInit(&t, &rng, -1.0f, 1.0f);
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  tensor::Tensor a = RandomTensor({n, n}, 1);
+  tensor::Tensor b = RandomTensor({n, n}, 2);
+  tensor::Tensor c({n, n});
+  for (auto _ : state) {
+    tensor::Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+                 c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  const int64_t segments = state.range(0);
+  tensor::Tensor x = RandomTensor({segments * 8}, 3);
+  tensor::Tensor out({segments * 8});
+  for (auto _ : state) {
+    tensor::SegmentSoftmax(segments, 8, x.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * segments * 8);
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(128)->Arg(4096);
+
+void BM_GatherForwardBackward(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  autograd::Variable table(RandomTensor({rows, 16}, 4), true);
+  Rng rng(5);
+  std::vector<int64_t> indices(1024);
+  for (auto& idx : indices) {
+    idx = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(rows)));
+  }
+  for (auto _ : state) {
+    autograd::Variable loss =
+        autograd::SumAll(autograd::Gather(table, indices));
+    loss.Backward();
+    table.ZeroGrad();
+    benchmark::DoNotOptimize(loss.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_GatherForwardBackward)->Arg(1000)->Arg(100000);
+
+void BM_RelationMatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  autograd::Variable x(RandomTensor({n, 16}, 6), true);
+  autograd::Variable mats(RandomTensor({8, 16, 16}, 7), true);
+  Rng rng(8);
+  std::vector<int64_t> rels(static_cast<size_t>(n));
+  for (auto& r : rels) r = static_cast<int64_t>(rng.UniformInt(8));
+  for (auto _ : state) {
+    autograd::Variable loss = autograd::SumAll(
+        autograd::RelationMatMul(x, rels, mats));
+    loss.Backward();
+    x.ZeroGrad();
+    mats.ZeroGrad();
+    benchmark::DoNotOptimize(loss.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RelationMatMul)->Arg(512)->Arg(4096);
+
+void BM_NodeFlowSampling(benchmark::State& state) {
+  const int64_t depth = state.range(0);
+  Rng build_rng(9);
+  std::vector<graph::Triplet> triplets;
+  for (int64_t i = 0; i < 20000; ++i) {
+    triplets.push_back(
+        {static_cast<int64_t>(build_rng.UniformInt(5000)),
+         static_cast<int64_t>(build_rng.UniformInt(10)),
+         static_cast<int64_t>(build_rng.UniformInt(5000))});
+  }
+  graph::KnowledgeGraph kg(5000, 10, std::move(triplets));
+  std::vector<int64_t> seeds(256);
+  for (auto& s : seeds) {
+    s = static_cast<int64_t>(build_rng.UniformInt(5000));
+  }
+  Rng rng(10);
+  for (auto _ : state) {
+    graph::NodeFlow flow =
+        graph::NeighborSampler::SampleNodeFlow(kg, seeds, depth, 4, &rng);
+    benchmark::DoNotOptimize(flow.entities.back().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_NodeFlowSampling)->Arg(1)->Arg(3);
+
+void BM_SegmentAttentionPipeline(benchmark::State& state) {
+  // The hot path of every attention op in the repo: softmax + weighted sum
+  // over fixed-size neighbor segments, forward + backward.
+  const int64_t batch = state.range(0);
+  const int64_t segment = 8;
+  autograd::Variable values(RandomTensor({batch * segment, 16}, 11), true);
+  autograd::Variable logits(RandomTensor({batch * segment}, 12), true);
+  for (auto _ : state) {
+    autograd::Variable weights = autograd::SegmentSoftmax(logits, segment);
+    autograd::Variable pooled =
+        autograd::SegmentWeightedSum(values, weights, segment);
+    autograd::Variable loss = autograd::SumAll(pooled);
+    loss.Backward();
+    values.ZeroGrad();
+    logits.ZeroGrad();
+    benchmark::DoNotOptimize(loss.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * segment);
+}
+BENCHMARK(BM_SegmentAttentionPipeline)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

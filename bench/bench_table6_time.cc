@@ -1,0 +1,61 @@
+// Reproduces Table VI: training time per epoch (t-bar) and number of
+// epochs to reach the best eval performance (be-bar) for every model on
+// every dataset.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cgkgr;
+  FlagParser flags;
+  bench::AddCommonFlags(&flags, /*default_trials=*/1);
+  flags.DefineString("models", "", "comma-separated subset (default: all)");
+  bench::ParseFlagsOrDie(&flags, argc, argv);
+  // Default to the light presets so the full suite stays runnable on one
+  // core; pass --datasets music,book,movie,restaurant for the full grid.
+  std::string datasets_flag = flags.GetString("datasets");
+  if (datasets_flag == "music,book,movie,restaurant") datasets_flag = "music,book";
+
+
+  const auto datasets = bench::SplitList(datasets_flag);
+  std::vector<std::string> model_names = models::AllModelNames();
+  if (!flags.GetString("models").empty()) {
+    model_names = bench::SplitList(flags.GetString("models"));
+  }
+  const int64_t trials = flags.GetInt64("trials");
+
+  std::printf("== Table VI: time per epoch (s) and epochs-to-best ==\n");
+  std::printf("(wall-clock on this machine; the paper reports a T4 GPU)\n\n");
+  for (const auto& dataset_name : datasets) {
+    const data::Preset preset =
+        data::GetPreset(dataset_name, flags.GetDouble("scale"));
+    eval::TrialAggregator agg;
+    for (int64_t t = 0; t < trials; ++t) {
+      const data::Dataset dataset = bench::BuildTrialDataset(
+          preset, static_cast<uint64_t>(flags.GetInt64("seed")), t);
+      for (const auto& model_name : model_names) {
+        bench::TrialOptions opt;
+        opt.trial_index = t;
+        opt.base_seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+        opt.epochs_override = flags.GetInt64("epochs");
+        opt.run_topk = false;
+        opt.run_ctr = false;  // only training statistics are needed
+        opt.verbose = flags.GetBool("verbose");
+        const bench::TrialOutcome outcome =
+            bench::RunTrial(preset, dataset, model_name, opt);
+        agg.Add(model_name, "t", outcome.stats.seconds_per_epoch);
+        agg.Add(model_name, "be",
+                static_cast<double>(outcome.stats.best_epoch));
+      }
+    }
+    TablePrinter table({"Model", "t (s/epoch)", "be (epochs)"});
+    for (const auto& model_name : model_names) {
+      table.AddRow({model_name,
+                    StrFormat("%.3f", agg.Summary(model_name, "t").mean),
+                    StrFormat("%.1f", agg.Summary(model_name, "be").mean)});
+    }
+    std::printf("--- %s ---\n", dataset_name.c_str());
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

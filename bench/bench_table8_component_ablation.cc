@@ -1,0 +1,97 @@
+// Reproduces Table VIII: component ablation of CG-KGR — w/o UI (no
+// interactive summarization), w/o KG (no knowledge extraction), w/o ATT
+// (uniform neighbor weights), w/o CG (all-ones guidance), w/o HE (1-hop
+// extraction only) — vs the full model.
+
+#include "bench_common.h"
+#include "core/cgkgr_model.h"
+
+namespace {
+
+using namespace cgkgr;
+
+core::CgKgrConfig VariantConfig(const data::PresetHyperParams& hparams,
+                                const std::string& variant) {
+  core::CgKgrConfig config = core::CgKgrConfig::FromPreset(hparams);
+  if (variant == "w/o UI") config.use_interactive_summarization = false;
+  if (variant == "w/o KG") config.depth = 0;
+  if (variant == "w/o ATT") config.use_knowledge_attention = false;
+  if (variant == "w/o CG") config.use_collaborative_guidance = false;
+  if (variant == "w/o HE") config.depth = std::min<int64_t>(config.depth, 1);
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cgkgr;
+  FlagParser flags;
+  bench::AddCommonFlags(&flags, /*default_trials=*/1);
+  bench::ParseFlagsOrDie(&flags, argc, argv);
+  // Default to the light presets so the full suite stays runnable on one
+  // core; pass --datasets music,book,movie,restaurant for the full grid.
+  std::string datasets_flag = flags.GetString("datasets");
+  if (datasets_flag == "music,book,movie,restaurant") datasets_flag = "music,movie";
+
+
+  const auto datasets = bench::SplitList(datasets_flag);
+  const int64_t trials = flags.GetInt64("trials");
+  const std::vector<std::string> variants = {"w/o UI", "w/o KG", "w/o ATT",
+                                             "w/o CG", "w/o HE", "Best"};
+
+  std::printf("== Table VIII: component ablation, Top-20 (%%) ==\n\n");
+  TablePrinter table({"Dataset", "Metric", "w/o UI", "w/o KG", "w/o ATT",
+                      "w/o CG", "w/o HE", "Best"});
+  for (const auto& dataset_name : datasets) {
+    const data::Preset preset =
+        data::GetPreset(dataset_name, flags.GetDouble("scale"));
+    eval::TrialAggregator agg;
+    for (int64_t t = 0; t < trials; ++t) {
+      const data::Dataset dataset = bench::BuildTrialDataset(
+          preset, static_cast<uint64_t>(flags.GetInt64("seed")), t);
+      for (const auto& variant : variants) {
+        core::CgKgrModel model(VariantConfig(preset.hparams, variant),
+                               "CG-KGR " + variant);
+        models::TrainOptions train;
+        train.max_epochs = flags.GetInt64("epochs") > 0
+                               ? flags.GetInt64("epochs")
+                               : preset.hparams.max_epochs;
+        train.patience = preset.hparams.patience;
+        train.batch_size = preset.hparams.batch_size;
+        train.seed = static_cast<uint64_t>(flags.GetInt64("seed")) +
+                     1000003ULL * static_cast<uint64_t>(t + 1);
+        train.early_stop_metric = models::EarlyStopMetric::kRecallAt20;
+        train.verbose = flags.GetBool("verbose");
+        CGKGR_CHECK(model.Fit(dataset, train).ok());
+        eval::TopKOptions topk;
+        topk.ks = {20};
+        topk.max_users = flags.GetInt64("max_eval_users");
+        topk.user_sample_seed = train.seed ^ 0x55AA55AA55AA55AAULL;
+        const eval::TopKResult result =
+            eval::EvaluateTopK(&model, dataset, dataset.test,
+                               bench::BuildTestMask(dataset), topk);
+        agg.Add(variant, "recall", result.recall.at(20));
+        agg.Add(variant, "ndcg", result.ndcg.at(20));
+      }
+    }
+    for (const std::string metric : {"recall", "ndcg"}) {
+      const double best = agg.Summary("Best", metric).mean;
+      std::vector<std::string> row = {
+          dataset_name, metric == "recall" ? "R@20" : "N@20"};
+      for (const auto& variant : variants) {
+        const double value = agg.Summary(variant, metric).mean;
+        if (variant == "Best") {
+          row.push_back(StrFormat("%.2f", value * 100.0));
+        } else {
+          row.push_back(StrFormat("%.2f (%+.2f%%)", value * 100.0,
+                                  best > 0.0
+                                      ? (value - best) / best * 100.0
+                                      : 0.0));
+        }
+      }
+      table.AddRow(row);
+    }
+  }
+  table.Print();
+  return 0;
+}

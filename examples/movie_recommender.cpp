@@ -1,0 +1,104 @@
+// Movie-recommendation scenario: train CG-KGR on the MovieLens-like preset,
+// produce personalized Top-N lists for a few users, and explain one
+// recommendation by inspecting which KG triplets the guided attention
+// focused on (the paper's Fig. 5 mechanism, used as a product feature).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/flags.h"
+#include "core/cgkgr_model.h"
+#include "data/presets.h"
+#include "eval/protocol.h"
+
+int main(int argc, char** argv) {
+  using namespace cgkgr;
+
+  FlagParser flags;
+  flags.DefineInt64("epochs", 0, "max training epochs (0 = preset default)");
+  flags.DefineInt64("seed", 3, "random seed");
+  flags.DefineInt64("top_n", 10, "list length per user");
+  flags.DefineInt64("num_users", 3, "users to recommend for");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  const data::Preset preset = data::GetPreset("movie");
+  const data::Dataset dataset = data::GenerateSyntheticDataset(
+      preset.data, static_cast<uint64_t>(flags.GetInt64("seed")));
+  std::printf("movie catalog: %lld movies, %lld viewers, %zu KG facts\n\n",
+              (long long)dataset.num_items, (long long)dataset.num_users,
+              dataset.kg.size());
+
+  core::CgKgrModel model(core::CgKgrConfig::FromPreset(preset.hparams));
+  models::TrainOptions options;
+  options.max_epochs = flags.GetInt64("epochs") > 0
+                           ? flags.GetInt64("epochs")
+                           : preset.hparams.max_epochs;
+  options.patience = preset.hparams.patience;
+  options.batch_size = preset.hparams.batch_size;
+  options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  options.early_stop_metric = models::EarlyStopMetric::kRecallAt20;
+  st = model.Fit(dataset, options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Personalized Top-N: rank every unseen movie per user.
+  const auto train_positives = dataset.BuildTrainPositives();
+  const int64_t top_n = flags.GetInt64("top_n");
+  for (int64_t user = 0; user < flags.GetInt64("num_users"); ++user) {
+    std::vector<int64_t> candidates;
+    const auto& seen = train_positives[static_cast<size_t>(user)];
+    for (int64_t item = 0; item < dataset.num_items; ++item) {
+      if (!std::binary_search(seen.begin(), seen.end(), item)) {
+        candidates.push_back(item);
+      }
+    }
+    std::vector<int64_t> users(candidates.size(), user);
+    std::vector<float> scores;
+    model.ScorePairs(users, candidates, &scores);
+    std::vector<size_t> order(candidates.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+
+    std::printf("viewer u_%lld watched %zu movies; top-%lld suggestions:",
+                (long long)user, seen.size(), (long long)top_n);
+    for (int64_t i = 0; i < top_n && i < (int64_t)order.size(); ++i) {
+      std::printf(" m_%lld", (long long)candidates[order[(size_t)i]]);
+    }
+    std::printf("\n");
+
+    // Explain the #1 recommendation: which KG facts carried the weight?
+    const int64_t best = candidates[order[0]];
+    const auto inspection = model.InspectKnowledgeAttention(
+        user, best, /*seed=*/42 + static_cast<uint64_t>(user));
+    std::map<std::pair<int64_t, int64_t>, float> merged;
+    for (size_t i = 0; i < inspection.entities.size(); ++i) {
+      merged[{inspection.relations[i], inspection.entities[i]}] +=
+          inspection.weights[i];
+    }
+    std::vector<std::pair<float, std::pair<int64_t, int64_t>>> ranked;
+    for (const auto& [key, w] : merged) ranked.push_back({w, key});
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::printf("  why m_%lld: ", (long long)best);
+    for (size_t i = 0; i < std::min<size_t>(3, ranked.size()); ++i) {
+      std::printf("%s(m_%lld, r_%lld, e_%lld)=%.2f",
+                  i > 0 ? ", " : "", (long long)best,
+                  (long long)ranked[i].second.first,
+                  (long long)ranked[i].second.second, ranked[i].first);
+    }
+    std::printf("\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Click-through-rate scenario: on the Dianping-like restaurant preset
+// (very KG-rich), train CG-KGR and a KG-free baseline for CTR prediction
+// and compare AUC/F1 — the paper's second evaluation task (Table V), where
+// the rich restaurant KG gives the biggest CTR gains.
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "common/string_util.h"
+#include "data/presets.h"
+#include "eval/protocol.h"
+#include "models/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace cgkgr;
+
+  FlagParser flags;
+  flags.DefineInt64("epochs", 0, "max training epochs (0 = preset default)");
+  flags.DefineInt64("seed", 9, "random seed");
+  flags.DefineString("models", "BPRMF,NFM,CKAN,CG-KGR",
+                     "models to compare on CTR");
+  Status st = flags.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+
+  const data::Preset preset = data::GetPreset("restaurant");
+  const data::Dataset dataset = data::GenerateSyntheticDataset(
+      preset.data, static_cast<uint64_t>(flags.GetInt64("seed")));
+  std::printf(
+      "restaurant benchmark: %lld diners, %lld restaurants, "
+      "%.0f KG facts per restaurant\n\n",
+      (long long)dataset.num_users, (long long)dataset.num_items,
+      dataset.TripletsPerItem());
+
+  // Shared test examples so the comparison is apples-to-apples.
+  Rng ctr_rng(1234);
+  const auto all_positives = dataset.BuildAllPositives();
+  const auto test_examples = data::MakeCtrExamples(
+      dataset.test, all_positives, dataset.num_items, &ctr_rng);
+
+  TablePrinter table({"Model", "AUC(%)", "F1(%)", "epochs", "s/epoch"});
+  std::string names = flags.GetString("models");
+  size_t start = 0;
+  for (size_t i = 0; i <= names.size(); ++i) {
+    if (i != names.size() && names[i] != ',') continue;
+    const std::string name = names.substr(start, i - start);
+    start = i + 1;
+    if (name.empty()) continue;
+
+    auto model = models::CreateModel(name, preset.hparams);
+    models::TrainOptions options;
+    options.max_epochs = flags.GetInt64("epochs") > 0
+                             ? flags.GetInt64("epochs")
+                             : preset.hparams.max_epochs;
+    options.patience = preset.hparams.patience;
+    options.batch_size = preset.hparams.batch_size;
+    options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+    options.early_stop_metric = models::EarlyStopMetric::kAuc;
+    st = model->Fit(dataset, options);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    const eval::CtrResult result =
+        eval::EvaluateCtr(model.get(), test_examples);
+    table.AddRow({name, StrFormat("%.2f", result.auc * 100.0),
+                  StrFormat("%.2f", result.f1 * 100.0),
+                  std::to_string(model->train_stats().epochs_run),
+                  StrFormat("%.2f",
+                            model->train_stats().seconds_per_epoch)});
+  }
+  table.Print();
+  std::printf("\n(KG-aware models should lead here: the restaurant KG is "
+              "the richest of the four presets, paper Sec. IV-D-2)\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+#ifndef CGKGR_AUTOGRAD_OPS_H_
+#define CGKGR_AUTOGRAD_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace cgkgr {
+namespace autograd {
+
+/// \file
+/// Differentiable operations. Every op validates shapes with CGKGR_CHECK,
+/// computes the forward value eagerly, and (when gradient mode is on)
+/// records a backward closure that accumulates into its inputs' grads.
+///
+/// Conventions: matrices are row-major (rows, cols); "segment" ops treat a
+/// (segments * segment_size, d) matrix as `segments` fixed-size neighbor
+/// groups — the layout produced by fixed-size neighbor sampling (paper
+/// Sec. III-A, "Neighbor sampling").
+
+/// Wraps a tensor as a non-differentiable constant.
+Variable Constant(tensor::Tensor value);
+
+/// Gathers rows of `table` (N, d) at `indices`, producing (n, d).
+/// Backward scatter-adds into the table gradient (embedding lookup).
+Variable Gather(const Variable& table, std::vector<int64_t> indices);
+
+/// Repeats each row of `x` (n, d) `times` times consecutively:
+/// output row (i * times + j) = x row i. Produces (n * times, d).
+Variable RowRepeat(const Variable& x, int64_t times);
+
+/// Matrix product of (m, k) and (k, n) -> (m, n).
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// Elementwise sum; shapes must match.
+Variable Add(const Variable& a, const Variable& b);
+
+/// Elementwise difference; shapes must match.
+Variable Sub(const Variable& a, const Variable& b);
+
+/// Elementwise (Hadamard) product; shapes must match.
+Variable Mul(const Variable& a, const Variable& b);
+
+/// Adds bias vector `b` (d) to every row of `x` (n, d).
+Variable AddRowBias(const Variable& x, const Variable& b);
+
+/// Per-row dot product of two (n, d) matrices -> (n).
+Variable RowDot(const Variable& a, const Variable& b);
+
+/// Scales row r of `x` (n, d) by s[r] where `s` is (n) -> (n, d).
+Variable RowScale(const Variable& x, const Variable& s);
+
+/// Column-wise concatenation of (n, d1) and (n, d2) -> (n, d1 + d2).
+Variable ConcatCols(const Variable& a, const Variable& b);
+
+/// Softmax over each consecutive segment of `segment_size` elements of the
+/// flat (n) input; n must be divisible by segment_size.
+Variable SegmentSoftmax(const Variable& x, int64_t segment_size);
+
+/// Attention pooling: with values (n, d) and weights (n) grouped in
+/// consecutive segments of `segment_size` rows, produces
+/// (n / segment_size, d) where out_s = sum_{i in segment s} w_i * v_i.
+Variable SegmentWeightedSum(const Variable& values, const Variable& weights,
+                            int64_t segment_size);
+
+/// Rectified linear unit.
+Variable Relu(const Variable& x);
+
+/// Leaky rectified linear unit (used by the KGAT baseline).
+Variable LeakyRelu(const Variable& x, float negative_slope);
+
+/// Hyperbolic tangent.
+Variable Tanh(const Variable& x);
+
+/// Elementwise logistic sigmoid.
+Variable SigmoidV(const Variable& x);
+
+/// Elementwise maximum of two equally-shaped inputs (gradient flows to the
+/// winning element; ties go to `a`). Implements the paper's pmax encoder.
+Variable PairwiseMax(const Variable& a, const Variable& b);
+
+/// Multiplies every element by the constant `c`.
+Variable Scale(const Variable& x, float c);
+
+/// Mean of all elements -> scalar (shape {1}).
+Variable Mean(const Variable& x);
+
+/// Sum of all elements -> scalar (shape {1}).
+Variable SumAll(const Variable& x);
+
+/// Right-multiplies row r of `x` (n, d) by the relation matrix
+/// `matrices[rel[r]]`: out_row = x_row * M. `matrices` is a stacked
+/// (num_relations, d, d) parameter. Used for relation-specific bilinear
+/// attention (paper Eqs. 1, 14, 19).
+Variable RelationMatMul(const Variable& x, std::vector<int64_t> relations,
+                        const Variable& matrices);
+
+/// Views `x` under a new shape of equal volume (storage is shared; the
+/// gradient flows through element-for-element).
+Variable Reshape(const Variable& x, std::vector<int64_t> shape);
+
+/// Mean binary cross-entropy with logits: labels are 0/1 constants.
+/// Produces a scalar; backward is the fused, numerically stable form.
+Variable BCEWithLogits(const Variable& logits, std::vector<float> labels);
+
+/// Mean Bayesian personalized-ranking loss: mean softplus(neg - pos).
+Variable BPRLoss(const Variable& positive_scores,
+                 const Variable& negative_scores);
+
+}  // namespace autograd
+}  // namespace cgkgr
+
+#endif  // CGKGR_AUTOGRAD_OPS_H_

@@ -1,0 +1,126 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace autograd {
+
+namespace {
+bool g_grad_mode = true;
+}  // namespace
+
+void Node::EnsureGrad() {
+  if (grad.empty() && value.size() > 0) {
+    grad = tensor::Tensor(value.shape());
+  }
+}
+
+void Node::ZeroGrad() {
+  if (!grad.empty()) grad.Zero();
+}
+
+Variable::Variable(tensor::Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const tensor::Tensor& Variable::value() const {
+  CGKGR_CHECK_MSG(defined(), "value() on undefined Variable");
+  return node_->value;
+}
+
+tensor::Tensor* Variable::mutable_value() {
+  CGKGR_CHECK_MSG(defined(), "mutable_value() on undefined Variable");
+  return &node_->value;
+}
+
+tensor::Tensor& Variable::grad() {
+  CGKGR_CHECK_MSG(defined(), "grad() on undefined Variable");
+  node_->EnsureGrad();
+  return node_->grad;
+}
+
+void Variable::ZeroGrad() {
+  CGKGR_CHECK(defined());
+  node_->ZeroGrad();
+}
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+void Variable::Backward() {
+  CGKGR_CHECK_MSG(defined(), "Backward() on undefined Variable");
+  CGKGR_CHECK_MSG(node_->value.size() == 1,
+                  "Backward() requires a scalar, got %s",
+                  node_->value.ShapeString().c_str());
+  CGKGR_CHECK_MSG(node_->requires_grad,
+                  "Backward() on a variable that does not require grad");
+
+  // Iterative post-order DFS to topologically sort the reachable tape.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_input] = stack.back();
+    if (next_input < node->inputs.size()) {
+      Node* input = node->inputs[next_input++].get();
+      if (input->requires_grad && visited.insert(input).second) {
+        stack.emplace_back(input, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  node_->EnsureGrad();
+  node_->grad.Fill(1.0f);
+
+  // `order` is post-order (inputs before outputs); walk it backwards so each
+  // node's grad is complete before being pushed to its inputs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn) node->backward_fn(node);
+  }
+}
+
+Variable MakeOpResult(tensor::Tensor value, std::vector<Variable> inputs,
+                      std::function<void(Node*)> backward_fn) {
+  bool any_requires_grad = false;
+  if (GradModeEnabled()) {
+    for (const Variable& input : inputs) {
+      CGKGR_CHECK_MSG(input.defined(), "op input is an undefined Variable");
+      if (input.requires_grad()) {
+        any_requires_grad = true;
+        break;
+      }
+    }
+  }
+  Variable out;
+  out.node_ = std::make_shared<Node>();
+  out.node_->value = std::move(value);
+  if (any_requires_grad) {
+    out.node_->requires_grad = true;
+    out.node_->inputs.reserve(inputs.size());
+    for (Variable& input : inputs) {
+      out.node_->inputs.push_back(input.node());
+    }
+    out.node_->backward_fn = std::move(backward_fn);
+  }
+  return out;
+}
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
+
+NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
+
+}  // namespace autograd
+}  // namespace cgkgr

@@ -1,0 +1,107 @@
+#ifndef CGKGR_AUTOGRAD_VARIABLE_H_
+#define CGKGR_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cgkgr {
+namespace autograd {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// Internal graph node: a value, its (lazily allocated) gradient, and the
+/// closure that pushes the gradient to the node's inputs.
+class Node {
+ public:
+  tensor::Tensor value;
+  /// Gradient w.r.t. `value`; empty until EnsureGrad() is called.
+  tensor::Tensor grad;
+  bool requires_grad = false;
+  /// Inputs this node was computed from (keeps the tape alive).
+  std::vector<NodePtr> inputs;
+  /// Accumulates `grad` into the inputs' grads. Null for leaves.
+  std::function<void(Node*)> backward_fn;
+
+  /// Allocates (zero-filled) grad storage if not present.
+  void EnsureGrad();
+  /// Zero-fills the grad if allocated.
+  void ZeroGrad();
+};
+
+/// A tensor tracked by the dynamic autograd tape (PyTorch-style define-by-run
+/// reverse-mode AD, single-threaded).
+///
+/// Variable is a cheap handle; copies share the node. Ops on Variables build
+/// the tape implicitly when gradient mode is enabled and at least one input
+/// requires a gradient.
+class Variable {
+ public:
+  /// Null handle.
+  Variable() = default;
+
+  /// Wraps a tensor as a leaf.
+  explicit Variable(tensor::Tensor value, bool requires_grad = false);
+
+  /// True when this handle refers to a node.
+  bool defined() const { return node_ != nullptr; }
+
+  /// The forward value. Handle must be defined.
+  const tensor::Tensor& value() const;
+  /// Mutable access to the forward value (leaf initialization only).
+  tensor::Tensor* mutable_value();
+
+  /// The gradient tensor, allocated on demand.
+  tensor::Tensor& grad();
+  /// Zeroes the gradient if allocated.
+  void ZeroGrad();
+
+  /// Whether gradients flow into this variable.
+  bool requires_grad() const;
+
+  /// Runs reverse-mode accumulation from this (scalar) variable. Gradients
+  /// accumulate (+=) into every reachable variable with requires_grad.
+  void Backward();
+
+  /// The underlying node (for op implementations).
+  const NodePtr& node() const { return node_; }
+
+  /// Total element count of the value.
+  int64_t size() const { return value().size(); }
+
+ private:
+  friend Variable MakeOpResult(tensor::Tensor value,
+                               std::vector<Variable> inputs,
+                               std::function<void(Node*)> backward_fn);
+  NodePtr node_;
+};
+
+/// Creates the result Variable of an op: when gradient mode is on and any
+/// input requires a gradient, the tape edge and backward closure are
+/// recorded; otherwise a detached constant is returned.
+Variable MakeOpResult(tensor::Tensor value, std::vector<Variable> inputs,
+                      std::function<void(Node*)> backward_fn);
+
+/// True when ops should record the tape (default true; single-threaded
+/// global, like torch.is_grad_enabled()).
+bool GradModeEnabled();
+
+/// RAII guard that disables tape recording for its scope (inference mode).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace autograd
+}  // namespace cgkgr
+
+#endif  // CGKGR_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,156 @@
+#include "baselines/ripplenet.h"
+
+#include "autograd/ops.h"
+#include "models/trainer_util.h"
+#include "nn/adam.h"
+
+namespace cgkgr {
+namespace baselines {
+
+namespace {
+using autograd::Variable;
+}  // namespace
+
+RippleNet::RippleNet(const data::PresetHyperParams& hparams)
+    : hparams_(hparams) {}
+
+Status RippleNet::Fit(const data::Dataset& dataset,
+                      const models::TrainOptions& options) {
+  if (dataset.kg.empty()) {
+    return Status::InvalidArgument("RippleNet requires a knowledge graph");
+  }
+  const int64_t d = hparams_.embedding_dim;
+  const graph::KnowledgeGraph kg = dataset.BuildKnowledgeGraph();
+  const graph::InteractionGraph train_graph = dataset.BuildTrainGraph();
+
+  // --- precompute ripple sets from the *train* interactions ---
+  Rng ripple_rng(options.seed ^ 0x9199137319931375ULL);
+  ripple_sets_.assign(static_cast<size_t>(dataset.num_users), {});
+  for (int64_t u = 0; u < dataset.num_users; ++u) {
+    auto& hops = ripple_sets_[static_cast<size_t>(u)];
+    hops.resize(static_cast<size_t>(num_hops_));
+    std::vector<int64_t> frontier(train_graph.ItemsOf(u).begin(),
+                                  train_graph.ItemsOf(u).end());
+    if (frontier.empty()) frontier.push_back(0);  // cold user: dummy seed
+    for (int64_t h = 0; h < num_hops_; ++h) {
+      RippleSet& set = hops[static_cast<size_t>(h)];
+      set.heads.reserve(static_cast<size_t>(memory_size_));
+      for (int64_t m = 0; m < memory_size_; ++m) {
+        const int64_t head = frontier[ripple_rng.UniformInt(frontier.size())];
+        auto neighbors = kg.NeighborsOf(head);
+        if (neighbors.empty()) {
+          set.heads.push_back(head);
+          set.relations.push_back(kg.self_loop_relation());
+          set.tails.push_back(head);
+          continue;
+        }
+        const graph::KgNeighbor& n =
+            neighbors[ripple_rng.UniformInt(neighbors.size())];
+        set.heads.push_back(head);
+        set.relations.push_back(n.relation);
+        set.tails.push_back(n.entity);
+      }
+      frontier = set.tails;
+    }
+  }
+
+  // --- parameters ---
+  store_ = nn::ParameterStore();
+  Rng init_rng(options.seed ^ 0x2121212121212121ULL);
+  entity_table_ = std::make_unique<nn::EmbeddingTable>(
+      &store_, "entity_emb", dataset.num_entities, d, &init_rng);
+  relation_matrices_ =
+      store_.Create("relation_mat", {kg.relation_id_space(), d, d},
+                    nn::Init::kXavierUniform, &init_rng);
+
+  nn::AdamOptions adam;
+  adam.learning_rate = hparams_.learning_rate;
+  adam.l2 = hparams_.l2;
+  nn::AdamOptimizer optimizer(store_.parameters(), adam);
+
+  const auto all_positives = dataset.BuildAllPositives();
+  fitted_ = true;
+
+  auto run_epoch = [&](Rng* rng) {
+    double total_loss = 0.0;
+    int64_t batches = 0;
+    models::ForEachTrainBatch(
+        dataset.train, all_positives, dataset.num_items, options.batch_size,
+        rng, [&](const models::TrainBatch& batch) {
+          std::vector<int64_t> users = batch.users;
+          users.insert(users.end(), batch.users.begin(), batch.users.end());
+          std::vector<int64_t> items = batch.positive_items;
+          items.insert(items.end(), batch.negative_items.begin(),
+                       batch.negative_items.end());
+          Variable scores = Forward(users, items);
+          std::vector<float> labels(users.size(), 0.0f);
+          std::fill(labels.begin(),
+                    labels.begin() + static_cast<int64_t>(batch.users.size()),
+                    1.0f);
+          Variable loss = autograd::BCEWithLogits(scores, std::move(labels));
+          loss.Backward();
+          optimizer.Step();
+          total_loss += loss.value()[0];
+          ++batches;
+        });
+    return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+  };
+
+  return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,
+                                 &stats_);
+}
+
+Variable RippleNet::Forward(const std::vector<int64_t>& users,
+                            const std::vector<int64_t>& items) {
+  const int64_t batch = static_cast<int64_t>(users.size());
+  Variable item_emb = entity_table_->Lookup(items);  // (B, d)
+
+  Variable user_repr;  // sum over hops of o_h, (B, d)
+  for (int64_t h = 0; h < num_hops_; ++h) {
+    std::vector<int64_t> heads;
+    std::vector<int64_t> rels;
+    std::vector<int64_t> tails;
+    heads.reserve(static_cast<size_t>(batch * memory_size_));
+    for (int64_t b = 0; b < batch; ++b) {
+      const RippleSet& set = ripple_sets_[static_cast<size_t>(
+          users[static_cast<size_t>(b)])][static_cast<size_t>(h)];
+      heads.insert(heads.end(), set.heads.begin(), set.heads.end());
+      rels.insert(rels.end(), set.relations.begin(), set.relations.end());
+      tails.insert(tails.end(), set.tails.begin(), set.tails.end());
+    }
+    Variable head_emb = entity_table_->Lookup(heads);  // (B*m, d)
+    Variable tail_emb = entity_table_->Lookup(tails);
+    Variable projected =
+        autograd::RelationMatMul(head_emb, rels, relation_matrices_);
+    Variable item_rep = autograd::RowRepeat(item_emb, memory_size_);
+    Variable logits = autograd::RowDot(projected, item_rep);
+    Variable probs = autograd::SegmentSoftmax(logits, memory_size_);
+    Variable o = autograd::SegmentWeightedSum(tail_emb, probs, memory_size_);
+    user_repr = user_repr.defined() ? autograd::Add(user_repr, o) : o;
+  }
+  return autograd::RowDot(user_repr, item_emb);
+}
+
+void RippleNet::ScorePairs(const std::vector<int64_t>& users,
+                           const std::vector<int64_t>& items,
+                           std::vector<float>* out) {
+  CGKGR_CHECK_MSG(fitted_, "ScorePairs before Fit");
+  CGKGR_CHECK(users.size() == items.size() && out != nullptr);
+  autograd::NoGradGuard no_grad;
+  out->resize(users.size());
+  constexpr size_t kChunk = 2048;
+  std::vector<int64_t> chunk_users;
+  std::vector<int64_t> chunk_items;
+  for (size_t begin = 0; begin < users.size(); begin += kChunk) {
+    const size_t end = std::min(users.size(), begin + kChunk);
+    chunk_users.assign(users.begin() + begin, users.begin() + end);
+    chunk_items.assign(items.begin() + begin, items.begin() + end);
+    Variable scores = Forward(chunk_users, chunk_items);
+    for (size_t i = begin; i < end; ++i) {
+      (*out)[i] = scores.value()[static_cast<int64_t>(i - begin)];
+    }
+  }
+}
+
+}  // namespace baselines
+}  // namespace cgkgr

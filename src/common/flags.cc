@@ -1,0 +1,162 @@
+#include "common/flags.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace cgkgr {
+
+void FlagParser::DefineInt64(const std::string& name, int64_t default_value,
+                             const std::string& help) {
+  Flag flag;
+  flag.type = Type::kInt64;
+  flag.help = help;
+  flag.int_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::DefineDouble(const std::string& name, double default_value,
+                              const std::string& help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.double_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::DefineString(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.string_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::DefineBool(const std::string& name, bool default_value,
+                            const std::string& help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.bool_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      return Status::InvalidArgument("unexpected argument: " +
+                                     std::string(arg));
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " missing value");
+      }
+      value = argv[++i];
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    Flag& flag = it->second;
+    switch (flag.type) {
+      case Type::kInt64: {
+        int64_t parsed = 0;
+        if (!ParseInt64(value, &parsed)) {
+          return Status::InvalidArgument("flag --" + name +
+                                         " expects an integer, got " + value);
+        }
+        flag.int_value = parsed;
+        break;
+      }
+      case Type::kDouble: {
+        double parsed = 0.0;
+        if (!ParseDouble(value, &parsed)) {
+          return Status::InvalidArgument("flag --" + name +
+                                         " expects a number, got " + value);
+        }
+        flag.double_value = parsed;
+        break;
+      }
+      case Type::kString:
+        flag.string_value = value;
+        break;
+      case Type::kBool:
+        if (value == "1" || value == "true") {
+          flag.bool_value = true;
+        } else if (value == "0" || value == "false") {
+          flag.bool_value = false;
+        } else {
+          return Status::InvalidArgument("flag --" + name +
+                                         " expects a boolean, got " + value);
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name;
+    switch (flag.type) {
+      case Type::kInt64:
+        out += StrFormat(" (int, default %lld)",
+                         static_cast<long long>(flag.int_value));
+        break;
+      case Type::kDouble:
+        out += StrFormat(" (double, default %g)", flag.double_value);
+        break;
+      case Type::kString:
+        out += " (string, default \"" + flag.string_value + "\")";
+        break;
+      case Type::kBool:
+        out += StrFormat(" (bool, default %s)",
+                         flag.bool_value ? "true" : "false");
+        break;
+    }
+    out += "\n      " + flag.help + "\n";
+  }
+  return out;
+}
+
+const FlagParser::Flag& FlagParser::GetOrDie(const std::string& name,
+                                             Type type) const {
+  auto it = flags_.find(name);
+  CGKGR_CHECK_MSG(it != flags_.end(), "undefined flag --%s", name.c_str());
+  CGKGR_CHECK_MSG(it->second.type == type, "flag --%s accessed as wrong type",
+                  name.c_str());
+  return it->second;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  return GetOrDie(name, Type::kInt64).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return GetOrDie(name, Type::kDouble).double_value;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return GetOrDie(name, Type::kString).string_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetOrDie(name, Type::kBool).bool_value;
+}
+
+}  // namespace cgkgr

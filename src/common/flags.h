@@ -1,0 +1,70 @@
+#ifndef CGKGR_COMMON_FLAGS_H_
+#define CGKGR_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace cgkgr {
+
+/// Tiny command-line flag parser for the benchmark/example binaries.
+/// Accepts `--name value` and `--name=value` forms.
+///
+/// \code
+///   FlagParser flags;
+///   flags.DefineInt64("trials", 3, "number of repeated trials");
+///   CGKGR_CHECK(flags.Parse(argc, argv).ok());
+///   int64_t trials = flags.GetInt64("trials");
+/// \endcode
+class FlagParser {
+ public:
+  /// Registers an integer flag with a default.
+  void DefineInt64(const std::string& name, int64_t default_value,
+                   const std::string& help);
+  /// Registers a floating-point flag with a default.
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  /// Registers a string flag with a default.
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  /// Registers a boolean flag with a default (parsed from 0/1/true/false).
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  /// Parses argv; unknown flags or malformed values produce an error.
+  /// `--help` prints usage and is reported via the `help_requested` accessor.
+  Status Parse(int argc, char** argv);
+
+  /// True when --help was present; callers should print Usage() and exit 0.
+  bool help_requested() const { return help_requested_; }
+
+  /// Human-readable flag summary.
+  std::string Usage() const;
+
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  const Flag& GetOrDie(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace cgkgr
+
+#endif  // CGKGR_COMMON_FLAGS_H_

@@ -1,0 +1,44 @@
+#ifndef CGKGR_COMMON_LOGGING_H_
+#define CGKGR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cgkgr {
+
+/// Severity of a log line; kFatal aborts the process after flushing.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Minimal leveled logger. Lines below the global threshold are discarded.
+///
+/// \code
+///   CGKGR_LOG(INFO) << "epoch " << epoch << " loss " << loss;
+/// \endcode
+class Logger {
+ public:
+  Logger(LogLevel level, const char* file, int line);
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Stream to append message parts to.
+  std::ostream& stream() { return stream_; }
+
+  /// Sets the global minimum level that is actually emitted.
+  static void SetThreshold(LogLevel level);
+  /// Current global minimum emitted level.
+  static LogLevel Threshold();
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cgkgr
+
+#define CGKGR_LOG(severity)                                             \
+  ::cgkgr::Logger(::cgkgr::LogLevel::k##severity, __FILE__, __LINE__)   \
+      .stream()
+
+#endif  // CGKGR_COMMON_LOGGING_H_

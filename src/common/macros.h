@@ -1,0 +1,51 @@
+#ifndef CGKGR_COMMON_MACROS_H_
+#define CGKGR_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Project-wide helper macros: fatal invariant checks and class-property
+/// helpers. Library code never throws across API boundaries; programming
+/// errors (broken internal invariants) abort with a message instead.
+
+/// Aborts the process with a file/line message when `condition` is false.
+/// Use for internal invariants that indicate a programming bug, never for
+/// recoverable errors (those return cgkgr::Status).
+#define CGKGR_CHECK(condition)                                              \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "CGKGR_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Like CGKGR_CHECK but with a printf-style explanation.
+#define CGKGR_CHECK_MSG(condition, ...)                                     \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "CGKGR_CHECK failed at %s:%d: %s: ", __FILE__,   \
+                   __LINE__, #condition);                                   \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define CGKGR_DCHECK(condition) \
+  do {                          \
+  } while (0)
+#else
+#define CGKGR_DCHECK(condition) CGKGR_CHECK(condition)
+#endif
+
+/// Propagates a non-ok cgkgr::Status from the current function.
+#define CGKGR_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::cgkgr::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // CGKGR_COMMON_MACROS_H_

@@ -1,0 +1,103 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace cgkgr {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  CGKGR_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  CGKGR_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+float Rng::UniformFloat() {
+  return static_cast<float>(NextUint64() >> 40) * 0x1.0p-24f;
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::Uniform(float lo, float hi) {
+  return lo + (hi - lo) * UniformFloat();
+}
+
+float Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; guard the log against zero.
+  float u1 = UniformFloat();
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float u2 = UniformFloat();
+  const float radius = std::sqrt(-2.0f * std::log(u1));
+  const float angle = 6.28318530717958647692f * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+float Rng::Normal(float mean, float stddev) { return mean + stddev * Normal(); }
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t population,
+                                                   int64_t count) {
+  CGKGR_CHECK(count >= 0 && count <= population);
+  // Partial Fisher-Yates over an index vector; fine at library scale.
+  std::vector<int64_t> indices(static_cast<size_t>(population));
+  std::iota(indices.begin(), indices.end(), 0);
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t j = i + static_cast<int64_t>(
+                        UniformInt(static_cast<uint64_t>(population - i)));
+    std::swap(indices[static_cast<size_t>(i)], indices[static_cast<size_t>(j)]);
+  }
+  indices.resize(static_cast<size_t>(count));
+  return indices;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace cgkgr

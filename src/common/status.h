@@ -1,0 +1,125 @@
+#ifndef CGKGR_COMMON_STATUS_H_
+#define CGKGR_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+
+/// Machine-readable category of a Status (RocksDB/Arrow-style error model;
+/// the library does not throw exceptions across API boundaries).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Lightweight success-or-error result of a fallible operation.
+///
+/// Usage mirrors Arrow/RocksDB:
+/// \code
+///   Status st = DoThing();
+///   if (!st.ok()) return st;        // or CGKGR_RETURN_NOT_OK(DoThing());
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory for an OK status.
+  static Status OK() { return Status(); }
+  /// Factory for an invalid-argument error with a human-readable message.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Factory for a not-found error.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Factory for an already-exists error.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Factory for an out-of-range error.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Factory for an I/O error.
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Factory for an internal-invariant error.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Factory for a not-implemented error.
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  /// True when the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category.
+  StatusCode code() const { return code_; }
+  /// The error message (empty for OK).
+  const std::string& message() const { return message_; }
+  /// "OK" or "<Category>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a fatal programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    CGKGR_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  /// True when a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The error status (OK when a value is present).
+  const Status& status() const { return status_; }
+  /// The contained value; fatal if !ok().
+  const T& value() const& {
+    CGKGR_CHECK_MSG(ok(), "Result::value() on error: %s",
+                    status_.ToString().c_str());
+    return value_;
+  }
+  /// Moves the contained value out; fatal if !ok().
+  T&& value() && {
+    CGKGR_CHECK_MSG(ok(), "Result::value() on error: %s",
+                    status_.ToString().c_str());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace cgkgr
+
+#endif  // CGKGR_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef CGKGR_COMMON_STRING_UTIL_H_
+#define CGKGR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgkgr {
+
+/// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a signed integer; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace cgkgr
+
+#endif  // CGKGR_COMMON_STRING_UTIL_H_

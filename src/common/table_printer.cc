@@ -1,0 +1,74 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+
+namespace {
+const char kSeparatorSentinel[] = "\x01";
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CGKGR_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CGKGR_CHECK_MSG(cells.size() == headers_.size(),
+                  "row arity %zu != header arity %zu", cells.size(),
+                  headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back({kSeparatorSentinel}); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) continue;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto append_separator = [&](std::string* out) {
+    out->push_back('+');
+    for (size_t c = 0; c < widths.size(); ++c) {
+      out->append(widths[c] + 2, '-');
+      out->push_back('+');
+    }
+    out->push_back('\n');
+  };
+  auto append_row = [&](const std::vector<std::string>& cells,
+                        std::string* out) {
+    out->push_back('|');
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out->push_back(' ');
+      out->append(cells[c]);
+      out->append(widths[c] - cells[c].size() + 1, ' ');
+      out->push_back('|');
+    }
+    out->push_back('\n');
+  };
+
+  std::string out;
+  append_separator(&out);
+  append_row(headers_, &out);
+  append_separator(&out);
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) {
+      append_separator(&out);
+    } else {
+      append_row(row, &out);
+    }
+  }
+  append_separator(&out);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace cgkgr

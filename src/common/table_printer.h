@@ -1,0 +1,42 @@
+#ifndef CGKGR_COMMON_TABLE_PRINTER_H_
+#define CGKGR_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace cgkgr {
+
+/// Accumulates rows and renders an aligned ASCII table; used by the
+/// benchmark harness to print rows in the same layout as the paper's tables.
+///
+/// \code
+///   TablePrinter table({"Model", "Recall@20(%)", "NDCG@20(%)"});
+///   table.AddRow({"BPRMF", "16.84 +/- 3.86", "8.75 +/- 1.94"});
+///   std::puts(table.ToString().c_str());
+/// \endcode
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  /// Renders the table.
+  std::string ToString() const;
+
+  /// Renders and writes the table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  // A row with the sentinel value {"\x01"} renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cgkgr
+
+#endif  // CGKGR_COMMON_TABLE_PRINTER_H_

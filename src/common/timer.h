@@ -1,0 +1,32 @@
+#ifndef CGKGR_COMMON_TIMER_H_
+#define CGKGR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cgkgr {
+
+/// Monotonic wall-clock stopwatch used for the paper's time-per-epoch
+/// measurements (Table VI).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cgkgr
+
+#endif  // CGKGR_COMMON_TIMER_H_

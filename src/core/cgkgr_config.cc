@@ -1,0 +1,65 @@
+#include "core/cgkgr_config.h"
+
+namespace cgkgr {
+namespace core {
+
+CgKgrConfig CgKgrConfig::FromPreset(const data::PresetHyperParams& hparams) {
+  CgKgrConfig config;
+  config.embedding_dim = hparams.embedding_dim;
+  config.depth = hparams.depth;
+  config.num_heads = hparams.num_heads;
+  config.user_sample_size = hparams.user_sample_size;
+  config.item_sample_size = hparams.item_sample_size;
+  config.kg_sample_size = hparams.kg_sample_size;
+  config.learning_rate = hparams.learning_rate;
+  config.l2 = hparams.l2;
+  Result<EncoderType> encoder = ParseEncoder(hparams.encoder);
+  CGKGR_CHECK_MSG(encoder.ok(), "%s", encoder.status().ToString().c_str());
+  config.encoder = encoder.value();
+  Result<AggregatorType> aggregator = ParseAggregator(hparams.aggregator);
+  CGKGR_CHECK_MSG(aggregator.ok(), "%s",
+                  aggregator.status().ToString().c_str());
+  config.aggregator = aggregator.value();
+  return config;
+}
+
+Result<EncoderType> ParseEncoder(const std::string& name) {
+  if (name == "sum") return EncoderType::kSum;
+  if (name == "mean") return EncoderType::kMean;
+  if (name == "pmax") return EncoderType::kPairwiseMax;
+  return Status::InvalidArgument("unknown encoder: " + name);
+}
+
+Result<AggregatorType> ParseAggregator(const std::string& name) {
+  if (name == "sum") return AggregatorType::kSum;
+  if (name == "concat") return AggregatorType::kConcat;
+  if (name == "neighbor" || name == "ngh") return AggregatorType::kNeighbor;
+  return Status::InvalidArgument("unknown aggregator: " + name);
+}
+
+std::string EncoderName(EncoderType type) {
+  switch (type) {
+    case EncoderType::kSum:
+      return "sum";
+    case EncoderType::kMean:
+      return "mean";
+    case EncoderType::kPairwiseMax:
+      return "pmax";
+  }
+  return "?";
+}
+
+std::string AggregatorName(AggregatorType type) {
+  switch (type) {
+    case AggregatorType::kSum:
+      return "sum";
+    case AggregatorType::kConcat:
+      return "concat";
+    case AggregatorType::kNeighbor:
+      return "neighbor";
+  }
+  return "?";
+}
+
+}  // namespace core
+}  // namespace cgkgr

@@ -1,0 +1,135 @@
+#ifndef CGKGR_CORE_CGKGR_MODEL_H_
+#define CGKGR_CORE_CGKGR_MODEL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cgkgr_config.h"
+#include "graph/sampler.h"
+#include "models/recommender.h"
+#include "models/trainer_util.h"
+#include "nn/adam.h"
+#include "nn/dense.h"
+#include "nn/embedding.h"
+
+namespace cgkgr {
+namespace core {
+
+/// The paper's model: attentive Knowledge-aware Graph convolutional network
+/// with Collaborative Guidance (CG-KGR).
+///
+/// Pipeline per target pair (u, i), following Algorithm 1:
+///  1. Interactive summarization: multi-head collaboration attention over
+///     sampled S(u) and S_UI(i) (Eqs. 1-5), aggregated with g (Eq. 6).
+///  2. Guidance encoding: f(v_u, v_i) (Eqs. 10-12).
+///  3. Knowledge extraction: depth-L node flow over the KG; per hop,
+///     guidance-biased knowledge-aware attention (Eqs. 13-15, 19) pools
+///     neighbor embeddings (Eqs. 16, 18) which g merges into the parent
+///     (Eqs. 17, 20).
+///  4. Score y_hat = v_u . v_i^u (Eq. 21); training minimizes balanced
+///     binary cross-entropy with L2 (Eq. 22).
+///
+/// Ablation variants (Tables VII/VIII) are switches on CgKgrConfig.
+class CgKgrModel : public models::RecommenderModel {
+ public:
+  explicit CgKgrModel(CgKgrConfig config, std::string name = "CG-KGR");
+
+  std::string name() const override { return name_; }
+
+  Status Fit(const data::Dataset& dataset,
+             const models::TrainOptions& options) override;
+
+  void ScorePairs(const std::vector<int64_t>& users,
+                  const std::vector<int64_t>& items,
+                  std::vector<float>* out) override;
+
+  /// Builds graphs and (seed-initialized) parameters without training.
+  /// Fit() calls this internally; call it directly before LoadParameters()
+  /// to restore a previously trained model without retraining.
+  Status Prepare(const data::Dataset& dataset, uint64_t seed);
+
+  /// Persists all trained parameters (requires a prepared/fitted model).
+  Status SaveParameters(const std::string& path) const;
+
+  /// Restores parameters written by SaveParameters() into a model prepared
+  /// with the same config and dataset dimensions.
+  Status LoadParameters(const std::string& path);
+
+  /// The configuration this model was built with.
+  const CgKgrConfig& config() const { return config_; }
+
+  /// Hop-1 knowledge attention of a single (user, item) pair, for the
+  /// paper's Fig. 5 case study. Requires a fitted model and depth >= 1.
+  struct AttentionInspection {
+    std::vector<int64_t> entities;
+    std::vector<int64_t> relations;
+    /// Normalized weights averaged over heads, aligned with `entities`.
+    std::vector<float> weights;
+  };
+  AttentionInspection InspectKnowledgeAttention(int64_t user, int64_t item,
+                                                uint64_t seed);
+
+ private:
+  /// All sampled structure needed to run one batched forward pass.
+  struct BatchGraph {
+    std::vector<int64_t> users;
+    std::vector<int64_t> items;
+    std::vector<int64_t> user_neighbors;  // |users| * user_sample_size items
+    std::vector<int64_t> item_neighbors;  // |items| * item_sample_size users
+    graph::NodeFlow flow;                  // seeded at `items`
+  };
+
+  BatchGraph SampleBatch(const std::vector<int64_t>& users,
+                         const std::vector<int64_t>& items, Rng* rng) const;
+
+  /// Scores of the batch, shape (|users|). When `capture_hop1_attention` is
+  /// non-null, the head-averaged hop-1 attention weights are written there.
+  autograd::Variable Forward(const BatchGraph& batch,
+                             std::vector<float>* capture_hop1_attention);
+
+  /// Multi-head collaboration attention pooling (Eqs. 2-5): `centers`
+  /// (n, d) each attend over their `segment` consecutive `neighbors` rows.
+  autograd::Variable InteractiveAttentionPool(
+      const autograd::Variable& centers, const autograd::Variable& neighbors,
+      int64_t segment);
+
+  /// Applies the configured aggregator g(self, neighbors) via `dense`.
+  autograd::Variable Aggregate(const nn::Dense& dense,
+                               const autograd::Variable& self,
+                               const autograd::Variable& neighbors) const;
+
+  /// Applies the configured guidance encoder f (Eqs. 10-12).
+  autograd::Variable EncodeGuidance(const autograd::Variable& vu,
+                                    const autograd::Variable& vi) const;
+
+  CgKgrConfig config_;
+  std::string name_;
+
+  // Populated by Fit().
+  bool fitted_ = false;
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  std::unique_ptr<graph::InteractionGraph> train_graph_;
+  std::unique_ptr<graph::KnowledgeGraph> kg_;
+  nn::ParameterStore store_;
+  std::unique_ptr<nn::EmbeddingTable> user_table_;
+  std::unique_ptr<nn::EmbeddingTable> entity_table_;
+  /// Per-head M_{r*} transforms for the collaboration attention (Eq. 1).
+  std::vector<autograd::Variable> interact_heads_;
+  /// Per-head stacked relation matrices M_r, shape (R + 1, d, d) each
+  /// (last slot is the sampler's self-loop padding relation).
+  std::vector<autograd::Variable> kg_heads_;
+  std::unique_ptr<nn::Dense> agg_user_;
+  std::unique_ptr<nn::Dense> agg_item_;
+  std::vector<std::unique_ptr<nn::Dense>> agg_kg_;  // one per hop, [0]=hop 1
+  /// Seed for inference-time sampling; ScorePairs draws a fresh stream per
+  /// call, so identical calls on an identical model score identically.
+  uint64_t eval_seed_ = 0;
+};
+
+}  // namespace core
+}  // namespace cgkgr
+
+#endif  // CGKGR_CORE_CGKGR_MODEL_H_

@@ -1,0 +1,41 @@
+#include "data/corruption.h"
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace data {
+
+Dataset CorruptKnowledgeGraph(const Dataset& dataset, double ratio,
+                              Rng* rng) {
+  CGKGR_CHECK(ratio >= 0.0 && ratio <= 1.0 && rng != nullptr);
+  Dataset corrupted = dataset;
+  const int64_t n = static_cast<int64_t>(corrupted.kg.size());
+  const int64_t to_corrupt =
+      static_cast<int64_t>(static_cast<double>(n) * ratio);
+  if (to_corrupt == 0) return corrupted;
+  std::vector<int64_t> picked = rng->SampleWithoutReplacement(n, to_corrupt);
+  for (int64_t index : picked) {
+    graph::Triplet& t = corrupted.kg[static_cast<size_t>(index)];
+    if (rng->Bernoulli(0.5) && dataset.num_relations > 1) {
+      // Replace the relation with a different one.
+      int64_t r;
+      do {
+        r = static_cast<int64_t>(rng->UniformInt(
+            static_cast<uint64_t>(dataset.num_relations)));
+      } while (r == t.relation);
+      t.relation = r;
+    } else if (dataset.num_entities > 1) {
+      // Replace the tail with a different entity.
+      int64_t e;
+      do {
+        e = static_cast<int64_t>(rng->UniformInt(
+            static_cast<uint64_t>(dataset.num_entities)));
+      } while (e == t.tail);
+      t.tail = e;
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace data
+}  // namespace cgkgr

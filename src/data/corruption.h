@@ -1,0 +1,18 @@
+#ifndef CGKGR_DATA_CORRUPTION_H_
+#define CGKGR_DATA_CORRUPTION_H_
+
+#include "data/dataset.h"
+
+namespace cgkgr {
+namespace data {
+
+/// Returns a copy of `dataset` with a random `ratio` of KG triplets
+/// corrupted (paper Sec. IV-F-3 / Fig. 6): each selected triplet has either
+/// its relation replaced by a random different relation or its tail entity
+/// replaced by a random different entity (50/50).
+Dataset CorruptKnowledgeGraph(const Dataset& dataset, double ratio, Rng* rng);
+
+}  // namespace data
+}  // namespace cgkgr
+
+#endif  // CGKGR_DATA_CORRUPTION_H_

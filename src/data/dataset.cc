@@ -1,0 +1,92 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace data {
+
+graph::InteractionGraph Dataset::BuildTrainGraph() const {
+  return graph::InteractionGraph(num_users, num_items, train);
+}
+
+graph::KnowledgeGraph Dataset::BuildKnowledgeGraph() const {
+  return graph::KnowledgeGraph(num_entities, num_relations, kg);
+}
+
+void Dataset::SplitInteractions(
+    std::vector<graph::Interaction> interactions, Rng* rng) {
+  CGKGR_CHECK(rng != nullptr);
+  rng->Shuffle(&interactions);
+  const size_t n = interactions.size();
+  const size_t train_end = n * 6 / 10;
+  const size_t eval_end = n * 8 / 10;
+  train.assign(interactions.begin(), interactions.begin() + train_end);
+  eval.assign(interactions.begin() + train_end,
+              interactions.begin() + eval_end);
+  test.assign(interactions.begin() + eval_end, interactions.end());
+}
+
+std::vector<std::vector<int64_t>> Dataset::BuildPositives(
+    const std::vector<graph::Interaction>& split, int64_t num_users) {
+  std::vector<std::vector<int64_t>> positives(
+      static_cast<size_t>(num_users));
+  for (const auto& x : split) {
+    positives[static_cast<size_t>(x.user)].push_back(x.item);
+  }
+  for (auto& items : positives) std::sort(items.begin(), items.end());
+  return positives;
+}
+
+std::vector<std::vector<int64_t>> Dataset::BuildAllPositives() const {
+  std::vector<std::vector<int64_t>> positives(
+      static_cast<size_t>(num_users));
+  for (const auto* split : {&train, &eval, &test}) {
+    for (const auto& x : *split) {
+      positives[static_cast<size_t>(x.user)].push_back(x.item);
+    }
+  }
+  for (auto& items : positives) std::sort(items.begin(), items.end());
+  return positives;
+}
+
+std::vector<std::vector<int64_t>> Dataset::BuildTrainPositives() const {
+  return BuildPositives(train, num_users);
+}
+
+int64_t SampleNegativeItem(
+    const std::vector<std::vector<int64_t>>& all_positives, int64_t user,
+    int64_t num_items, Rng* rng) {
+  CGKGR_CHECK(num_items > 0 && rng != nullptr);
+  const auto& positives = all_positives[static_cast<size_t>(user)];
+  if (static_cast<int64_t>(positives.size()) >= num_items) {
+    return static_cast<int64_t>(rng->UniformInt(
+        static_cast<uint64_t>(num_items)));
+  }
+  for (;;) {
+    const int64_t item = static_cast<int64_t>(
+        rng->UniformInt(static_cast<uint64_t>(num_items)));
+    if (!std::binary_search(positives.begin(), positives.end(), item)) {
+      return item;
+    }
+  }
+}
+
+std::vector<CtrExample> MakeCtrExamples(
+    const std::vector<graph::Interaction>& split,
+    const std::vector<std::vector<int64_t>>& all_positives, int64_t num_items,
+    Rng* rng) {
+  std::vector<CtrExample> examples;
+  examples.reserve(split.size() * 2);
+  for (const auto& x : split) {
+    examples.push_back({x.user, x.item, 1.0f});
+    examples.push_back(
+        {x.user, SampleNegativeItem(all_positives, x.user, num_items, rng),
+         0.0f});
+  }
+  return examples;
+}
+
+}  // namespace data
+}  // namespace cgkgr

@@ -1,0 +1,91 @@
+#ifndef CGKGR_DATA_DATASET_H_
+#define CGKGR_DATA_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/interaction_graph.h"
+#include "graph/knowledge_graph.h"
+
+namespace cgkgr {
+namespace data {
+
+/// A labeled (user, item) example for the CTR-prediction task.
+struct CtrExample {
+  int64_t user = 0;
+  int64_t item = 0;
+  float label = 0.0f;
+};
+
+/// A recommendation benchmark: user-item interactions split 6:2:2 into
+/// train/eval/test plus an item-aligned knowledge graph (paper Sec. II,
+/// Table II). Items occupy entity ids [0, num_items).
+struct Dataset {
+  std::string name;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_entities = 0;   // includes the num_items aligned item entities
+  int64_t num_relations = 0;  // external KG relations only (r* excluded)
+
+  std::vector<graph::Interaction> train;
+  std::vector<graph::Interaction> eval;
+  std::vector<graph::Interaction> test;
+  std::vector<graph::Triplet> kg;
+
+  /// Total observed interactions across splits.
+  int64_t NumInteractions() const {
+    return static_cast<int64_t>(train.size() + eval.size() + test.size());
+  }
+
+  /// The paper's KG-informativeness measure #KG-triplets / #items.
+  double TripletsPerItem() const {
+    return num_items == 0
+               ? 0.0
+               : static_cast<double>(kg.size()) / static_cast<double>(num_items);
+  }
+
+  /// CSR view over the *training* interactions only (models must not see
+  /// eval/test edges).
+  graph::InteractionGraph BuildTrainGraph() const;
+
+  /// CSR view over the KG.
+  graph::KnowledgeGraph BuildKnowledgeGraph() const;
+
+  /// Splits `interactions` 6:2:2 at random into train/eval/test (the paper's
+  /// protocol, Sec. IV-C) and stores the result in this dataset.
+  void SplitInteractions(std::vector<graph::Interaction> interactions,
+                         Rng* rng);
+
+  /// Per-user sorted list of items the user interacted with in *any* split
+  /// (used to draw true negatives).
+  std::vector<std::vector<int64_t>> BuildAllPositives() const;
+
+  /// Per-user sorted list of train-split items (masked during ranking).
+  std::vector<std::vector<int64_t>> BuildTrainPositives() const;
+
+  /// Per-user sorted list of items in the given split.
+  static std::vector<std::vector<int64_t>> BuildPositives(
+      const std::vector<graph::Interaction>& split, int64_t num_users);
+};
+
+/// Draws one uniformly random item that `user` never interacted with
+/// (rejection sampling against `all_positives[user]`). Falls back to a
+/// uniformly random item when the user interacted with everything.
+int64_t SampleNegativeItem(
+    const std::vector<std::vector<int64_t>>& all_positives, int64_t user,
+    int64_t num_items, Rng* rng);
+
+/// Builds CTR examples from a split: every observed interaction becomes a
+/// positive and is paired with one sampled negative (label 0), matching the
+/// paper's balanced CTR protocol.
+std::vector<CtrExample> MakeCtrExamples(
+    const std::vector<graph::Interaction>& split,
+    const std::vector<std::vector<int64_t>>& all_positives, int64_t num_items,
+    Rng* rng);
+
+}  // namespace data
+}  // namespace cgkgr
+
+#endif  // CGKGR_DATA_DATASET_H_

@@ -1,0 +1,112 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace cgkgr {
+namespace data {
+
+namespace {
+
+Status WriteInteractions(const std::vector<graph::Interaction>& split,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const auto& x : split) {
+    out << x.user << '\t' << x.item << '\n';
+  }
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Status ReadInteractions(const std::string& path,
+                        std::vector<graph::Interaction>* split) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, '\t');
+    int64_t user = 0;
+    int64_t item = 0;
+    if (fields.size() != 2 || !ParseInt64(fields[0], &user) ||
+        !ParseInt64(fields[1], &item)) {
+      return Status::IOError("malformed interaction line in " + path + ": " +
+                             line);
+    }
+    split->push_back({user, item});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& dir) {
+  {
+    std::ofstream meta(dir + "/meta.tsv");
+    if (!meta) return Status::IOError("cannot open " + dir + "/meta.tsv");
+    meta << "name\t" << dataset.name << '\n'
+         << "num_users\t" << dataset.num_users << '\n'
+         << "num_items\t" << dataset.num_items << '\n'
+         << "num_entities\t" << dataset.num_entities << '\n'
+         << "num_relations\t" << dataset.num_relations << '\n';
+    if (!meta) return Status::IOError("write failed: meta.tsv");
+  }
+  CGKGR_RETURN_NOT_OK(WriteInteractions(dataset.train, dir + "/train.tsv"));
+  CGKGR_RETURN_NOT_OK(WriteInteractions(dataset.eval, dir + "/eval.tsv"));
+  CGKGR_RETURN_NOT_OK(WriteInteractions(dataset.test, dir + "/test.tsv"));
+  std::ofstream kg(dir + "/kg.tsv");
+  if (!kg) return Status::IOError("cannot open " + dir + "/kg.tsv");
+  for (const auto& t : dataset.kg) {
+    kg << t.head << '\t' << t.relation << '\t' << t.tail << '\n';
+  }
+  return kg ? Status::OK() : Status::IOError("write failed: kg.tsv");
+}
+
+Result<Dataset> LoadDataset(const std::string& dir) {
+  Dataset dataset;
+  {
+    std::ifstream meta(dir + "/meta.tsv");
+    if (!meta) return Status::IOError("cannot open " + dir + "/meta.tsv");
+    std::string line;
+    while (std::getline(meta, line)) {
+      const auto fields = Split(line, '\t');
+      if (fields.size() != 2) continue;
+      if (fields[0] == "name") {
+        dataset.name = fields[1];
+      } else {
+        int64_t value = 0;
+        if (!ParseInt64(fields[1], &value)) {
+          return Status::IOError("malformed meta line: " + line);
+        }
+        if (fields[0] == "num_users") dataset.num_users = value;
+        if (fields[0] == "num_items") dataset.num_items = value;
+        if (fields[0] == "num_entities") dataset.num_entities = value;
+        if (fields[0] == "num_relations") dataset.num_relations = value;
+      }
+    }
+  }
+  CGKGR_RETURN_NOT_OK(ReadInteractions(dir + "/train.tsv", &dataset.train));
+  CGKGR_RETURN_NOT_OK(ReadInteractions(dir + "/eval.tsv", &dataset.eval));
+  CGKGR_RETURN_NOT_OK(ReadInteractions(dir + "/test.tsv", &dataset.test));
+  std::ifstream kg_in(dir + "/kg.tsv");
+  if (!kg_in) return Status::IOError("cannot open " + dir + "/kg.tsv");
+  std::string line;
+  while (std::getline(kg_in, line)) {
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, '\t');
+    int64_t head = 0;
+    int64_t relation = 0;
+    int64_t tail = 0;
+    if (fields.size() != 3 || !ParseInt64(fields[0], &head) ||
+        !ParseInt64(fields[1], &relation) || !ParseInt64(fields[2], &tail)) {
+      return Status::IOError("malformed kg line: " + line);
+    }
+    dataset.kg.push_back({head, relation, tail});
+  }
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace cgkgr

@@ -1,0 +1,57 @@
+#ifndef CGKGR_DATA_PRESETS_H_
+#define CGKGR_DATA_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace cgkgr {
+namespace data {
+
+/// Per-dataset model hyper-parameters mirroring the paper's Table III
+/// (embedding size d, extraction depth L, batch size B, sampling sizes,
+/// attention heads H, learning rate, L2, encoder f, aggregator g). Values
+/// are scaled to this repo's laptop-scale presets; the paper's original
+/// settings are recorded in EXPERIMENTS.md.
+struct PresetHyperParams {
+  int64_t embedding_dim = 16;        // d
+  int64_t depth = 1;                 // L
+  int64_t batch_size = 64;           // B
+  int64_t user_sample_size = 8;      // |S(u)|
+  int64_t item_sample_size = 4;      // |S_UI(i)|
+  int64_t kg_sample_size = 4;        // |S_KG(e)|
+  int64_t num_heads = 4;             // H
+  float learning_rate = 1e-2f;       // eta
+  float l2 = 1e-5f;                  // lambda
+  std::string encoder = "mean";      // f
+  std::string aggregator = "concat"; // g
+  /// The scaled-down presets carry ~1/20 of the paper's interactions per
+  /// epoch, so the epoch budget is higher. Patience deliberately exceeds
+  /// max_epochs: with small eval splits the per-epoch metric is noisy
+  /// enough that premature exits beat the signal, so every model trains
+  /// its full budget and restores the best-epoch snapshot (the paper's
+  /// protocol with its patience of 10 plays the same role at full scale).
+  int64_t max_epochs = 35;
+  int64_t patience = 1000;
+};
+
+/// A named benchmark preset: the synthetic world-model configuration plus
+/// recommended hyper-parameters.
+struct Preset {
+  SyntheticConfig data;
+  PresetHyperParams hparams;
+};
+
+/// Returns the preset for one of "music", "book", "movie", "restaurant".
+/// `scale` in (0, +inf) multiplies users/items/interaction volume
+/// (1.0 = default laptop scale). Fatal on unknown name.
+Preset GetPreset(const std::string& name, double scale = 1.0);
+
+/// The four paper benchmarks in paper order.
+std::vector<std::string> PresetNames();
+
+}  // namespace data
+}  // namespace cgkgr
+
+#endif  // CGKGR_DATA_PRESETS_H_

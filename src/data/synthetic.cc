@@ -1,0 +1,250 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace data {
+
+namespace {
+
+/// A ground-truth latent vector.
+using Latent = std::vector<float>;
+
+float DotLatent(const Latent& a, const Latent& b) {
+  float total = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+/// Applies a (k x k) row-major linear map to a latent.
+Latent ApplyMap(const std::vector<float>& map, const Latent& x) {
+  const size_t k = x.size();
+  Latent out(k, 0.0f);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) out[i] += map[i * k + j] * x[j];
+  }
+  return out;
+}
+
+Latent RandomLatent(int64_t dim, float stddev, Rng* rng) {
+  Latent out(static_cast<size_t>(dim));
+  for (auto& v : out) v = rng->Normal(0.0f, stddev);
+  return out;
+}
+
+}  // namespace
+
+Dataset GenerateSyntheticDataset(const SyntheticConfig& config,
+                                 uint64_t split_seed) {
+  CGKGR_CHECK(config.num_users > 0 && config.num_items > 1);
+  CGKGR_CHECK(config.num_informative_relations <= config.num_relations);
+  CGKGR_CHECK(config.informative_ratio >= 0.0 &&
+              config.informative_ratio <= 1.0);
+  Rng rng(config.seed);
+  const int64_t k = config.latent_dim;
+
+  // --- 1. Collaborative structure: clustered latents + popularity bias ---
+  // Centers are block-sparse: each cluster's taste concentrates on one
+  // latent block (its dominant "aspect"), with weak off-block mass.
+  const int64_t num_blocks =
+      std::clamp<int64_t>(config.num_latent_blocks, 1, k);
+  const int64_t block_size = (k + num_blocks - 1) / num_blocks;
+  auto block_of_dim = [&](int64_t dim) { return dim / block_size; };
+  std::vector<Latent> centers;
+  centers.reserve(static_cast<size_t>(config.num_clusters));
+  for (int64_t c = 0; c < config.num_clusters; ++c) {
+    const int64_t block = c % num_blocks;
+    Latent center(static_cast<size_t>(k));
+    for (int64_t dim = 0; dim < k; ++dim) {
+      const float stddev = block_of_dim(dim) == block
+                               ? 1.6f
+                               : config.off_block_stddev;
+      center[static_cast<size_t>(dim)] = rng.Normal(0.0f, stddev);
+    }
+    centers.push_back(std::move(center));
+  }
+  auto draw_member = [&](float noise) {
+    const Latent& center = centers[rng.UniformInt(centers.size())];
+    Latent z = RandomLatent(k, noise, &rng);
+    for (size_t i = 0; i < z.size(); ++i) z[i] += center[i];
+    return z;
+  };
+  std::vector<Latent> user_latents;
+  user_latents.reserve(static_cast<size_t>(config.num_users));
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    user_latents.push_back(draw_member(0.55f));
+  }
+  std::vector<Latent> item_latents;
+  item_latents.reserve(static_cast<size_t>(config.num_items));
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    item_latents.push_back(draw_member(0.55f));
+  }
+  std::vector<float> popularity(static_cast<size_t>(config.num_items));
+  for (auto& p : popularity) {
+    p = rng.Normal(0.0f, static_cast<float>(config.popularity_stddev));
+  }
+
+  // --- 2. Interactions via Gumbel top-k over affinity + popularity ---
+  std::vector<graph::Interaction> interactions;
+  const float inv_temp = 1.0f / static_cast<float>(config.temperature);
+  std::vector<std::pair<float, int64_t>> scored(
+      static_cast<size_t>(config.num_items));
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    const double jitter = 0.5 + rng.UniformDouble();  // [0.5, 1.5)
+    int64_t count = static_cast<int64_t>(
+        std::lround(config.interactions_per_user * jitter));
+    count = std::clamp<int64_t>(count, 2, config.num_items / 2);
+    for (int64_t i = 0; i < config.num_items; ++i) {
+      // Gumbel noise turns top-k selection into Plackett-Luce sampling.
+      float uniform = rng.UniformFloat();
+      if (uniform < 1e-9f) uniform = 1e-9f;
+      const float gumbel = -std::log(-std::log(uniform));
+      const float affinity =
+          DotLatent(user_latents[static_cast<size_t>(u)],
+                    item_latents[static_cast<size_t>(i)]) *
+          inv_temp;
+      scored[static_cast<size_t>(i)] = {
+          affinity + popularity[static_cast<size_t>(i)] + gumbel, i};
+    }
+    std::partial_sort(scored.begin(), scored.begin() + count, scored.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (int64_t j = 0; j < count; ++j) {
+      interactions.push_back({u, scored[static_cast<size_t>(j)].second});
+    }
+  }
+
+  // --- 3. Knowledge graph ---
+  // Entity layout: [0, num_items) items, then per-informative-relation
+  // pools, then the shared second-level pool, then noise entities.
+  const int64_t num_informative = config.num_informative_relations;
+  const int64_t pool_size = config.entities_per_relation_pool;
+  const int64_t pools_begin = config.num_items;
+  const int64_t second_begin = pools_begin + num_informative * pool_size;
+  const int64_t noise_begin = second_begin + config.second_level_pool;
+  const int64_t num_entities = noise_begin + config.num_noise_entities;
+
+  // Per informative relation: a random linear map and a pool of entity
+  // latents; items pick the pool entity nearest to their mapped latent, so
+  // items that are alike share entities (the signal CG-KGR exploits).
+  std::vector<std::vector<float>> relation_maps(
+      static_cast<size_t>(num_informative));
+  std::vector<std::vector<Latent>> pool_latents(
+      static_cast<size_t>(num_informative));
+  const float map_scale = 1.0f / std::sqrt(static_cast<float>(block_size));
+  for (int64_t r = 0; r < num_informative; ++r) {
+    auto& map = relation_maps[static_cast<size_t>(r)];
+    map.resize(static_cast<size_t>(k * k));
+    // Relation r only reads the latent block it describes: a triplet under
+    // relation r reveals the item's block-(r mod num_blocks) coordinates
+    // and nothing else.
+    const int64_t relation_block = r % num_blocks;
+    for (int64_t i = 0; i < k; ++i) {
+      for (int64_t j = 0; j < k; ++j) {
+        map[static_cast<size_t>(i * k + j)] =
+            block_of_dim(j) == relation_block ? rng.Normal(0.0f, map_scale)
+                                              : 0.0f;
+      }
+    }
+    auto& pool = pool_latents[static_cast<size_t>(r)];
+    pool.reserve(static_cast<size_t>(pool_size));
+    for (int64_t p = 0; p < pool_size; ++p) {
+      // Seed pool entities from mapped item latents so assignments spread.
+      const Latent& z =
+          item_latents[rng.UniformInt(item_latents.size())];
+      Latent w = ApplyMap(map, z);
+      for (auto& v : w) v += rng.Normal(0.0f, 0.25f);
+      pool.push_back(std::move(w));
+    }
+  }
+  std::vector<Latent> second_latents;
+  second_latents.reserve(static_cast<size_t>(config.second_level_pool));
+  for (int64_t p = 0; p < config.second_level_pool; ++p) {
+    second_latents.push_back(RandomLatent(k, 1.0f, &rng));
+  }
+
+  auto nearest_in_pool = [](const std::vector<Latent>& pool,
+                            const Latent& query) {
+    size_t best = 0;
+    float best_score = DotLatent(pool[0], query);
+    for (size_t p = 1; p < pool.size(); ++p) {
+      const float score = DotLatent(pool[p], query);
+      if (score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    return static_cast<int64_t>(best);
+  };
+
+  std::vector<graph::Triplet> kg;
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    const int64_t total = std::max<int64_t>(
+        1, static_cast<int64_t>(std::lround(config.triplets_per_item)));
+    int64_t informative = static_cast<int64_t>(
+        std::lround(static_cast<double>(total) * config.informative_ratio));
+    informative = std::min(informative, total);
+    for (int64_t t = 0; t < total; ++t) {
+      if (t < informative && num_informative > 0) {
+        const int64_t r = t % num_informative;
+        const Latent mapped = ApplyMap(
+            relation_maps[static_cast<size_t>(r)],
+            item_latents[static_cast<size_t>(i)]);
+        const int64_t pick =
+            nearest_in_pool(pool_latents[static_cast<size_t>(r)], mapped);
+        kg.push_back({i, r, pools_begin + r * pool_size + pick});
+      } else {
+        const int64_t r = static_cast<int64_t>(
+            rng.UniformInt(static_cast<uint64_t>(config.num_relations)));
+        const int64_t e =
+            config.num_noise_entities > 0
+                ? noise_begin + static_cast<int64_t>(rng.UniformInt(
+                      static_cast<uint64_t>(config.num_noise_entities)))
+                : second_begin;
+        kg.push_back({i, r, e});
+      }
+    }
+  }
+  // Entity->entity chains off informative pool entities: pool entities that
+  // absorb similar items also share second-level neighbors, so depth-2+
+  // extraction finds coherent signal.
+  if (config.second_level_pool > 0) {
+    for (int64_t r = 0; r < num_informative; ++r) {
+      for (int64_t p = 0; p < pool_size; ++p) {
+        const int64_t chains = static_cast<int64_t>(
+            std::lround(config.chain_triplets_per_entity));
+        const Latent& w =
+            pool_latents[static_cast<size_t>(r)][static_cast<size_t>(p)];
+        for (int64_t c = 0; c < chains; ++c) {
+          Latent probe = w;
+          for (auto& v : probe) v += rng.Normal(0.0f, 0.35f);
+          const int64_t pick = nearest_in_pool(second_latents, probe);
+          const int64_t rel = static_cast<int64_t>(
+              rng.UniformInt(static_cast<uint64_t>(config.num_relations)));
+          kg.push_back({pools_begin + r * pool_size + p, rel,
+                        second_begin + pick});
+        }
+      }
+    }
+  }
+
+  // --- 4. Assemble and split ---
+  Dataset dataset;
+  dataset.name = config.name;
+  dataset.num_users = config.num_users;
+  dataset.num_items = config.num_items;
+  dataset.num_entities = num_entities;
+  dataset.num_relations = config.num_relations;
+  dataset.kg = std::move(kg);
+  Rng split_rng(split_seed ^ 0xABCDEF1234567890ULL);
+  dataset.SplitInteractions(std::move(interactions), &split_rng);
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace cgkgr

@@ -1,0 +1,76 @@
+#ifndef CGKGR_DATA_SYNTHETIC_H_
+#define CGKGR_DATA_SYNTHETIC_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace cgkgr {
+namespace data {
+
+/// Parameters of the latent-factor world model that replaces the paper's
+/// proprietary/external datasets (see DESIGN.md, "Substitutions").
+///
+/// The generator controls exactly the three knobs the paper's analysis
+/// turns on: interaction sparsity (`interactions_per_user`), KG volume
+/// (`triplets_per_item`, the paper's #triplets/#items measure), and KG
+/// informativeness (`informative_ratio`, the fraction of triplets whose
+/// entity actually reflects the item's latent factors).
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  uint64_t seed = 42;
+
+  // --- collaborative structure ---
+  int64_t num_users = 200;
+  int64_t num_items = 300;
+  /// Dimension of the ground-truth latent space.
+  int64_t latent_dim = 8;
+  /// Number of taste clusters ("genres") users and items are drawn around.
+  int64_t num_clusters = 6;
+  /// The latent space is split into this many blocks ("aspects": cast,
+  /// genre, era, ...). Cluster centers concentrate on one block and each
+  /// informative relation reveals exactly one block, so a triplet that is
+  /// decisive for one user is noise for another — the situation the paper's
+  /// collaborative guidance is built for (Sec. I, the La La Land example).
+  int64_t num_latent_blocks = 4;
+  /// Latent stddev off the cluster's block (small = sharper aspects).
+  float off_block_stddev = 0.3f;
+  /// Mean interactions per user (actual counts jitter around this).
+  double interactions_per_user = 12.0;
+  /// Sharpness of preference: lower = more deterministic tastes.
+  double temperature = 0.6;
+  /// Stddev of the per-item popularity bias (creates the long tail).
+  double popularity_stddev = 0.7;
+
+  // --- knowledge graph ---
+  /// Total relation types. The first `num_informative_relations` carry
+  /// signal about item latents; the rest label noise triplets.
+  int64_t num_relations = 8;
+  int64_t num_informative_relations = 5;
+  /// Item->entity triplets emitted per item.
+  double triplets_per_item = 8.0;
+  /// Fraction of each item's triplets that are informative.
+  double informative_ratio = 0.7;
+  /// Entity pool size per informative relation (smaller pools = more
+  /// sharing between similar items, i.e. stronger signal).
+  int64_t entities_per_relation_pool = 40;
+  /// Entities only used by uninformative triplets.
+  int64_t num_noise_entities = 150;
+  /// Entity->entity triplets per informative pool entity (gives depth-2+
+  /// extraction something to find).
+  double chain_triplets_per_entity = 1.5;
+  /// Size of the shared second-level entity pool.
+  int64_t second_level_pool = 40;
+};
+
+/// Draws a complete Dataset (interactions split 6:2:2 + KG) from the world
+/// model. Two calls with identical configs produce identical datasets;
+/// varying `split_seed` re-splits the same underlying world (the paper's
+/// "five data partitions").
+Dataset GenerateSyntheticDataset(const SyntheticConfig& config,
+                                 uint64_t split_seed);
+
+}  // namespace data
+}  // namespace cgkgr
+
+#endif  // CGKGR_DATA_SYNTHETIC_H_

@@ -1,0 +1,171 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "tensor/tensor_ops.h"
+
+namespace cgkgr {
+namespace eval {
+
+double RecallAtK(const std::vector<int64_t>& ranked_items,
+                 const std::vector<int64_t>& relevant, int64_t k) {
+  if (relevant.empty()) return 0.0;
+  const int64_t limit =
+      std::min<int64_t>(k, static_cast<int64_t>(ranked_items.size()));
+  int64_t hits = 0;
+  for (int64_t i = 0; i < limit; ++i) {
+    if (std::binary_search(relevant.begin(), relevant.end(),
+                           ranked_items[static_cast<size_t>(i)])) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double NdcgAtK(const std::vector<int64_t>& ranked_items,
+               const std::vector<int64_t>& relevant, int64_t k) {
+  if (relevant.empty()) return 0.0;
+  const int64_t limit =
+      std::min<int64_t>(k, static_cast<int64_t>(ranked_items.size()));
+  double dcg = 0.0;
+  for (int64_t i = 0; i < limit; ++i) {
+    if (std::binary_search(relevant.begin(), relevant.end(),
+                           ranked_items[static_cast<size_t>(i)])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  const int64_t ideal_hits =
+      std::min<int64_t>(k, static_cast<int64_t>(relevant.size()));
+  double idcg = 0.0;
+  for (int64_t i = 0; i < ideal_hits; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double PrecisionAtK(const std::vector<int64_t>& ranked_items,
+                    const std::vector<int64_t>& relevant, int64_t k) {
+  if (k <= 0) return 0.0;
+  const int64_t limit =
+      std::min<int64_t>(k, static_cast<int64_t>(ranked_items.size()));
+  int64_t hits = 0;
+  for (int64_t i = 0; i < limit; ++i) {
+    if (std::binary_search(relevant.begin(), relevant.end(),
+                           ranked_items[static_cast<size_t>(i)])) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double HitRateAtK(const std::vector<int64_t>& ranked_items,
+                  const std::vector<int64_t>& relevant, int64_t k) {
+  const int64_t limit =
+      std::min<int64_t>(k, static_cast<int64_t>(ranked_items.size()));
+  for (int64_t i = 0; i < limit; ++i) {
+    if (std::binary_search(relevant.begin(), relevant.end(),
+                           ranked_items[static_cast<size_t>(i)])) {
+      return 1.0;
+    }
+  }
+  return 0.0;
+}
+
+double ReciprocalRank(const std::vector<int64_t>& ranked_items,
+                      const std::vector<int64_t>& relevant) {
+  for (size_t i = 0; i < ranked_items.size(); ++i) {
+    if (std::binary_search(relevant.begin(), relevant.end(),
+                           ranked_items[i])) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+double AveragePrecision(const std::vector<int64_t>& ranked_items,
+                        const std::vector<int64_t>& relevant) {
+  if (relevant.empty()) return 0.0;
+  int64_t hits = 0;
+  double total = 0.0;
+  for (size_t i = 0; i < ranked_items.size(); ++i) {
+    if (std::binary_search(relevant.begin(), relevant.end(),
+                           ranked_items[i])) {
+      ++hits;
+      total += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return total / static_cast<double>(relevant.size());
+}
+
+double Auc(const std::vector<float>& scores,
+           const std::vector<float>& labels) {
+  CGKGR_CHECK(scores.size() == labels.size());
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  // Average ranks over tied scores, then the Mann-Whitney U statistic.
+  double positive_rank_sum = 0.0;
+  size_t num_positive = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) +
+                             static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) {
+      if (labels[order[t]] > 0.5f) {
+        positive_rank_sum += avg_rank;
+        ++num_positive;
+      }
+    }
+    i = j + 1;
+  }
+  const size_t num_negative = n - num_positive;
+  if (num_positive == 0 || num_negative == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(num_positive) *
+                       (static_cast<double>(num_positive) + 1.0) / 2.0;
+  return u / (static_cast<double>(num_positive) *
+              static_cast<double>(num_negative));
+}
+
+double F1Score(const std::vector<float>& scores,
+               const std::vector<float>& labels, double threshold) {
+  CGKGR_CHECK(scores.size() == labels.size());
+  int64_t true_positive = 0;
+  int64_t false_positive = 0;
+  int64_t false_negative = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted =
+        tensor::Sigmoid(scores[i]) >= static_cast<float>(threshold);
+    const bool actual = labels[i] > 0.5f;
+    if (predicted && actual) ++true_positive;
+    if (predicted && !actual) ++false_positive;
+    if (!predicted && actual) ++false_negative;
+  }
+  const double denom = 2.0 * static_cast<double>(true_positive) +
+                       static_cast<double>(false_positive) +
+                       static_cast<double>(false_negative);
+  return denom > 0.0 ? 2.0 * static_cast<double>(true_positive) / denom : 0.0;
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& samples) {
+  MeanStd out;
+  if (samples.empty()) return out;
+  double total = 0.0;
+  for (double s : samples) total += s;
+  out.mean = total / static_cast<double>(samples.size());
+  if (samples.size() < 2) return out;
+  double ss = 0.0;
+  for (double s : samples) ss += (s - out.mean) * (s - out.mean);
+  out.std = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+  return out;
+}
+
+}  // namespace eval
+}  // namespace cgkgr

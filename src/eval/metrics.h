@@ -1,0 +1,57 @@
+#ifndef CGKGR_EVAL_METRICS_H_
+#define CGKGR_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cgkgr {
+namespace eval {
+
+/// Recall@K: fraction of the user's relevant items that appear in the top-K
+/// of `ranked_items`. `relevant` must be sorted ascending.
+double RecallAtK(const std::vector<int64_t>& ranked_items,
+                 const std::vector<int64_t>& relevant, int64_t k);
+
+/// NDCG@K with binary relevance: DCG over the top-K hits normalized by the
+/// ideal DCG of min(K, |relevant|) hits. `relevant` must be sorted.
+double NdcgAtK(const std::vector<int64_t>& ranked_items,
+               const std::vector<int64_t>& relevant, int64_t k);
+
+/// Precision@K: fraction of the top-K ranked items that are relevant.
+double PrecisionAtK(const std::vector<int64_t>& ranked_items,
+                    const std::vector<int64_t>& relevant, int64_t k);
+
+/// HitRate@K: 1 if any relevant item appears in the top-K, else 0.
+double HitRateAtK(const std::vector<int64_t>& ranked_items,
+                  const std::vector<int64_t>& relevant, int64_t k);
+
+/// Mean reciprocal rank of the first relevant item (0 when none appears).
+double ReciprocalRank(const std::vector<int64_t>& ranked_items,
+                      const std::vector<int64_t>& relevant);
+
+/// Average precision over the full ranking (binary relevance).
+double AveragePrecision(const std::vector<int64_t>& ranked_items,
+                        const std::vector<int64_t>& relevant);
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) statistic with
+/// average ranks for ties. Returns 0.5 when either class is empty.
+double Auc(const std::vector<float>& scores, const std::vector<float>& labels);
+
+/// Binary F1 after thresholding sigmoid(score) at `threshold` (the paper
+/// thresholds the rescaled score at 0.5).
+double F1Score(const std::vector<float>& scores,
+               const std::vector<float>& labels, double threshold = 0.5);
+
+/// Sample mean and (population=false) standard deviation.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+/// Computes mean and sample standard deviation (std = 0 for n < 2).
+MeanStd ComputeMeanStd(const std::vector<double>& samples);
+
+}  // namespace eval
+}  // namespace cgkgr
+
+#endif  // CGKGR_EVAL_METRICS_H_

@@ -1,0 +1,108 @@
+#include "eval/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace eval {
+
+namespace {
+
+/// Standard normal survival function via erfc.
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+/// Exact two-sided p-value of W+ for n untied observations: enumerate the
+/// distribution of the rank-sum over all 2^n sign assignments with DP.
+/// Only valid when ranks are the integers 1..n (no ties).
+double ExactTwoSidedP(double w_plus, int64_t n) {
+  const int64_t max_sum = n * (n + 1) / 2;
+  // counts[s] = number of sign assignments with W+ == s.
+  std::vector<double> counts(static_cast<size_t>(max_sum) + 1, 0.0);
+  counts[0] = 1.0;
+  for (int64_t rank = 1; rank <= n; ++rank) {
+    for (int64_t s = max_sum; s >= rank; --s) {
+      counts[static_cast<size_t>(s)] += counts[static_cast<size_t>(s - rank)];
+    }
+  }
+  const double total = std::pow(2.0, static_cast<double>(n));
+  // Two-sided: distance of W+ from the mean, counted symmetrically.
+  const double mean = static_cast<double>(max_sum) / 2.0;
+  const double dist = std::abs(w_plus - mean);
+  double tail = 0.0;
+  for (int64_t s = 0; s <= max_sum; ++s) {
+    if (std::abs(static_cast<double>(s) - mean) >= dist - 1e-9) {
+      tail += counts[static_cast<size_t>(s)];
+    }
+  }
+  return std::min(1.0, tail / total);
+}
+
+}  // namespace
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  CGKGR_CHECK(x.size() == y.size());
+  struct Diff {
+    double abs;
+    double sign;
+  };
+  std::vector<Diff> diffs;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    if (d != 0.0) diffs.push_back({std::abs(d), d > 0.0 ? 1.0 : -1.0});
+  }
+  WilcoxonResult result;
+  result.n = static_cast<int64_t>(diffs.size());
+  if (diffs.empty()) return result;
+
+  std::sort(diffs.begin(), diffs.end(),
+            [](const Diff& a, const Diff& b) { return a.abs < b.abs; });
+
+  // Average ranks over ties; track tie correction for the normal approx.
+  std::vector<double> ranks(diffs.size());
+  double tie_correction = 0.0;
+  bool has_ties = false;
+  size_t i = 0;
+  while (i < diffs.size()) {
+    size_t j = i;
+    while (j + 1 < diffs.size() && diffs[j + 1].abs == diffs[i].abs) ++j;
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    const double t = static_cast<double>(j - i + 1);
+    if (t > 1.0) {
+      has_ties = true;
+      tie_correction += t * t * t - t;
+    }
+    for (size_t r = i; r <= j; ++r) ranks[r] = avg_rank;
+    i = j + 1;
+  }
+
+  double w_plus = 0.0;
+  for (size_t r = 0; r < diffs.size(); ++r) {
+    if (diffs[r].sign > 0.0) w_plus += ranks[r];
+  }
+  result.statistic = w_plus;
+
+  const double n = static_cast<double>(result.n);
+  if (result.n <= 25 && !has_ties) {
+    result.p_value = ExactTwoSidedP(w_plus, result.n);
+  } else {
+    const double mean = n * (n + 1.0) / 4.0;
+    const double variance =
+        n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_correction / 48.0;
+    if (variance <= 0.0) {
+      result.p_value = 1.0;
+      return result;
+    }
+    // Continuity correction toward the mean.
+    const double z =
+        (std::abs(w_plus - mean) - 0.5) / std::sqrt(variance);
+    result.p_value = std::min(1.0, 2.0 * NormalSf(std::max(z, 0.0)));
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace cgkgr

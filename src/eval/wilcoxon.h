@@ -1,0 +1,30 @@
+#ifndef CGKGR_EVAL_WILCOXON_H_
+#define CGKGR_EVAL_WILCOXON_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cgkgr {
+namespace eval {
+
+/// Outcome of a two-sided Wilcoxon signed-rank test on paired samples.
+struct WilcoxonResult {
+  /// W+ statistic (sum of ranks of positive differences).
+  double statistic = 0.0;
+  /// Two-sided p-value. 1.0 when there are no non-zero differences.
+  double p_value = 1.0;
+  /// Number of non-zero paired differences actually used.
+  int64_t n = 0;
+};
+
+/// Two-sided Wilcoxon signed-rank test for paired samples `x` and `y`
+/// (the paper's significance test, Sec. IV-D). Zero differences are
+/// dropped; ties get average ranks. Uses the exact null distribution for
+/// n <= 25 and a tie-corrected normal approximation above.
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace eval
+}  // namespace cgkgr
+
+#endif  // CGKGR_EVAL_WILCOXON_H_

@@ -1,0 +1,82 @@
+#include "graph/interaction_graph.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace graph {
+
+InteractionGraph::InteractionGraph(
+    int64_t num_users, int64_t num_items,
+    const std::vector<Interaction>& interactions)
+    : num_users_(num_users), num_items_(num_items) {
+  CGKGR_CHECK(num_users >= 0 && num_items >= 0);
+  std::vector<int64_t> user_counts(static_cast<size_t>(num_users) + 1, 0);
+  std::vector<int64_t> item_counts(static_cast<size_t>(num_items) + 1, 0);
+  for (const Interaction& x : interactions) {
+    CGKGR_CHECK_MSG(x.user >= 0 && x.user < num_users,
+                    "user id %lld out of range",
+                    static_cast<long long>(x.user));
+    CGKGR_CHECK_MSG(x.item >= 0 && x.item < num_items,
+                    "item id %lld out of range",
+                    static_cast<long long>(x.item));
+    ++user_counts[static_cast<size_t>(x.user) + 1];
+    ++item_counts[static_cast<size_t>(x.item) + 1];
+  }
+  user_offsets_.assign(user_counts.begin(), user_counts.end());
+  item_offsets_.assign(item_counts.begin(), item_counts.end());
+  for (size_t i = 1; i < user_offsets_.size(); ++i) {
+    user_offsets_[i] += user_offsets_[i - 1];
+  }
+  for (size_t i = 1; i < item_offsets_.size(); ++i) {
+    item_offsets_[i] += item_offsets_[i - 1];
+  }
+  user_items_.resize(interactions.size());
+  item_users_.resize(interactions.size());
+  std::vector<int64_t> user_fill(user_offsets_.begin(),
+                                 user_offsets_.end() - 1);
+  std::vector<int64_t> item_fill(item_offsets_.begin(),
+                                 item_offsets_.end() - 1);
+  for (const Interaction& x : interactions) {
+    user_items_[static_cast<size_t>(
+        user_fill[static_cast<size_t>(x.user)]++)] = x.item;
+    item_users_[static_cast<size_t>(
+        item_fill[static_cast<size_t>(x.item)]++)] = x.user;
+  }
+  // Sort each adjacency run so HasInteraction can binary-search.
+  for (int64_t u = 0; u < num_users_; ++u) {
+    std::sort(user_items_.begin() + user_offsets_[static_cast<size_t>(u)],
+              user_items_.begin() + user_offsets_[static_cast<size_t>(u) + 1]);
+  }
+  for (int64_t i = 0; i < num_items_; ++i) {
+    std::sort(item_users_.begin() + item_offsets_[static_cast<size_t>(i)],
+              item_users_.begin() + item_offsets_[static_cast<size_t>(i) + 1]);
+  }
+}
+
+std::span<const int64_t> InteractionGraph::ItemsOf(int64_t user) const {
+  CGKGR_DCHECK(user >= 0 && user < num_users_);
+  const size_t begin = static_cast<size_t>(user_offsets_[
+      static_cast<size_t>(user)]);
+  const size_t end = static_cast<size_t>(user_offsets_[
+      static_cast<size_t>(user) + 1]);
+  return {user_items_.data() + begin, end - begin};
+}
+
+std::span<const int64_t> InteractionGraph::UsersOf(int64_t item) const {
+  CGKGR_DCHECK(item >= 0 && item < num_items_);
+  const size_t begin = static_cast<size_t>(item_offsets_[
+      static_cast<size_t>(item)]);
+  const size_t end = static_cast<size_t>(item_offsets_[
+      static_cast<size_t>(item) + 1]);
+  return {item_users_.data() + begin, end - begin};
+}
+
+bool InteractionGraph::HasInteraction(int64_t user, int64_t item) const {
+  auto items = ItemsOf(user);
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+}  // namespace graph
+}  // namespace cgkgr

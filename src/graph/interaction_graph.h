@@ -1,0 +1,64 @@
+#ifndef CGKGR_GRAPH_INTERACTION_GRAPH_H_
+#define CGKGR_GRAPH_INTERACTION_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cgkgr {
+namespace graph {
+
+/// One observed user-item interaction (the generalized relation r* of the
+/// paper; the interaction type is collapsed as in Sec. II).
+struct Interaction {
+  int64_t user = 0;
+  int64_t item = 0;
+};
+
+/// Immutable bipartite user-item graph in CSR form, adjacency in both
+/// directions: S(u) = items of a user, S_UI(i) = users of an item.
+class InteractionGraph {
+ public:
+  /// Builds the graph from interactions. User ids must lie in
+  /// [0, num_users), item ids in [0, num_items).
+  InteractionGraph(int64_t num_users, int64_t num_items,
+                   const std::vector<Interaction>& interactions);
+
+  int64_t num_users() const { return num_users_; }
+  int64_t num_items() const { return num_items_; }
+  int64_t num_interactions() const {
+    return static_cast<int64_t>(user_items_.size());
+  }
+
+  /// Items interacted by `user` (the paper's S(u)).
+  std::span<const int64_t> ItemsOf(int64_t user) const;
+
+  /// Users who interacted with `item` (the paper's S_UI(i)).
+  std::span<const int64_t> UsersOf(int64_t item) const;
+
+  /// Degree of a user.
+  int64_t UserDegree(int64_t user) const {
+    return static_cast<int64_t>(ItemsOf(user).size());
+  }
+
+  /// Degree of an item.
+  int64_t ItemDegree(int64_t item) const {
+    return static_cast<int64_t>(UsersOf(item).size());
+  }
+
+  /// True when (user, item) is an observed edge (binary search).
+  bool HasInteraction(int64_t user, int64_t item) const;
+
+ private:
+  int64_t num_users_;
+  int64_t num_items_;
+  std::vector<int64_t> user_offsets_;  // size num_users + 1
+  std::vector<int64_t> user_items_;    // sorted within each user
+  std::vector<int64_t> item_offsets_;  // size num_items + 1
+  std::vector<int64_t> item_users_;
+};
+
+}  // namespace graph
+}  // namespace cgkgr
+
+#endif  // CGKGR_GRAPH_INTERACTION_GRAPH_H_

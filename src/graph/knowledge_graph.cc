@@ -1,0 +1,49 @@
+#include "graph/knowledge_graph.h"
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace graph {
+
+KnowledgeGraph::KnowledgeGraph(int64_t num_entities, int64_t num_relations,
+                               std::vector<Triplet> triplets)
+    : num_entities_(num_entities),
+      num_relations_(num_relations),
+      triplets_(std::move(triplets)) {
+  CGKGR_CHECK(num_entities >= 0 && num_relations >= 0);
+  std::vector<int64_t> counts(static_cast<size_t>(num_entities) + 1, 0);
+  for (const Triplet& t : triplets_) {
+    CGKGR_CHECK_MSG(t.head >= 0 && t.head < num_entities,
+                    "head %lld out of range", static_cast<long long>(t.head));
+    CGKGR_CHECK_MSG(t.tail >= 0 && t.tail < num_entities,
+                    "tail %lld out of range", static_cast<long long>(t.tail));
+    CGKGR_CHECK_MSG(t.relation >= 0 && t.relation < num_relations,
+                    "relation %lld out of range",
+                    static_cast<long long>(t.relation));
+    ++counts[static_cast<size_t>(t.head) + 1];
+    ++counts[static_cast<size_t>(t.tail) + 1];
+  }
+  offsets_.assign(counts.begin(), counts.end());
+  for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  neighbors_.resize(triplets_.size() * 2);
+  std::vector<int64_t> fill(offsets_.begin(), offsets_.end() - 1);
+  for (const Triplet& t : triplets_) {
+    neighbors_[static_cast<size_t>(fill[static_cast<size_t>(t.head)]++)] = {
+        t.tail, t.relation};
+    neighbors_[static_cast<size_t>(fill[static_cast<size_t>(t.tail)]++)] = {
+        t.head, t.relation};
+  }
+}
+
+std::span<const KgNeighbor> KnowledgeGraph::NeighborsOf(
+    int64_t entity) const {
+  CGKGR_DCHECK(entity >= 0 && entity < num_entities_);
+  const size_t begin =
+      static_cast<size_t>(offsets_[static_cast<size_t>(entity)]);
+  const size_t end =
+      static_cast<size_t>(offsets_[static_cast<size_t>(entity) + 1]);
+  return {neighbors_.data() + begin, end - begin};
+}
+
+}  // namespace graph
+}  // namespace cgkgr

@@ -1,0 +1,75 @@
+#ifndef CGKGR_GRAPH_KNOWLEDGE_GRAPH_H_
+#define CGKGR_GRAPH_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cgkgr {
+namespace graph {
+
+/// One knowledge-graph triplet (head, relation, tail).
+struct Triplet {
+  int64_t head = 0;
+  int64_t relation = 0;
+  int64_t tail = 0;
+};
+
+/// A directed KG neighbor: the entity on the other side of an edge plus the
+/// relation labeling it.
+struct KgNeighbor {
+  int64_t entity = 0;
+  int64_t relation = 0;
+};
+
+/// Immutable knowledge graph in CSR form. Adjacency is symmetrized (each
+/// triplet is visible from both endpoints, as in the KGCN/CKAN family of
+/// samplers) while the original directed triplet list stays available for
+/// TransR-style losses (CKE, KGAT).
+///
+/// Entity ids [0, num_items) are the aligned items (the paper's
+/// I subset-of E); the remainder are non-item entities.
+class KnowledgeGraph {
+ public:
+  /// Builds the graph. Entity ids must lie in [0, num_entities), relation
+  /// ids in [0, num_relations).
+  KnowledgeGraph(int64_t num_entities, int64_t num_relations,
+                 std::vector<Triplet> triplets);
+
+  int64_t num_entities() const { return num_entities_; }
+  /// Number of real relations (excludes the synthetic self-loop relation).
+  int64_t num_relations() const { return num_relations_; }
+  int64_t num_triplets() const {
+    return static_cast<int64_t>(triplets_.size());
+  }
+
+  /// Id of the synthetic self-loop relation used to pad isolated entities
+  /// during sampling (== num_relations()).
+  int64_t self_loop_relation() const { return num_relations_; }
+
+  /// Total relation-id space including the self-loop (num_relations() + 1).
+  int64_t relation_id_space() const { return num_relations_ + 1; }
+
+  /// Neighbors of `entity` over symmetrized edges (the paper's S_KG).
+  std::span<const KgNeighbor> NeighborsOf(int64_t entity) const;
+
+  /// Degree of an entity in the symmetrized adjacency.
+  int64_t Degree(int64_t entity) const {
+    return static_cast<int64_t>(NeighborsOf(entity).size());
+  }
+
+  /// Original directed triplets (for KG-embedding losses).
+  const std::vector<Triplet>& triplets() const { return triplets_; }
+
+ private:
+  int64_t num_entities_;
+  int64_t num_relations_;
+  std::vector<Triplet> triplets_;
+  std::vector<int64_t> offsets_;  // size num_entities + 1
+  std::vector<KgNeighbor> neighbors_;
+};
+
+}  // namespace graph
+}  // namespace cgkgr
+
+#endif  // CGKGR_GRAPH_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,115 @@
+#include "graph/sampler.h"
+
+#include <cmath>
+#include <span>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace graph {
+
+namespace {
+
+/// Draws one neighbor index with probability proportional to
+/// 1 + log2(1 + degree(entity)) via rejection sampling against the max
+/// weight in the candidate span. Candidate spans are small (node degrees),
+/// so the scan + a few rejections are cheap.
+size_t DegreeBiasedPick(const KnowledgeGraph& kg,
+                        std::span<const KgNeighbor> neighbors, Rng* rng) {
+  auto weight = [&](size_t j) {
+    return 1.0f + std::log2(1.0f + static_cast<float>(
+                                       kg.Degree(neighbors[j].entity)));
+  };
+  float max_weight = weight(0);
+  for (size_t j = 1; j < neighbors.size(); ++j) {
+    max_weight = std::max(max_weight, weight(j));
+  }
+  for (;;) {
+    const size_t j = static_cast<size_t>(rng->UniformInt(neighbors.size()));
+    if (rng->UniformFloat() * max_weight <= weight(j)) return j;
+  }
+}
+
+}  // namespace
+
+std::vector<int64_t> NeighborSampler::SampleUserNeighbors(
+    const InteractionGraph& graph, const std::vector<int64_t>& users,
+    int64_t sample_size, int64_t fallback_item, Rng* rng) {
+  CGKGR_CHECK(sample_size > 0 && rng != nullptr);
+  std::vector<int64_t> out;
+  out.reserve(users.size() * static_cast<size_t>(sample_size));
+  for (int64_t user : users) {
+    auto items = graph.ItemsOf(user);
+    if (items.empty()) {
+      out.insert(out.end(), static_cast<size_t>(sample_size), fallback_item);
+      continue;
+    }
+    for (int64_t s = 0; s < sample_size; ++s) {
+      out.push_back(items[rng->UniformInt(items.size())]);
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> NeighborSampler::SampleItemNeighbors(
+    const InteractionGraph& graph, const std::vector<int64_t>& items,
+    int64_t sample_size, int64_t fallback_user, Rng* rng) {
+  CGKGR_CHECK(sample_size > 0 && rng != nullptr);
+  std::vector<int64_t> out;
+  out.reserve(items.size() * static_cast<size_t>(sample_size));
+  for (int64_t item : items) {
+    auto users = graph.UsersOf(item);
+    if (users.empty()) {
+      out.insert(out.end(), static_cast<size_t>(sample_size), fallback_user);
+      continue;
+    }
+    for (int64_t s = 0; s < sample_size; ++s) {
+      out.push_back(users[rng->UniformInt(users.size())]);
+    }
+  }
+  return out;
+}
+
+NodeFlow NeighborSampler::SampleNodeFlow(const KnowledgeGraph& kg,
+                                         const std::vector<int64_t>& seeds,
+                                         int64_t depth, int64_t sample_size,
+                                         Rng* rng,
+                                         SamplingStrategy strategy) {
+  CGKGR_CHECK(depth >= 0 && sample_size > 0 && rng != nullptr);
+  NodeFlow flow;
+  flow.entities.resize(static_cast<size_t>(depth) + 1);
+  flow.relations.resize(static_cast<size_t>(depth) + 1);
+  flow.entities[0] = seeds;
+  for (int64_t l = 1; l <= depth; ++l) {
+    const std::vector<int64_t>& parents =
+        flow.entities[static_cast<size_t>(l - 1)];
+    std::vector<int64_t>& children = flow.entities[static_cast<size_t>(l)];
+    std::vector<int64_t>& rels = flow.relations[static_cast<size_t>(l)];
+    children.reserve(parents.size() * static_cast<size_t>(sample_size));
+    rels.reserve(parents.size() * static_cast<size_t>(sample_size));
+    for (int64_t parent : parents) {
+      auto neighbors = kg.NeighborsOf(parent);
+      if (neighbors.empty()) {
+        // Pad isolated entities with self-loops so tensor shapes stay fixed.
+        for (int64_t s = 0; s < sample_size; ++s) {
+          children.push_back(parent);
+          rels.push_back(kg.self_loop_relation());
+        }
+        continue;
+      }
+      for (int64_t s = 0; s < sample_size; ++s) {
+        const size_t pick =
+            strategy == SamplingStrategy::kDegreeBiased
+                ? DegreeBiasedPick(kg, neighbors, rng)
+                : static_cast<size_t>(rng->UniformInt(neighbors.size()));
+        const KgNeighbor& n = neighbors[pick];
+        children.push_back(n.entity);
+        rels.push_back(n.relation);
+      }
+    }
+  }
+  return flow;
+}
+
+}  // namespace graph
+}  // namespace cgkgr

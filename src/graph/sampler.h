@@ -1,0 +1,72 @@
+#ifndef CGKGR_GRAPH_SAMPLER_H_
+#define CGKGR_GRAPH_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/interaction_graph.h"
+#include "graph/knowledge_graph.h"
+
+namespace cgkgr {
+namespace graph {
+
+/// A multi-hop sampled sub-graph rooted at a batch of seed entities
+/// ("graph node flow", paper Sec. III-B-2 / Algorithm 1 lines 18-23).
+///
+/// Layout: entities[0] are the B seeds. For hop l >= 1, each parent at hop
+/// l-1 contributes exactly `sample_size` consecutive children, so
+/// entities[l].size() == entities[l-1].size() * sample_size, and
+/// relations[l][j] labels the edge from parent j / sample_size to child j.
+/// Isolated parents are padded with self-loop edges (entity = parent,
+/// relation = kg.self_loop_relation()).
+struct NodeFlow {
+  std::vector<std::vector<int64_t>> entities;
+  /// relations[0] is unused (empty); relations[l] aligns with entities[l].
+  std::vector<std::vector<int64_t>> relations;
+
+  /// Number of hops sampled (== entities.size() - 1).
+  int64_t depth() const {
+    return static_cast<int64_t>(entities.size()) - 1;
+  }
+};
+
+/// How neighbor candidates are weighted during sampling.
+///
+/// kUniform is the paper's protocol; kDegreeBiased implements the paper's
+/// future-work direction (Sec. VI (1)): a non-uniform sampler that screens
+/// for "representative" neighbors by preferring well-connected entities
+/// (probability proportional to 1 + log2(1 + degree)).
+enum class SamplingStrategy { kUniform, kDegreeBiased };
+
+/// Fixed-size with-replacement neighbor sampling over the interaction graph
+/// and the KG (the paper's "fixed-size random sampling"). Stateless apart
+/// from the caller-provided Rng, so experiments replay exactly per seed.
+class NeighborSampler {
+ public:
+  /// Samples `sample_size` items from S(u) for every user in `users`,
+  /// flattened to users.size() * sample_size. Users with no interactions
+  /// are padded with `fallback_item` (pass e.g. a random item or 0).
+  static std::vector<int64_t> SampleUserNeighbors(
+      const InteractionGraph& graph, const std::vector<int64_t>& users,
+      int64_t sample_size, int64_t fallback_item, Rng* rng);
+
+  /// Samples `sample_size` users from S_UI(i) for every item in `items`,
+  /// flattened. Items with no interactions are padded with `fallback_user`.
+  static std::vector<int64_t> SampleItemNeighbors(
+      const InteractionGraph& graph, const std::vector<int64_t>& items,
+      int64_t sample_size, int64_t fallback_user, Rng* rng);
+
+  /// Samples a depth-`depth` node flow rooted at `seeds` over the KG with
+  /// `sample_size` children per parent per hop. `strategy` selects uniform
+  /// (paper default) or degree-biased (future-work) candidate weighting.
+  static NodeFlow SampleNodeFlow(
+      const KnowledgeGraph& kg, const std::vector<int64_t>& seeds,
+      int64_t depth, int64_t sample_size, Rng* rng,
+      SamplingStrategy strategy = SamplingStrategy::kUniform);
+};
+
+}  // namespace graph
+}  // namespace cgkgr
+
+#endif  // CGKGR_GRAPH_SAMPLER_H_

@@ -1,0 +1,10 @@
+#include "models/recommender.h"
+
+namespace cgkgr {
+namespace models {
+
+// RecommenderModel is an interface; the out-of-line key function anchors the
+// vtable in this translation unit.
+
+}  // namespace models
+}  // namespace cgkgr

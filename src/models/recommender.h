@@ -1,0 +1,71 @@
+#ifndef CGKGR_MODELS_RECOMMENDER_H_
+#define CGKGR_MODELS_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "eval/protocol.h"
+
+namespace cgkgr {
+namespace models {
+
+/// Which eval-split metric drives early stopping. The paper tunes per
+/// task: ranking runs stop on Recall@20, CTR runs on AUC.
+enum class EarlyStopMetric { kAuc, kRecallAt20 };
+
+/// Knobs shared by every model's training loop.
+struct TrainOptions {
+  int64_t max_epochs = 12;
+  /// Early stopping: stop after this many epochs without eval improvement
+  /// (the paper uses 10 on full-size datasets; presets use less).
+  int64_t patience = 3;
+  int64_t batch_size = 128;
+  uint64_t seed = 1;
+  EarlyStopMetric early_stop_metric = EarlyStopMetric::kAuc;
+  /// Cap on eval-split CTR examples used for per-epoch early stopping.
+  int64_t eval_max_examples = 4000;
+  /// Users sampled for per-epoch Recall@20 early stopping.
+  int64_t eval_topk_users = 60;
+  bool verbose = false;
+};
+
+/// Outcome bookkeeping of a Fit() call (feeds the paper's Table VI).
+struct TrainStats {
+  int64_t epochs_run = 0;
+  /// 1-based epoch with the best eval metric (the paper's "be").
+  int64_t best_epoch = 0;
+  double seconds_per_epoch = 0.0;
+  double total_seconds = 0.0;
+  /// Eval-split metric value at the best epoch (AUC or Recall@20,
+  /// whichever drove early stopping).
+  double best_eval_metric = 0.0;
+  std::vector<double> epoch_losses;
+};
+
+/// Common interface for CG-KGR and all baselines: train on a dataset, then
+/// score arbitrary (user, item) pairs. Implementations restore their
+/// best-epoch parameters before Fit() returns.
+class RecommenderModel : public eval::PairScorer {
+ public:
+  ~RecommenderModel() override = default;
+
+  /// Display/registry name ("CG-KGR", "BPRMF", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains on dataset.train, early-stopping against dataset.eval.
+  virtual Status Fit(const data::Dataset& dataset,
+                     const TrainOptions& options) = 0;
+
+  /// Training statistics of the last Fit().
+  const TrainStats& train_stats() const { return stats_; }
+
+ protected:
+  TrainStats stats_;
+};
+
+}  // namespace models
+}  // namespace cgkgr
+
+#endif  // CGKGR_MODELS_RECOMMENDER_H_

@@ -1,0 +1,49 @@
+#include "models/registry.h"
+
+#include "baselines/bprmf.h"
+#include "baselines/cke.h"
+#include "baselines/ckan.h"
+#include "baselines/kgat.h"
+#include "baselines/kgcn.h"
+#include "baselines/kgnn_ls.h"
+#include "baselines/nfm.h"
+#include "baselines/ripplenet.h"
+#include "common/macros.h"
+#include "core/cgkgr_model.h"
+
+namespace cgkgr {
+namespace models {
+
+std::unique_ptr<RecommenderModel> CreateModel(
+    const std::string& name, const data::PresetHyperParams& hparams) {
+  if (name == "BPRMF") return std::make_unique<baselines::BprMf>(hparams);
+  if (name == "NFM") return std::make_unique<baselines::Nfm>(hparams);
+  if (name == "CKE") return std::make_unique<baselines::Cke>(hparams);
+  if (name == "RippleNet") {
+    return std::make_unique<baselines::RippleNet>(hparams);
+  }
+  if (name == "KGNN-LS") return std::make_unique<baselines::KgnnLs>(hparams);
+  if (name == "KGCN") return std::make_unique<baselines::Kgcn>(hparams);
+  if (name == "KGAT") return std::make_unique<baselines::Kgat>(hparams);
+  if (name == "CKAN") return std::make_unique<baselines::Ckan>(hparams);
+  if (name == "CG-KGR") {
+    return std::make_unique<core::CgKgrModel>(
+        core::CgKgrConfig::FromPreset(hparams));
+  }
+  CGKGR_CHECK_MSG(false, "unknown model %s", name.c_str());
+  return nullptr;
+}
+
+std::vector<std::string> AllModelNames() {
+  return {"BPRMF", "NFM",  "CKE",  "RippleNet", "KGNN-LS",
+          "KGCN",  "KGAT", "CKAN", "CG-KGR"};
+}
+
+std::vector<std::string> CfModelNames() { return {"BPRMF", "NFM"}; }
+
+std::vector<std::string> KgModelNames() {
+  return {"CKE", "RippleNet", "KGNN-LS", "KGCN", "KGAT", "CKAN", "CG-KGR"};
+}
+
+}  // namespace models
+}  // namespace cgkgr

@@ -1,0 +1,32 @@
+#ifndef CGKGR_MODELS_REGISTRY_H_
+#define CGKGR_MODELS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/presets.h"
+#include "models/recommender.h"
+
+namespace cgkgr {
+namespace models {
+
+/// Creates a model by registry name using the given hyper-parameters.
+/// Names (paper order): "BPRMF", "NFM", "CKE", "RippleNet", "KGNN-LS",
+/// "KGCN", "KGAT", "CKAN", "CG-KGR". Fatal on unknown names.
+std::unique_ptr<RecommenderModel> CreateModel(
+    const std::string& name, const data::PresetHyperParams& hparams);
+
+/// All registered model names in the paper's table order.
+std::vector<std::string> AllModelNames();
+
+/// The KG-free collaborative-filtering baselines.
+std::vector<std::string> CfModelNames();
+
+/// The KG-aware models (baselines + CG-KGR).
+std::vector<std::string> KgModelNames();
+
+}  // namespace models
+}  // namespace cgkgr
+
+#endif  // CGKGR_MODELS_REGISTRY_H_

@@ -1,0 +1,119 @@
+#include "models/trainer_util.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace cgkgr {
+namespace models {
+
+void ForEachTrainBatch(
+    const std::vector<graph::Interaction>& train,
+    const std::vector<std::vector<int64_t>>& all_positives, int64_t num_items,
+    int64_t batch_size, Rng* rng,
+    const std::function<void(const TrainBatch&)>& fn) {
+  CGKGR_CHECK(batch_size > 0 && rng != nullptr);
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  TrainBatch batch;
+  for (size_t begin = 0; begin < order.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(order.size(), begin + static_cast<size_t>(batch_size));
+    batch.users.clear();
+    batch.positive_items.clear();
+    batch.negative_items.clear();
+    for (size_t i = begin; i < end; ++i) {
+      const graph::Interaction& x = train[order[i]];
+      batch.users.push_back(x.user);
+      batch.positive_items.push_back(x.item);
+      batch.negative_items.push_back(
+          data::SampleNegativeItem(all_positives, x.user, num_items, rng));
+    }
+    fn(batch);
+  }
+}
+
+Status RunTrainingLoop(eval::PairScorer* scorer, nn::ParameterStore* store,
+                       const data::Dataset& dataset,
+                       const TrainOptions& options,
+                       const std::function<double(Rng*)>& run_epoch,
+                       TrainStats* stats) {
+  CGKGR_CHECK(scorer != nullptr && store != nullptr && stats != nullptr);
+  if (dataset.train.empty()) {
+    return Status::InvalidArgument("dataset has no training interactions");
+  }
+  *stats = TrainStats{};
+
+  // Fixed eval-split CTR examples for a comparable per-epoch signal.
+  Rng eval_rng(options.seed ^ 0x5151515151515151ULL);
+  const auto all_positives = dataset.BuildAllPositives();
+  std::vector<data::CtrExample> eval_examples = data::MakeCtrExamples(
+      dataset.eval, all_positives, dataset.num_items, &eval_rng);
+  if (options.eval_max_examples > 0 &&
+      static_cast<int64_t>(eval_examples.size()) > options.eval_max_examples) {
+    eval_rng.Shuffle(&eval_examples);
+    eval_examples.resize(static_cast<size_t>(options.eval_max_examples));
+  }
+  // Recall@20 early stopping ranks the eval split with train items masked.
+  eval::TopKOptions topk_options;
+  topk_options.ks = {20};
+  topk_options.max_users = options.eval_topk_users;
+  topk_options.user_sample_seed = options.seed ^ 0x1313131313131313ULL;
+  const auto train_positives = dataset.BuildTrainPositives();
+  auto eval_metric = [&]() {
+    if (options.early_stop_metric == EarlyStopMetric::kRecallAt20) {
+      const eval::TopKResult result = eval::EvaluateTopK(
+          scorer, dataset, dataset.eval, train_positives, topk_options);
+      return result.recall.at(20);
+    }
+    return eval_examples.empty()
+               ? 0.0
+               : eval::EvaluateCtr(scorer, eval_examples).auc;
+  };
+
+  Rng train_rng(options.seed);
+  std::vector<tensor::Tensor> best_snapshot;
+  int64_t best_epoch = 0;
+  double best_metric = -1.0;
+  WallTimer total_timer;
+  double epoch_seconds_sum = 0.0;
+
+  for (int64_t epoch = 1; epoch <= options.max_epochs; ++epoch) {
+    WallTimer epoch_timer;
+    Rng epoch_rng = train_rng.Fork();
+    const double loss = run_epoch(&epoch_rng);
+    epoch_seconds_sum += epoch_timer.ElapsedSeconds();
+    stats->epoch_losses.push_back(loss);
+    stats->epochs_run = epoch;
+
+    const double metric = eval_metric();
+    if (options.verbose) {
+      CGKGR_LOG(Info) << dataset.name << " epoch " << epoch << " loss " << loss
+                      << " eval-metric " << metric;
+    }
+    if (metric > best_metric) {
+      best_metric = metric;
+      best_epoch = epoch;
+      best_snapshot = store->SnapshotValues();
+    } else if (epoch - best_epoch >= options.patience) {
+      break;
+    }
+  }
+
+  if (!best_snapshot.empty()) store->RestoreValues(best_snapshot);
+  stats->best_epoch = best_epoch;
+  stats->best_eval_metric = best_metric;
+  stats->total_seconds = total_timer.ElapsedSeconds();
+  stats->seconds_per_epoch =
+      stats->epochs_run > 0
+          ? epoch_seconds_sum / static_cast<double>(stats->epochs_run)
+          : 0.0;
+  return Status::OK();
+}
+
+}  // namespace models
+}  // namespace cgkgr

@@ -1,0 +1,48 @@
+#ifndef CGKGR_MODELS_TRAINER_UTIL_H_
+#define CGKGR_MODELS_TRAINER_UTIL_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "models/recommender.h"
+#include "nn/parameter.h"
+
+namespace cgkgr {
+namespace models {
+
+/// One shuffled mini-batch of training pairs with freshly resampled
+/// negatives (the paper's |Y+| = |Y-| protocol with on-the-fly updates).
+struct TrainBatch {
+  std::vector<int64_t> users;
+  std::vector<int64_t> positive_items;
+  std::vector<int64_t> negative_items;
+};
+
+/// Shuffles the train split and invokes `fn` once per mini-batch with one
+/// negative per positive, resampled per epoch.
+void ForEachTrainBatch(
+    const std::vector<graph::Interaction>& train,
+    const std::vector<std::vector<int64_t>>& all_positives, int64_t num_items,
+    int64_t batch_size, Rng* rng,
+    const std::function<void(const TrainBatch&)>& fn);
+
+/// Shared training-loop skeleton: runs `run_epoch` up to max_epochs times,
+/// evaluates eval-split CTR AUC after every epoch via `scorer`, keeps the
+/// best-epoch parameter snapshot of `store`, early-stops after `patience`
+/// non-improving epochs, restores the best snapshot, and fills `stats`
+/// (loss curve, time per epoch, best epoch).
+///
+/// `run_epoch(epoch_rng)` performs one pass over the training data and
+/// returns the mean batch loss.
+Status RunTrainingLoop(eval::PairScorer* scorer, nn::ParameterStore* store,
+                       const data::Dataset& dataset,
+                       const TrainOptions& options,
+                       const std::function<double(Rng*)>& run_epoch,
+                       TrainStats* stats);
+
+}  // namespace models
+}  // namespace cgkgr
+
+#endif  // CGKGR_MODELS_TRAINER_UTIL_H_

@@ -1,0 +1,55 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace nn {
+
+AdamOptimizer::AdamOptimizer(std::vector<autograd::Variable> parameters,
+                             AdamOptions options)
+    : parameters_(std::move(parameters)), options_(options) {
+  m_.reserve(parameters_.size());
+  v_.reserve(parameters_.size());
+  for (const auto& param : parameters_) {
+    CGKGR_CHECK(param.defined() && param.requires_grad());
+    m_.emplace_back(param.value().shape());
+    v_.emplace_back(param.value().shape());
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(step_count_));
+  for (size_t p = 0; p < parameters_.size(); ++p) {
+    autograd::Variable& param = parameters_[p];
+    tensor::Tensor& value = *param.mutable_value();
+    tensor::Tensor& grad = param.grad();
+    float* w = value.data();
+    float* g = grad.data();
+    float* m = m_[p].data();
+    float* v = v_[p].data();
+    const int64_t n = value.size();
+    for (int64_t i = 0; i < n; ++i) {
+      const float gi = g[i] + options_.l2 * w[i];
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * gi;
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * gi * gi;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      w[i] -= options_.learning_rate * m_hat /
+              (std::sqrt(v_hat) + options_.epsilon);
+    }
+    grad.Zero();
+  }
+}
+
+void AdamOptimizer::ZeroGrads() {
+  for (auto& param : parameters_) param.ZeroGrad();
+}
+
+}  // namespace nn
+}  // namespace cgkgr

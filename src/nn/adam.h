@@ -1,0 +1,52 @@
+#ifndef CGKGR_NN_ADAM_H_
+#define CGKGR_NN_ADAM_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace cgkgr {
+namespace nn {
+
+/// Hyper-parameters for AdamOptimizer.
+struct AdamOptions {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  /// L2 regularization strength; applied as `grad += l2 * value` before the
+  /// Adam update. This realizes the paper's lambda*||Theta||^2 term (Eq. 22)
+  /// with the constant factor 2 absorbed into the coefficient.
+  float l2 = 0.0f;
+};
+
+/// Adam optimizer (Kingma & Ba, 2014), the paper's optimizer of choice
+/// (Sec. IV-C). Updates every parameter in the provided list each Step();
+/// gradients are zeroed after the update.
+class AdamOptimizer {
+ public:
+  AdamOptimizer(std::vector<autograd::Variable> parameters,
+                AdamOptions options);
+
+  /// Applies one update using the currently accumulated gradients, then
+  /// zeroes them.
+  void Step();
+
+  /// Zeroes gradients without updating (e.g. after a skipped batch).
+  void ZeroGrads();
+
+  /// Mutable options (allows learning-rate schedules).
+  AdamOptions* mutable_options() { return &options_; }
+
+ private:
+  std::vector<autograd::Variable> parameters_;
+  AdamOptions options_;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace nn
+}  // namespace cgkgr
+
+#endif  // CGKGR_NN_ADAM_H_

@@ -1,0 +1,19 @@
+#include "nn/embedding.h"
+
+namespace cgkgr {
+namespace nn {
+
+EmbeddingTable::EmbeddingTable(ParameterStore* store, const std::string& name,
+                               int64_t count, int64_t dim, Rng* rng)
+    : count_(count), dim_(dim) {
+  CGKGR_CHECK(store != nullptr && count > 0 && dim > 0);
+  table_ = store->Create(name, {count, dim}, Init::kXavierUniform, rng);
+}
+
+autograd::Variable EmbeddingTable::Lookup(
+    std::vector<int64_t> indices) const {
+  return autograd::Gather(table_, std::move(indices));
+}
+
+}  // namespace nn
+}  // namespace cgkgr

@@ -1,0 +1,41 @@
+#ifndef CGKGR_NN_EMBEDDING_H_
+#define CGKGR_NN_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/parameter.h"
+
+namespace cgkgr {
+namespace nn {
+
+/// A trainable lookup table of row embeddings.
+class EmbeddingTable {
+ public:
+  /// Creates table `name` of `count` rows with dimension `dim` inside
+  /// `store` using Xavier-uniform initialization.
+  EmbeddingTable(ParameterStore* store, const std::string& name,
+                 int64_t count, int64_t dim, Rng* rng);
+
+  /// Gathers the rows at `indices`, shape (|indices|, dim).
+  autograd::Variable Lookup(std::vector<int64_t> indices) const;
+
+  /// The underlying (count, dim) parameter.
+  const autograd::Variable& table() const { return table_; }
+
+  /// Number of rows.
+  int64_t count() const { return count_; }
+  /// Embedding dimension.
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t count_;
+  int64_t dim_;
+  autograd::Variable table_;
+};
+
+}  // namespace nn
+}  // namespace cgkgr
+
+#endif  // CGKGR_NN_EMBEDDING_H_

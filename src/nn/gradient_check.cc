@@ -1,0 +1,48 @@
+#include "nn/gradient_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace nn {
+
+GradientCheckResult CheckGradient(
+    const std::function<autograd::Variable()>& loss_fn,
+    autograd::Variable input, float epsilon, int64_t max_entries) {
+  CGKGR_CHECK(input.defined() && input.requires_grad());
+
+  // Analytic gradient.
+  input.ZeroGrad();
+  autograd::Variable loss = loss_fn();
+  CGKGR_CHECK(loss.value().size() == 1);
+  loss.Backward();
+  tensor::Tensor analytic = input.grad().Clone();
+  input.ZeroGrad();
+
+  GradientCheckResult result;
+  tensor::Tensor& value = *input.mutable_value();
+  const int64_t n = std::min<int64_t>(value.size(), max_entries);
+  // Finite differences only need forward values; skip tape recording.
+  autograd::NoGradGuard no_grad;
+  for (int64_t i = 0; i < n; ++i) {
+    const float original = value[i];
+    value[i] = original + epsilon;
+    const float plus = loss_fn().value()[0];
+    value[i] = original - epsilon;
+    const float minus = loss_fn().value()[0];
+    value[i] = original;
+    const float numeric = (plus - minus) / (2.0f * epsilon);
+    const float a = analytic[i];
+    const float abs_err = std::abs(a - numeric);
+    const float denom = std::max({std::abs(a), std::abs(numeric), 1e-4f});
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    ++result.checked;
+  }
+  return result;
+}
+
+}  // namespace nn
+}  // namespace cgkgr

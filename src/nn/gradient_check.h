@@ -1,0 +1,36 @@
+#ifndef CGKGR_NN_GRADIENT_CHECK_H_
+#define CGKGR_NN_GRADIENT_CHECK_H_
+
+#include <functional>
+
+#include "autograd/variable.h"
+
+namespace cgkgr {
+namespace nn {
+
+/// Result of a finite-difference gradient verification.
+struct GradientCheckResult {
+  /// Largest |analytic - numeric| across checked elements.
+  float max_abs_error = 0.0f;
+  /// Largest relative error max(|a-n| / max(|a|,|n|,eps)).
+  float max_rel_error = 0.0f;
+  /// Number of scalar entries compared.
+  int64_t checked = 0;
+};
+
+/// Compares the autograd gradient of `loss_fn` w.r.t. `input` against a
+/// central finite difference. `loss_fn` must be a pure function of the
+/// current parameter values that returns a scalar Variable; it is invoked
+/// repeatedly with perturbed values of `input`.
+///
+/// `max_entries` bounds the number of probed elements (the first ones in
+/// flat order) to keep runtime reasonable for large tensors.
+GradientCheckResult CheckGradient(
+    const std::function<autograd::Variable()>& loss_fn,
+    autograd::Variable input, float epsilon = 1e-3f,
+    int64_t max_entries = 64);
+
+}  // namespace nn
+}  // namespace cgkgr
+
+#endif  // CGKGR_NN_GRADIENT_CHECK_H_

@@ -1,0 +1,79 @@
+#include "nn/parameter.h"
+
+#include "common/macros.h"
+#include "tensor/init.h"
+
+namespace cgkgr {
+namespace nn {
+
+autograd::Variable ParameterStore::Create(const std::string& name,
+                                          std::vector<int64_t> shape,
+                                          Init init, Rng* rng) {
+  CGKGR_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                  "duplicate parameter name %s", name.c_str());
+  tensor::Tensor value(std::move(shape));
+  switch (init) {
+    case Init::kZeros:
+      break;
+    case Init::kXavierUniform:
+      CGKGR_CHECK(rng != nullptr);
+      tensor::XavierUniform(&value, rng);
+      break;
+    case Init::kSmallNormal:
+      CGKGR_CHECK(rng != nullptr);
+      tensor::NormalInit(&value, rng, 0.0f, 0.01f);
+      break;
+  }
+  autograd::Variable param(std::move(value), /*requires_grad=*/true);
+  by_name_[name] = parameters_.size();
+  parameters_.push_back(param);
+  return param;
+}
+
+autograd::Variable ParameterStore::Get(const std::string& name) const {
+  auto it = by_name_.find(name);
+  CGKGR_CHECK_MSG(it != by_name_.end(), "unknown parameter %s", name.c_str());
+  return parameters_[it->second];
+}
+
+bool ParameterStore::Contains(const std::string& name) const {
+  return by_name_.find(name) != by_name_.end();
+}
+
+void ParameterStore::ZeroGrads() {
+  for (auto& param : parameters_) param.ZeroGrad();
+}
+
+int64_t ParameterStore::TotalSize() const {
+  int64_t total = 0;
+  for (const auto& param : parameters_) total += param.value().size();
+  return total;
+}
+
+std::vector<std::string> ParameterStore::Names() const {
+  std::vector<std::string> names(parameters_.size());
+  for (const auto& [name, index] : by_name_) names[index] = name;
+  return names;
+}
+
+std::vector<tensor::Tensor> ParameterStore::SnapshotValues() const {
+  std::vector<tensor::Tensor> snapshot;
+  snapshot.reserve(parameters_.size());
+  for (const auto& param : parameters_) {
+    snapshot.push_back(param.value().Clone());
+  }
+  return snapshot;
+}
+
+void ParameterStore::RestoreValues(
+    const std::vector<tensor::Tensor>& snapshot) {
+  CGKGR_CHECK_MSG(snapshot.size() == parameters_.size(),
+                  "snapshot arity mismatch");
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    CGKGR_CHECK(snapshot[i].SameShape(parameters_[i].value()));
+    *parameters_[i].mutable_value() = snapshot[i].Clone();
+  }
+}
+
+}  // namespace nn
+}  // namespace cgkgr

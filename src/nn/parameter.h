@@ -1,0 +1,67 @@
+#ifndef CGKGR_NN_PARAMETER_H_
+#define CGKGR_NN_PARAMETER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/rng.h"
+
+namespace cgkgr {
+namespace nn {
+
+/// Initialization scheme for a freshly created parameter.
+enum class Init {
+  kZeros,
+  kXavierUniform,
+  /// Small normal noise (stddev 0.01); used where Xavier is too large.
+  kSmallNormal,
+};
+
+/// Owns a model's trainable parameters: creates them with an initializer,
+/// hands out Variable handles, and exposes the flat list the optimizer
+/// iterates over.
+class ParameterStore {
+ public:
+  /// Creates `rng`-initialized parameter `name` with the given shape.
+  /// Names must be unique within the store.
+  autograd::Variable Create(const std::string& name,
+                            std::vector<int64_t> shape, Init init, Rng* rng);
+
+  /// Returns the parameter registered under `name`; fatal if absent.
+  autograd::Variable Get(const std::string& name) const;
+
+  /// True when `name` is registered.
+  bool Contains(const std::string& name) const;
+
+  /// All parameters in creation order (optimizer iteration order).
+  const std::vector<autograd::Variable>& parameters() const {
+    return parameters_;
+  }
+
+  /// Parameter names in creation order (parallel to parameters()).
+  std::vector<std::string> Names() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrads();
+
+  /// Total number of trainable scalars.
+  int64_t TotalSize() const;
+
+  /// Deep-copies every parameter value (for best-epoch checkpointing).
+  std::vector<tensor::Tensor> SnapshotValues() const;
+
+  /// Restores values captured by SnapshotValues(); parameter set must not
+  /// have changed in between.
+  void RestoreValues(const std::vector<tensor::Tensor>& snapshot);
+
+ private:
+  std::map<std::string, size_t> by_name_;
+  std::vector<autograd::Variable> parameters_;
+};
+
+}  // namespace nn
+}  // namespace cgkgr
+
+#endif  // CGKGR_NN_PARAMETER_H_

@@ -1,0 +1,25 @@
+#ifndef CGKGR_NN_SERIALIZE_H_
+#define CGKGR_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/parameter.h"
+
+namespace cgkgr {
+namespace nn {
+
+/// Writes every parameter of `store` (names, shapes, values) to `path` in a
+/// versioned text format. Float values use hexadecimal float literals, so
+/// the round-trip is bit-exact.
+Status SaveParameters(const ParameterStore& store, const std::string& path);
+
+/// Loads parameter values saved by SaveParameters into `store`. The store
+/// must already contain parameters with matching names and shapes (i.e.
+/// the model must be constructed/prepared identically first).
+Status LoadParameters(ParameterStore* store, const std::string& path);
+
+}  // namespace nn
+}  // namespace cgkgr
+
+#endif  // CGKGR_NN_SERIALIZE_H_

@@ -1,0 +1,38 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace cgkgr {
+namespace tensor {
+
+void XavierUniform(Tensor* t, Rng* rng) {
+  CGKGR_CHECK(t != nullptr && rng != nullptr);
+  int64_t fan_in = 1;
+  int64_t fan_out = 1;
+  const int rank = t->rank();
+  if (rank >= 2) {
+    fan_in = t->dim(-2);
+    fan_out = t->dim(-1);
+  } else if (rank == 1) {
+    fan_in = t->dim(0);
+    fan_out = 1;
+  }
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  UniformInit(t, rng, -bound, bound);
+}
+
+void UniformInit(Tensor* t, Rng* rng, float lo, float hi) {
+  CGKGR_CHECK(t != nullptr && rng != nullptr);
+  float* data = t->data();
+  for (int64_t i = 0; i < t->size(); ++i) data[i] = rng->Uniform(lo, hi);
+}
+
+void NormalInit(Tensor* t, Rng* rng, float mean, float stddev) {
+  CGKGR_CHECK(t != nullptr && rng != nullptr);
+  float* data = t->data();
+  for (int64_t i = 0; i < t->size(); ++i) data[i] = rng->Normal(mean, stddev);
+}
+
+}  // namespace tensor
+}  // namespace cgkgr

@@ -1,0 +1,24 @@
+#ifndef CGKGR_TENSOR_INIT_H_
+#define CGKGR_TENSOR_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace cgkgr {
+namespace tensor {
+
+/// Fills `t` with Xavier/Glorot-uniform values. `fan_in`/`fan_out` default to
+/// the tensor's last two dimensions (rows/cols for matrices, size/1 for
+/// vectors). This is the paper's default initializer (Sec. IV-C).
+void XavierUniform(Tensor* t, Rng* rng);
+
+/// Fills `t` with i.i.d. uniform values in [lo, hi).
+void UniformInit(Tensor* t, Rng* rng, float lo, float hi);
+
+/// Fills `t` with i.i.d. normal values.
+void NormalInit(Tensor* t, Rng* rng, float mean, float stddev);
+
+}  // namespace tensor
+}  // namespace cgkgr
+
+#endif  // CGKGR_TENSOR_INIT_H_

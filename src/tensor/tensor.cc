@@ -1,0 +1,99 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cgkgr {
+namespace tensor {
+
+int64_t ShapeVolume(const std::vector<int64_t>& shape) {
+  int64_t volume = 1;
+  for (int64_t d : shape) {
+    CGKGR_CHECK(d >= 0);
+    volume *= d;
+  }
+  return volume;
+}
+
+Tensor::Tensor() : size_(0), data_(std::make_shared<std::vector<float>>()) {}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      size_(ShapeVolume(shape_)),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(size_), 0.0f)) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)), size_(ShapeVolume(shape_)) {
+  CGKGR_CHECK_MSG(static_cast<int64_t>(values.size()) == size_,
+                  "value count %zu does not match shape volume %lld",
+                  values.size(), static_cast<long long>(size_));
+  data_ = std::make_shared<std::vector<float>>(std::move(values));
+}
+
+Tensor Tensor::Scalar(float value) { return Tensor({1}, {value}); }
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+int64_t Tensor::dim(int d) const {
+  const int r = rank();
+  if (d < 0) d += r;
+  CGKGR_CHECK(d >= 0 && d < r);
+  return shape_[static_cast<size_t>(d)];
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+Tensor Tensor::Clone() const {
+  Tensor out;
+  out.shape_ = shape_;
+  out.size_ = size_;
+  out.data_ = std::make_shared<std::vector<float>>(*data_);
+  return out;
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  CGKGR_CHECK_MSG(ShapeVolume(new_shape) == size_,
+                  "reshape volume mismatch: %lld vs %lld",
+                  static_cast<long long>(ShapeVolume(new_shape)),
+                  static_cast<long long>(size_));
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.size_ = size_;
+  out.data_ = data_;
+  return out;
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(shape_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string Tensor::ToString(int64_t max_elements) const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeString() << " {";
+  const int64_t n = std::min<int64_t>(size_, max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << (*data_)[static_cast<size_t>(i)];
+  }
+  if (size_ > n) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace tensor
+}  // namespace cgkgr

@@ -1,0 +1,118 @@
+#ifndef CGKGR_TENSOR_TENSOR_H_
+#define CGKGR_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace tensor {
+
+/// Dense row-major float tensor with shared storage.
+///
+/// `Tensor` is a reference type (copies share the underlying buffer, like
+/// Arrow buffers); use Clone() for a deep copy. Rank is arbitrary but the
+/// library mostly manipulates rank-1 and rank-2 tensors; rank-3 shapes are
+/// carried as metadata over the same flat storage.
+class Tensor {
+ public:
+  /// Constructs an empty (rank-0, zero-element) tensor.
+  Tensor();
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Wraps existing values; `values.size()` must equal the shape volume.
+  Tensor(std::vector<int64_t> shape, std::vector<float> values);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  /// Convenience factory for a scalar (rank-1, single element) tensor.
+  static Tensor Scalar(float value);
+
+  /// Tensor of the given shape filled with `value`.
+  static Tensor Full(std::vector<int64_t> shape, float value);
+
+  /// The shape vector.
+  const std::vector<int64_t>& shape() const { return shape_; }
+
+  /// Number of dimensions.
+  int rank() const { return static_cast<int>(shape_.size()); }
+
+  /// Size of dimension `dim` (supports negative indices from the end).
+  int64_t dim(int d) const;
+
+  /// Total number of elements.
+  int64_t size() const { return size_; }
+
+  /// True when no elements are stored.
+  bool empty() const { return size_ == 0; }
+
+  /// Mutable flat data pointer.
+  float* data() { return data_->data(); }
+  /// Const flat data pointer.
+  const float* data() const { return data_->data(); }
+
+  /// Flat element access.
+  float& operator[](int64_t i) {
+    CGKGR_DCHECK(i >= 0 && i < size_);
+    return (*data_)[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    CGKGR_DCHECK(i >= 0 && i < size_);
+    return (*data_)[static_cast<size_t>(i)];
+  }
+
+  /// Rank-2 element access (row, col).
+  float& at(int64_t row, int64_t col) {
+    CGKGR_DCHECK(rank() == 2);
+    CGKGR_DCHECK(row >= 0 && row < shape_[0] && col >= 0 && col < shape_[1]);
+    return (*data_)[static_cast<size_t>(row * shape_[1] + col)];
+  }
+  float at(int64_t row, int64_t col) const {
+    CGKGR_DCHECK(rank() == 2);
+    CGKGR_DCHECK(row >= 0 && row < shape_[0] && col >= 0 && col < shape_[1]);
+    return (*data_)[static_cast<size_t>(row * shape_[1] + col)];
+  }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Sets every element to zero.
+  void Zero() { Fill(0.0f); }
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  /// Returns a tensor sharing this storage but viewed under a new shape.
+  /// The new shape must have the same volume.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  /// True when shapes are identical.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Human-readable shape, e.g. "[3, 4]".
+  std::string ShapeString() const;
+
+  /// Debug rendering of shape and (truncated) contents.
+  std::string ToString(int64_t max_elements = 16) const;
+
+ private:
+  std::vector<int64_t> shape_;
+  int64_t size_ = 0;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+/// Volume of a shape vector (product of dimensions; 1 for rank-0).
+int64_t ShapeVolume(const std::vector<int64_t>& shape);
+
+}  // namespace tensor
+}  // namespace cgkgr
+
+#endif  // CGKGR_TENSOR_TENSOR_H_

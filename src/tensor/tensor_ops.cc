@@ -1,0 +1,122 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+namespace cgkgr {
+namespace tensor {
+
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c) {
+  // Scale or clear the destination first.
+  if (beta == 0.0f) {
+    for (int64_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  } else if (beta != 1.0f) {
+    ScaleInPlace(m * n, beta, c);
+  }
+  // i-k-j loop order keeps the inner loop contiguous for the common
+  // non-transposed case.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float a_ik =
+          alpha * (trans_a ? a[kk * m + i] : a[i * k + kk]);
+      if (a_ik == 0.0f) continue;
+      const float* b_row = trans_b ? nullptr : b + kk * n;
+      float* c_row = c + i * n;
+      if (!trans_b) {
+        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+      } else {
+        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ik * b[j * k + kk];
+      }
+    }
+  }
+}
+
+void Axpy(int64_t n, float alpha, const float* x, float* y) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleInPlace(int64_t n, float alpha, float* x) {
+  for (int64_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void Add(int64_t n, const float* a, const float* b, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void Sub(int64_t n, const float* a, const float* b, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void Mul(int64_t n, const float* a, const float* b, float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void AddRowVector(int64_t rows, int64_t cols, const float* v, float* x) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    for (int64_t c = 0; c < cols; ++c) row[c] += v[c];
+  }
+}
+
+void RowDot(int64_t rows, int64_t cols, const float* a, const float* b,
+            float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    out[r] = Dot(cols, a + r * cols, b + r * cols);
+  }
+}
+
+void RowScale(int64_t rows, int64_t cols, const float* x, const float* s,
+              float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float factor = s[r];
+    const float* in_row = x + r * cols;
+    float* out_row = out + r * cols;
+    for (int64_t c = 0; c < cols; ++c) out_row[c] = factor * in_row[c];
+  }
+}
+
+void SegmentSoftmax(int64_t segments, int64_t segment, const float* x,
+                    float* out) {
+  for (int64_t s = 0; s < segments; ++s) {
+    const float* in = x + s * segment;
+    float* o = out + s * segment;
+    float max_value = in[0];
+    for (int64_t i = 1; i < segment; ++i) {
+      if (in[i] > max_value) max_value = in[i];
+    }
+    float total = 0.0f;
+    for (int64_t i = 0; i < segment; ++i) {
+      o[i] = std::exp(in[i] - max_value);
+      total += o[i];
+    }
+    const float inv = 1.0f / total;
+    for (int64_t i = 0; i < segment; ++i) o[i] *= inv;
+  }
+}
+
+float Sum(int64_t n, const float* x) {
+  float total = 0.0f;
+  for (int64_t i = 0; i < n; ++i) total += x[i];
+  return total;
+}
+
+float Dot(int64_t n, const float* a, const float* b) {
+  float total = 0.0f;
+  for (int64_t i = 0; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+float SquaredNorm(int64_t n, const float* x) { return Dot(n, x, x); }
+
+float Sigmoid(float x) {
+  // Split by sign for numerical stability.
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+}  // namespace tensor
+}  // namespace cgkgr

@@ -1,0 +1,66 @@
+#ifndef CGKGR_TENSOR_TENSOR_OPS_H_
+#define CGKGR_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace cgkgr {
+namespace tensor {
+
+/// \file
+/// Numeric kernels shared by the autograd ops. All kernels are plain
+/// single-threaded loops; shapes are validated by CGKGR_CHECK.
+
+/// C = alpha * op(A) * op(B) + beta * C, where op transposes when the flag is
+/// set. A is (m, k) pre-op, B is (k, n) pre-op, C is (m, n).
+void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c);
+
+/// y += alpha * x over n elements.
+void Axpy(int64_t n, float alpha, const float* x, float* y);
+
+/// x *= alpha over n elements.
+void ScaleInPlace(int64_t n, float alpha, float* x);
+
+/// out[i] = a[i] + b[i].
+void Add(int64_t n, const float* a, const float* b, float* out);
+
+/// out[i] = a[i] - b[i].
+void Sub(int64_t n, const float* a, const float* b, float* out);
+
+/// out[i] = a[i] * b[i].
+void Mul(int64_t n, const float* a, const float* b, float* out);
+
+/// Adds row vector `v` (length cols) to every row of `x` (rows x cols).
+void AddRowVector(int64_t rows, int64_t cols, const float* v, float* x);
+
+/// out[r] = dot(a_row_r, b_row_r) for row-major (rows x cols) inputs.
+void RowDot(int64_t rows, int64_t cols, const float* a, const float* b,
+            float* out);
+
+/// Scales row r of `x` (rows x cols) by s[r], writing into out.
+void RowScale(int64_t rows, int64_t cols, const float* x, const float* s,
+              float* out);
+
+/// Numerically stable softmax over each consecutive segment of length
+/// `segment` in `x` (total length = segments * segment).
+void SegmentSoftmax(int64_t segments, int64_t segment, const float* x,
+                    float* out);
+
+/// Sum of all n elements.
+float Sum(int64_t n, const float* x);
+
+/// Dot product of two length-n vectors.
+float Dot(int64_t n, const float* a, const float* b);
+
+/// Squared L2 norm of a length-n vector.
+float SquaredNorm(int64_t n, const float* x);
+
+/// Scalar sigmoid.
+float Sigmoid(float x);
+
+}  // namespace tensor
+}  // namespace cgkgr
+
+#endif  // CGKGR_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,407 @@
+// Tests for the autograd engine: forward values of every op plus
+// finite-difference gradient verification (the property every op must
+// satisfy), tape mechanics (shared sub-graphs, grad accumulation), and
+// gradient-mode switching.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "nn/gradient_check.h"
+#include "tensor/init.h"
+
+namespace cgkgr {
+namespace autograd {
+namespace {
+
+tensor::Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed,
+                            float lo = -1.0f, float hi = 1.0f) {
+  Rng rng(seed);
+  tensor::Tensor t(std::move(shape));
+  tensor::UniformInit(&t, &rng, lo, hi);
+  return t;
+}
+
+/// Asserts the analytic gradient of `loss_fn` w.r.t. `input` matches finite
+/// differences.
+void ExpectGradientsMatch(const std::function<Variable()>& loss_fn,
+                          Variable input, float tolerance = 2e-2f) {
+  const nn::GradientCheckResult result = nn::CheckGradient(loss_fn, input);
+  EXPECT_GT(result.checked, 0);
+  // Relative error is meaningless for near-zero gradients where float32
+  // finite differences bottom out; accept either criterion.
+  EXPECT_TRUE(result.max_rel_error < tolerance ||
+              result.max_abs_error < 1e-4f)
+      << "max_rel_error=" << result.max_rel_error
+      << " max_abs_error=" << result.max_abs_error;
+}
+
+// --- forward correctness ---
+
+TEST(OpsForwardTest, GatherPicksRows) {
+  Variable table(tensor::Tensor({3, 2}, {1, 2, 3, 4, 5, 6}), true);
+  Variable out = Gather(table, {2, 0, 2});
+  EXPECT_EQ(out.value().ShapeString(), "[3, 2]");
+  EXPECT_FLOAT_EQ(out.value().at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.value().at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(out.value().at(2, 1), 6.0f);
+}
+
+TEST(OpsForwardTest, GatherBackwardScatterAddsRepeats) {
+  Variable table(tensor::Tensor({3, 2}), true);
+  Variable out = Gather(table, {1, 1, 1});
+  Variable loss = SumAll(out);
+  loss.Backward();
+  // Row 1 gathered three times -> gradient 3 in each of its columns.
+  EXPECT_FLOAT_EQ(table.grad().at(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(table.grad().at(0, 0), 0.0f);
+}
+
+TEST(OpsForwardTest, RowRepeatLayout) {
+  Variable x(tensor::Tensor({2, 2}, {1, 2, 3, 4}), true);
+  Variable out = RowRepeat(x, 3);
+  EXPECT_EQ(out.value().dim(0), 6);
+  EXPECT_FLOAT_EQ(out.value().at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.value().at(2, 1), 2.0f);
+  EXPECT_FLOAT_EQ(out.value().at(3, 0), 3.0f);
+}
+
+TEST(OpsForwardTest, MatMulSmall) {
+  Variable a(tensor::Tensor({2, 2}, {1, 2, 3, 4}), true);
+  Variable b(tensor::Tensor({2, 2}, {5, 6, 7, 8}), true);
+  Variable c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.value().at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.value().at(1, 1), 50.0f);
+}
+
+TEST(OpsForwardTest, SegmentSoftmaxSumsToOne) {
+  Variable x(RandomTensor({12}, 3), true);
+  Variable y = SegmentSoftmax(x, 4);
+  for (int s = 0; s < 3; ++s) {
+    float total = 0.0f;
+    for (int i = 0; i < 4; ++i) total += y.value()[s * 4 + i];
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsForwardTest, SegmentWeightedSumPools) {
+  Variable values(tensor::Tensor({4, 2}, {1, 0, 0, 1, 2, 2, 4, 4}), true);
+  Variable weights(tensor::Tensor({4}, {0.5f, 0.5f, 1.0f, 0.0f}), true);
+  Variable pooled = SegmentWeightedSum(values, weights, 2);
+  EXPECT_EQ(pooled.value().dim(0), 2);
+  EXPECT_FLOAT_EQ(pooled.value().at(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(pooled.value().at(0, 1), 0.5f);
+  EXPECT_FLOAT_EQ(pooled.value().at(1, 0), 2.0f);
+}
+
+TEST(OpsForwardTest, PairwiseMaxTakesElementwiseMax) {
+  Variable a(tensor::Tensor({3}, {1, 5, -2}), true);
+  Variable b(tensor::Tensor({3}, {2, 3, -1}), true);
+  Variable m = PairwiseMax(a, b);
+  EXPECT_FLOAT_EQ(m.value()[0], 2.0f);
+  EXPECT_FLOAT_EQ(m.value()[1], 5.0f);
+  EXPECT_FLOAT_EQ(m.value()[2], -1.0f);
+}
+
+TEST(OpsForwardTest, BCEWithLogitsMatchesManual) {
+  Variable logits(tensor::Tensor({2}, {0.0f, 2.0f}), true);
+  Variable loss = BCEWithLogits(logits, {1.0f, 0.0f});
+  const float expected =
+      (-std::log(0.5f) + (-std::log(1.0f - 1.0f / (1.0f + std::exp(-2.0f))))) /
+      2.0f;
+  EXPECT_NEAR(loss.value()[0], expected, 1e-5f);
+}
+
+TEST(OpsForwardTest, BPRLossMatchesManual) {
+  Variable pos(tensor::Tensor({1}, {1.0f}), true);
+  Variable neg(tensor::Tensor({1}, {0.0f}), true);
+  Variable loss = BPRLoss(pos, neg);
+  EXPECT_NEAR(loss.value()[0], std::log1p(std::exp(-1.0f)), 1e-5f);
+}
+
+TEST(OpsForwardTest, RelationMatMulUsesPerRowMatrix) {
+  // Two relations: identity-ish and doubling.
+  tensor::Tensor mats({2, 2, 2}, {1, 0, 0, 1, 2, 0, 0, 2});
+  Variable m(mats, true);
+  Variable x(tensor::Tensor({2, 2}, {1, 2, 3, 4}), true);
+  Variable out = RelationMatMul(x, {0, 1}, m);
+  EXPECT_FLOAT_EQ(out.value().at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.value().at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(out.value().at(1, 0), 6.0f);
+  EXPECT_FLOAT_EQ(out.value().at(1, 1), 8.0f);
+}
+
+// --- gradient checks for every op ---
+
+TEST(GradCheckTest, Gather) {
+  Variable table(RandomTensor({5, 3}, 11), true);
+  ExpectGradientsMatch(
+      [&] { return SumAll(Tanh(Gather(table, {0, 2, 2, 4}))); }, table);
+}
+
+TEST(GradCheckTest, RowRepeat) {
+  Variable x(RandomTensor({3, 2}, 12), true);
+  ExpectGradientsMatch([&] { return SumAll(Tanh(RowRepeat(x, 4))); }, x);
+}
+
+TEST(GradCheckTest, MatMulBothSides) {
+  Variable a(RandomTensor({3, 4}, 13), true);
+  Variable b(RandomTensor({4, 2}, 14), true);
+  ExpectGradientsMatch([&] { return SumAll(Tanh(MatMul(a, b))); }, a);
+  ExpectGradientsMatch([&] { return SumAll(Tanh(MatMul(a, b))); }, b);
+}
+
+TEST(GradCheckTest, AddSubMul) {
+  Variable a(RandomTensor({6}, 15), true);
+  Variable b(RandomTensor({6}, 16), true);
+  ExpectGradientsMatch([&] { return Mean(Mul(Add(a, b), Sub(a, b))); }, a);
+  ExpectGradientsMatch([&] { return Mean(Mul(Add(a, b), Sub(a, b))); }, b);
+}
+
+TEST(GradCheckTest, AddRowBias) {
+  Variable x(RandomTensor({4, 3}, 17), true);
+  Variable bias(RandomTensor({3}, 18), true);
+  ExpectGradientsMatch([&] { return SumAll(Tanh(AddRowBias(x, bias))); },
+                       bias);
+  ExpectGradientsMatch([&] { return SumAll(Tanh(AddRowBias(x, bias))); }, x);
+}
+
+TEST(GradCheckTest, RowDot) {
+  Variable a(RandomTensor({4, 3}, 19), true);
+  Variable b(RandomTensor({4, 3}, 20), true);
+  ExpectGradientsMatch([&] { return SumAll(Tanh(RowDot(a, b))); }, a);
+}
+
+TEST(GradCheckTest, RowDotSharedInput) {
+  // a used on both sides: gradient must double correctly.
+  Variable a(RandomTensor({4, 3}, 21), true);
+  ExpectGradientsMatch([&] { return SumAll(RowDot(a, a)); }, a, 5e-2f);
+}
+
+TEST(GradCheckTest, RowScale) {
+  Variable x(RandomTensor({3, 4}, 22), true);
+  Variable s(RandomTensor({3}, 23), true);
+  ExpectGradientsMatch([&] { return SumAll(Tanh(RowScale(x, s))); }, x);
+  ExpectGradientsMatch([&] { return SumAll(Tanh(RowScale(x, s))); }, s);
+}
+
+TEST(GradCheckTest, ConcatCols) {
+  Variable a(RandomTensor({3, 2}, 24), true);
+  Variable b(RandomTensor({3, 4}, 25), true);
+  ExpectGradientsMatch([&] { return SumAll(Tanh(ConcatCols(a, b))); }, a);
+  ExpectGradientsMatch([&] { return SumAll(Tanh(ConcatCols(a, b))); }, b);
+}
+
+TEST(GradCheckTest, SegmentSoftmax) {
+  Variable x(RandomTensor({12}, 26), true);
+  Variable probe(RandomTensor({12}, 27), true);
+  ExpectGradientsMatch(
+      [&] { return SumAll(Mul(SegmentSoftmax(x, 4), probe)); }, x, 5e-2f);
+}
+
+TEST(GradCheckTest, SegmentWeightedSum) {
+  Variable v(RandomTensor({8, 3}, 28), true);
+  Variable w(RandomTensor({8}, 29), true);
+  ExpectGradientsMatch(
+      [&] { return SumAll(Tanh(SegmentWeightedSum(v, w, 4))); }, v);
+  ExpectGradientsMatch(
+      [&] { return SumAll(Tanh(SegmentWeightedSum(v, w, 4))); }, w);
+}
+
+TEST(GradCheckTest, Activations) {
+  // Shifted away from the ReLU kink so finite differences are valid.
+  Variable x(RandomTensor({10}, 30, 0.2f, 1.2f), true);
+  ExpectGradientsMatch([&] { return Mean(Relu(x)); }, x);
+  ExpectGradientsMatch([&] { return Mean(Tanh(x)); }, x);
+  ExpectGradientsMatch([&] { return Mean(SigmoidV(x)); }, x);
+  ExpectGradientsMatch([&] { return Mean(LeakyRelu(x, 0.2f)); }, x);
+}
+
+TEST(GradCheckTest, PairwiseMax) {
+  // Values spread apart so the max winner is stable under perturbation.
+  Variable a(tensor::Tensor({4}, {0.0f, 1.0f, -2.0f, 3.0f}), true);
+  Variable b(tensor::Tensor({4}, {0.8f, 0.1f, -1.0f, 4.0f}), true);
+  ExpectGradientsMatch([&] { return Mean(Tanh(PairwiseMax(a, b))); }, a,
+                       5e-2f);
+  ExpectGradientsMatch([&] { return Mean(Tanh(PairwiseMax(a, b))); }, b,
+                       5e-2f);
+}
+
+TEST(GradCheckTest, ScaleMeanSum) {
+  Variable x(RandomTensor({7}, 32), true);
+  ExpectGradientsMatch([&] { return Mean(Scale(x, 3.0f)); }, x);
+  ExpectGradientsMatch([&] { return Scale(SumAll(x), 0.25f); }, x);
+}
+
+TEST(GradCheckTest, Reshape) {
+  Variable x(RandomTensor({2, 6}, 33), true);
+  ExpectGradientsMatch(
+      [&] { return SumAll(Tanh(Reshape(x, {3, 4}))); }, x);
+}
+
+TEST(GradCheckTest, RelationMatMul) {
+  Variable x(RandomTensor({5, 3}, 34), true);
+  Variable mats(RandomTensor({2, 3, 3}, 35), true);
+  const std::vector<int64_t> rels = {0, 1, 1, 0, 1};
+  ExpectGradientsMatch(
+      [&] { return SumAll(Tanh(RelationMatMul(x, rels, mats))); }, x);
+  ExpectGradientsMatch(
+      [&] { return SumAll(Tanh(RelationMatMul(x, rels, mats))); }, mats);
+}
+
+TEST(GradCheckTest, BCEWithLogits) {
+  Variable logits(RandomTensor({6}, 36, -2.0f, 2.0f), true);
+  const std::vector<float> labels = {1, 0, 1, 1, 0, 0};
+  ExpectGradientsMatch([&] { return BCEWithLogits(logits, labels); }, logits);
+}
+
+TEST(GradCheckTest, BPRLoss) {
+  Variable pos(RandomTensor({5}, 37), true);
+  Variable neg(RandomTensor({5}, 38), true);
+  ExpectGradientsMatch([&] { return BPRLoss(pos, neg); }, pos);
+  ExpectGradientsMatch([&] { return BPRLoss(pos, neg); }, neg);
+}
+
+// --- parameterized property sweeps ---
+
+/// Composite attention block (the repo's hot path) gradient-checked across
+/// batch/segment/dim combinations.
+class AttentionBlockTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AttentionBlockTest, GradientsMatchFiniteDifferences) {
+  const auto [batch, segment, dim] = GetParam();
+  const uint64_t seed = static_cast<uint64_t>(
+      batch * 10007 + segment * 101 + dim);
+  Variable centers(RandomTensor({batch, dim}, seed), true);
+  Variable neighbors(RandomTensor({batch * segment, dim}, seed + 1), true);
+  Variable transform(RandomTensor({dim, dim}, seed + 2), true);
+  auto loss_fn = [&] {
+    Variable rep = RowRepeat(centers, segment);
+    Variable logits = RowDot(MatMul(rep, transform), neighbors);
+    Variable weights = SegmentSoftmax(logits, segment);
+    Variable pooled = SegmentWeightedSum(neighbors, weights, segment);
+    return Mean(Tanh(pooled));
+  };
+  ExpectGradientsMatch(loss_fn, centers, 5e-2f);
+  ExpectGradientsMatch(loss_fn, neighbors, 5e-2f);
+  ExpectGradientsMatch(loss_fn, transform, 5e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AttentionBlockTest,
+    ::testing::Combine(::testing::Values(1, 3), ::testing::Values(2, 5),
+                       ::testing::Values(2, 6)));
+
+/// Guided bilinear attention (Eq. 13-15 shape) across relation counts.
+class GuidedAttentionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GuidedAttentionTest, GradientsMatchFiniteDifferences) {
+  const int num_relations = GetParam();
+  const int n = 6;
+  const int d = 3;
+  Rng rng(static_cast<uint64_t>(num_relations) * 7919);
+  std::vector<int64_t> rels(n);
+  for (auto& r : rels) {
+    r = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(num_relations)));
+  }
+  Variable head(RandomTensor({n, d}, 201), true);
+  Variable guidance(RandomTensor({n, d}, 202), true);
+  Variable tail(RandomTensor({n, d}, 203), true);
+  Variable mats(RandomTensor({num_relations, d, d}, 204), true);
+  auto loss_fn = [&] {
+    Variable guided = Mul(head, guidance);
+    Variable logits = RowDot(RelationMatMul(guided, rels, mats), tail);
+    Variable weights = SegmentSoftmax(logits, 3);
+    return Mean(SegmentWeightedSum(tail, weights, 3));
+  };
+  ExpectGradientsMatch(loss_fn, head, 5e-2f);
+  ExpectGradientsMatch(loss_fn, guidance, 5e-2f);
+  ExpectGradientsMatch(loss_fn, tail, 5e-2f);
+  ExpectGradientsMatch(loss_fn, mats, 5e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(RelationCounts, GuidedAttentionTest,
+                         ::testing::Values(1, 2, 5));
+
+// --- tape mechanics ---
+
+TEST(TapeTest, DiamondGraphAccumulatesOnce) {
+  // y = sum(x + x): dy/dx = 2 exactly once per element despite the shared
+  // sub-expression.
+  Variable x(tensor::Tensor({3}, {1, 2, 3}), true);
+  Variable y = SumAll(Add(x, x));
+  y.Backward();
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 2.0f);
+}
+
+TEST(TapeTest, GradsAccumulateAcrossBackwardCalls) {
+  Variable x(tensor::Tensor({2}, {1, 1}), true);
+  SumAll(x).Backward();
+  SumAll(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TapeTest, ConstantsGetNoGrad) {
+  Variable x(tensor::Tensor({2}, {1, 2}), true);
+  Variable c = Constant(tensor::Tensor({2}, {3, 4}));
+  Variable loss = SumAll(Mul(x, c));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(TapeTest, NoGradGuardDetachesResults) {
+  Variable x(tensor::Tensor({2}, {1, 2}), true);
+  {
+    NoGradGuard guard;
+    Variable y = SumAll(x);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  // Mode restored afterwards.
+  Variable z = SumAll(x);
+  EXPECT_TRUE(z.requires_grad());
+}
+
+TEST(TapeTest, NoGradGuardNests) {
+  Variable x(tensor::Tensor({1}, {1}), true);
+  {
+    NoGradGuard a;
+    {
+      NoGradGuard b;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(TapeTest, DeepChainBackpropagates) {
+  Variable x(tensor::Tensor({4}, {0.1f, 0.2f, 0.3f, 0.4f}), true);
+  Variable y = x;
+  for (int i = 0; i < 50; ++i) y = Scale(y, 1.01f);
+  SumAll(y).Backward();
+  const float expected = std::pow(1.01f, 50.0f);
+  EXPECT_NEAR(x.grad()[0], expected, 1e-3f);
+}
+
+TEST(TapeTest, LongChainGradCheck) {
+  Variable x(RandomTensor({3, 3}, 40), true);
+  ExpectGradientsMatch(
+      [&] {
+        Variable h = Tanh(MatMul(x, x));
+        Variable s = SegmentSoftmax(Reshape(h, {9}), 3);
+        return Mean(Mul(s, Reshape(Relu(h), {9})));
+      },
+      x, 5e-2f);
+}
+
+}  // namespace
+}  // namespace autograd
+}  // namespace cgkgr

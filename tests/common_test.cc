@@ -1,0 +1,299 @@
+// Unit tests for src/common: Status/Result, Rng, string utilities,
+// TablePrinter, FlagParser.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace cgkgr {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad dim");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
+      Status::IOError("").code(),         Status::Internal("").code(),
+      Status::NotImplemented("").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformFloatInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.UniformFloat();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(RngTest, NormalHasApproximateMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniqueAndInRange) {
+  Rng rng(19);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (int64_t v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(21);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.NextUint64(), fork.NextUint64());
+}
+
+// --- string utilities ---
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(StringUtilTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("4x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, 1e-3);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+// --- TablePrinter ---
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"Model", "AUC"});
+  table.AddRow({"BPRMF", "0.78"});
+  table.AddRow({"CG-KGR", "0.84"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| Model "), std::string::npos);
+  EXPECT_NE(out.find("| CG-KGR "), std::string::npos);
+  // Every line has the same width.
+  size_t width = std::string::npos;
+  size_t start = 0;
+  while (start < out.size()) {
+    const size_t end = out.find('\n', start);
+    const size_t line_width = end - start;
+    if (width == std::string::npos) width = line_width;
+    EXPECT_EQ(line_width, width);
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, SeparatorRows) {
+  TablePrinter table({"A"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.ToString();
+  // header sep + top + bottom + middle separator = 4 dashed lines.
+  size_t dashed = 0;
+  size_t pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++dashed;
+    pos += 3;
+  }
+  EXPECT_EQ(dashed, 4u);
+}
+
+// --- FlagParser ---
+
+TEST(FlagParserTest, ParsesAllTypesAndForms) {
+  FlagParser flags;
+  flags.DefineInt64("n", 1, "");
+  flags.DefineDouble("x", 0.5, "");
+  flags.DefineString("s", "a", "");
+  flags.DefineBool("b", false, "");
+  const char* argv[] = {"prog", "--n", "7", "--x=2.5", "--s", "hello",
+                        "--b=true"};
+  ASSERT_TRUE(flags.Parse(7, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt64("n"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x"), 2.5);
+  EXPECT_EQ(flags.GetString("s"), "hello");
+  EXPECT_TRUE(flags.GetBool("b"));
+}
+
+TEST(FlagParserTest, DefaultsSurviveNoArgs) {
+  FlagParser flags;
+  flags.DefineInt64("n", 5, "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt64("n"), 5);
+}
+
+TEST(FlagParserTest, RejectsUnknownFlag) {
+  FlagParser flags;
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(flags.Parse(3, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagParserTest, RejectsMalformedValue) {
+  FlagParser flags;
+  flags.DefineInt64("n", 1, "");
+  const char* argv[] = {"prog", "--n", "xyz"};
+  EXPECT_FALSE(flags.Parse(3, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagParserTest, HelpRequested) {
+  FlagParser flags;
+  flags.DefineInt64("n", 1, "count");
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.Usage().find("--n"), std::string::npos);
+}
+
+TEST(FlagParserTest, MissingValueIsError) {
+  FlagParser flags;
+  flags.DefineInt64("n", 1, "");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+}  // namespace
+}  // namespace cgkgr

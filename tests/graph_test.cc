@@ -1,0 +1,233 @@
+// Tests for src/graph: CSR adjacency correctness against brute force
+// (parameterized over random graph sizes), KG symmetrization, and the
+// fixed-size neighbor sampler / node-flow invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/interaction_graph.h"
+#include "graph/knowledge_graph.h"
+#include "graph/sampler.h"
+
+namespace cgkgr {
+namespace graph {
+namespace {
+
+std::vector<Interaction> RandomInteractions(int64_t users, int64_t items,
+                                            int64_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::set<std::pair<int64_t, int64_t>> seen;
+  std::vector<Interaction> out;
+  while (static_cast<int64_t>(out.size()) < count) {
+    const int64_t u = static_cast<int64_t>(rng.UniformInt(users));
+    const int64_t i = static_cast<int64_t>(rng.UniformInt(items));
+    if (seen.insert({u, i}).second) out.push_back({u, i});
+  }
+  return out;
+}
+
+class InteractionGraphParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(InteractionGraphParamTest, MatchesBruteForce) {
+  const auto [users, items, count] = GetParam();
+  const auto interactions = RandomInteractions(
+      users, items, count, static_cast<uint64_t>(users * 31 + count));
+  InteractionGraph graph(users, items, interactions);
+  EXPECT_EQ(graph.num_interactions(), count);
+
+  std::map<int64_t, std::set<int64_t>> by_user;
+  std::map<int64_t, std::set<int64_t>> by_item;
+  for (const auto& x : interactions) {
+    by_user[x.user].insert(x.item);
+    by_item[x.item].insert(x.user);
+  }
+  for (int64_t u = 0; u < users; ++u) {
+    auto span = graph.ItemsOf(u);
+    std::set<int64_t> got(span.begin(), span.end());
+    EXPECT_EQ(got, by_user[u]);
+    EXPECT_EQ(graph.UserDegree(u), static_cast<int64_t>(by_user[u].size()));
+  }
+  for (int64_t i = 0; i < items; ++i) {
+    auto span = graph.UsersOf(i);
+    std::set<int64_t> got(span.begin(), span.end());
+    EXPECT_EQ(got, by_item[i]);
+  }
+  for (const auto& x : interactions) {
+    EXPECT_TRUE(graph.HasInteraction(x.user, x.item));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, InteractionGraphParamTest,
+    ::testing::Values(std::make_tuple(5, 7, 12), std::make_tuple(20, 30, 100),
+                      std::make_tuple(50, 40, 400),
+                      std::make_tuple(3, 3, 9)));
+
+TEST(InteractionGraphTest, EmptyGraph) {
+  InteractionGraph graph(4, 5, {});
+  EXPECT_EQ(graph.num_interactions(), 0);
+  EXPECT_TRUE(graph.ItemsOf(2).empty());
+  EXPECT_FALSE(graph.HasInteraction(0, 0));
+}
+
+TEST(InteractionGraphTest, AdjacencyIsSorted) {
+  InteractionGraph graph(1, 5, {{0, 4}, {0, 1}, {0, 3}});
+  auto items = graph.ItemsOf(0);
+  EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+}
+
+TEST(KnowledgeGraphTest, SymmetrizedAdjacency) {
+  KnowledgeGraph kg(4, 2, {{0, 1, 2}, {2, 0, 3}});
+  // Head 0 sees tail 2; tail 2 sees head 0 (and its own edge to 3).
+  auto n0 = kg.NeighborsOf(0);
+  ASSERT_EQ(n0.size(), 1u);
+  EXPECT_EQ(n0[0].entity, 2);
+  EXPECT_EQ(n0[0].relation, 1);
+  auto n2 = kg.NeighborsOf(2);
+  EXPECT_EQ(n2.size(), 2u);
+  EXPECT_EQ(kg.Degree(1), 0);
+  EXPECT_EQ(kg.Degree(3), 1);
+}
+
+TEST(KnowledgeGraphTest, SelfLoopRelationIdIsReserved) {
+  KnowledgeGraph kg(3, 5, {});
+  EXPECT_EQ(kg.self_loop_relation(), 5);
+  EXPECT_EQ(kg.relation_id_space(), 6);
+  EXPECT_EQ(kg.num_relations(), 5);
+}
+
+TEST(KnowledgeGraphTest, KeepsDirectedTriplets) {
+  std::vector<Triplet> triplets = {{0, 0, 1}, {1, 1, 2}};
+  KnowledgeGraph kg(3, 2, triplets);
+  EXPECT_EQ(kg.num_triplets(), 2);
+  EXPECT_EQ(kg.triplets()[1].head, 1);
+  EXPECT_EQ(kg.triplets()[1].relation, 1);
+}
+
+// --- sampler ---
+
+TEST(SamplerTest, UserNeighborsComeFromAdjacency) {
+  InteractionGraph graph(2, 10, {{0, 3}, {0, 5}, {1, 7}});
+  Rng rng(41);
+  const auto sampled = NeighborSampler::SampleUserNeighbors(
+      graph, {0, 0, 1}, 6, /*fallback_item=*/0, &rng);
+  ASSERT_EQ(sampled.size(), 18u);
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE(sampled[i] == 3 || sampled[i] == 5);
+  }
+  for (size_t i = 12; i < 18; ++i) EXPECT_EQ(sampled[i], 7);
+}
+
+TEST(SamplerTest, FallbackPadsUsersWithoutHistory) {
+  InteractionGraph graph(2, 10, {{0, 3}});
+  Rng rng(43);
+  const auto sampled = NeighborSampler::SampleUserNeighbors(
+      graph, {1}, 4, /*fallback_item=*/9, &rng);
+  for (int64_t v : sampled) EXPECT_EQ(v, 9);
+}
+
+TEST(SamplerTest, ItemNeighborsComeFromAdjacency) {
+  InteractionGraph graph(10, 2, {{4, 0}, {6, 0}});
+  Rng rng(45);
+  const auto sampled = NeighborSampler::SampleItemNeighbors(
+      graph, {0, 1}, 5, /*fallback_user=*/2, &rng);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(sampled[i] == 4 || sampled[i] == 6);
+  }
+  for (size_t i = 5; i < 10; ++i) EXPECT_EQ(sampled[i], 2);  // item 1 empty
+}
+
+TEST(SamplerTest, NodeFlowShapesMultiply) {
+  KnowledgeGraph kg(20, 3,
+                    {{0, 0, 5}, {0, 1, 6}, {1, 2, 7}, {5, 0, 8}, {6, 1, 9},
+                     {7, 2, 10}, {8, 0, 11}});
+  Rng rng(47);
+  const NodeFlow flow =
+      NeighborSampler::SampleNodeFlow(kg, {0, 1}, /*depth=*/3,
+                                      /*sample_size=*/4, &rng);
+  EXPECT_EQ(flow.depth(), 3);
+  EXPECT_EQ(flow.entities[0].size(), 2u);
+  EXPECT_EQ(flow.entities[1].size(), 8u);
+  EXPECT_EQ(flow.entities[2].size(), 32u);
+  EXPECT_EQ(flow.entities[3].size(), 128u);
+  EXPECT_EQ(flow.relations[1].size(), flow.entities[1].size());
+  EXPECT_TRUE(flow.relations[0].empty());
+}
+
+TEST(SamplerTest, NodeFlowChildrenAreNeighborsOrSelfLoops) {
+  KnowledgeGraph kg(6, 2, {{0, 0, 3}, {0, 1, 4}});
+  Rng rng(49);
+  const NodeFlow flow =
+      NeighborSampler::SampleNodeFlow(kg, {0, 5}, 1, 4, &rng);
+  // Seed 0 has neighbors {3, 4}; seed 5 is isolated -> self-loops.
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_TRUE(flow.entities[1][j] == 3 || flow.entities[1][j] == 4);
+    EXPECT_LT(flow.relations[1][j], 2);
+  }
+  for (int j = 4; j < 8; ++j) {
+    EXPECT_EQ(flow.entities[1][static_cast<size_t>(j)], 5);
+    EXPECT_EQ(flow.relations[1][static_cast<size_t>(j)],
+              kg.self_loop_relation());
+  }
+}
+
+TEST(SamplerTest, DeterministicPerSeed) {
+  KnowledgeGraph kg(30, 2, {{0, 0, 10}, {0, 1, 11}, {0, 0, 12}, {10, 1, 13}});
+  Rng a(51);
+  Rng b(51);
+  const NodeFlow fa = NeighborSampler::SampleNodeFlow(kg, {0}, 2, 3, &a);
+  const NodeFlow fb = NeighborSampler::SampleNodeFlow(kg, {0}, 2, 3, &b);
+  EXPECT_EQ(fa.entities[2], fb.entities[2]);
+  EXPECT_EQ(fa.relations[1], fb.relations[1]);
+}
+
+TEST(SamplerTest, DegreeBiasedPrefersHubs) {
+  // Entity 0 has two neighbors: a hub (entity 1, high degree) and a leaf
+  // (entity 2, degree 1). Degree-biased sampling must pick the hub more
+  // often than uniform would.
+  std::vector<Triplet> triplets = {{0, 0, 1}, {0, 0, 2}};
+  for (int64_t i = 3; i < 40; ++i) triplets.push_back({1, 0, i});
+  KnowledgeGraph kg(40, 1, std::move(triplets));
+  Rng rng(61);
+  int64_t hub_picks = 0;
+  int64_t total = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    const NodeFlow flow = NeighborSampler::SampleNodeFlow(
+        kg, {0}, 1, 4, &rng, SamplingStrategy::kDegreeBiased);
+    for (int64_t child : flow.entities[1]) {
+      hub_picks += child == 1 ? 1 : 0;
+      ++total;
+    }
+  }
+  // Hub weight ~ 1+log2(39) ~ 6.3 vs leaf ~ 2 -> expect ~75% hub picks.
+  EXPECT_GT(static_cast<double>(hub_picks) / static_cast<double>(total),
+            0.62);
+}
+
+TEST(SamplerTest, DegreeBiasedStillSamplesValidNeighbors) {
+  KnowledgeGraph kg(6, 2, {{0, 0, 3}, {0, 1, 4}, {3, 0, 5}});
+  Rng rng(63);
+  const NodeFlow flow = NeighborSampler::SampleNodeFlow(
+      kg, {0}, 2, 3, &rng, SamplingStrategy::kDegreeBiased);
+  for (int64_t child : flow.entities[1]) {
+    EXPECT_TRUE(child == 3 || child == 4);
+  }
+}
+
+TEST(SamplerTest, DepthZeroFlowIsJustSeeds) {
+  KnowledgeGraph kg(5, 1, {{0, 0, 1}});
+  Rng rng(53);
+  const NodeFlow flow = NeighborSampler::SampleNodeFlow(kg, {2, 3}, 0, 4,
+                                                        &rng);
+  EXPECT_EQ(flow.depth(), 0);
+  EXPECT_EQ(flow.entities[0], (std::vector<int64_t>{2, 3}));
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace cgkgr

@@ -1,0 +1,165 @@
+// Cross-module integration tests: the full experiment pipeline (generate ->
+// train -> rank -> aggregate), dataset persistence feeding training, KG
+// corruption affecting KG-aware models, and the Fig. 1 phenomenon machinery.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/cgkgr_model.h"
+#include "data/corruption.h"
+#include "data/io.h"
+#include "data/presets.h"
+#include "eval/experiment.h"
+#include "eval/protocol.h"
+#include "models/registry.h"
+
+namespace cgkgr {
+namespace {
+
+data::Preset TinyPreset() {
+  data::Preset preset = data::GetPreset("music", /*scale=*/0.4);
+  preset.hparams.embedding_dim = 8;
+  preset.hparams.user_sample_size = 4;
+  preset.hparams.kg_sample_size = 3;
+  preset.hparams.max_epochs = 5;
+  preset.hparams.patience = 5;
+  return preset;
+}
+
+models::TrainOptions QuickTrain(const data::Preset& preset) {
+  models::TrainOptions options;
+  options.max_epochs = preset.hparams.max_epochs;
+  options.patience = preset.hparams.patience;
+  options.batch_size = preset.hparams.batch_size;
+  options.seed = 5;
+  return options;
+}
+
+std::vector<std::vector<int64_t>> TestMask(const data::Dataset& d) {
+  auto mask = d.BuildTrainPositives();
+  const auto eval_pos = data::Dataset::BuildPositives(d.eval, d.num_users);
+  for (int64_t u = 0; u < d.num_users; ++u) {
+    auto& m = mask[static_cast<size_t>(u)];
+    m.insert(m.end(), eval_pos[static_cast<size_t>(u)].begin(),
+             eval_pos[static_cast<size_t>(u)].end());
+    std::sort(m.begin(), m.end());
+  }
+  return mask;
+}
+
+TEST(IntegrationTest, FullPipelineProducesSaneMetrics) {
+  const data::Preset preset = TinyPreset();
+  const data::Dataset d = data::GenerateSyntheticDataset(preset.data, 1);
+
+  eval::TrialAggregator agg;
+  for (const std::string name : {"BPRMF", "CG-KGR"}) {
+    auto model = models::CreateModel(name, preset.hparams);
+    ASSERT_TRUE(model->Fit(d, QuickTrain(preset)).ok());
+    eval::TopKOptions topk;
+    topk.ks = {10, 20};
+    const eval::TopKResult result =
+        eval::EvaluateTopK(model.get(), d, d.test, TestMask(d), topk);
+    EXPECT_GT(result.evaluated_users, 0);
+    for (int64_t k : topk.ks) {
+      EXPECT_GE(result.recall.at(k), 0.0);
+      EXPECT_LE(result.recall.at(k), 1.0);
+      EXPECT_GE(result.ndcg.at(k), 0.0);
+      EXPECT_LE(result.ndcg.at(k), 1.0);
+    }
+    // Recall grows with K (superset property).
+    EXPECT_GE(result.recall.at(20), result.recall.at(10));
+    agg.Add(name, "recall", result.recall.at(20));
+  }
+  // Both learned something on this easy dataset.
+  EXPECT_GT(agg.Summary("BPRMF", "recall").mean, 0.02);
+  EXPECT_GT(agg.Summary("CG-KGR", "recall").mean, 0.02);
+}
+
+TEST(IntegrationTest, SavedDatasetTrainsIdentically) {
+  const data::Preset preset = TinyPreset();
+  const data::Dataset d = data::GenerateSyntheticDataset(preset.data, 2);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "cgkgr_integration").string();
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(data::SaveDataset(d, dir).ok());
+  Result<data::Dataset> loaded = data::LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok());
+
+  std::vector<float> from_original;
+  std::vector<float> from_loaded;
+  {
+    core::CgKgrModel model(core::CgKgrConfig::FromPreset(preset.hparams));
+    ASSERT_TRUE(model.Fit(d, QuickTrain(preset)).ok());
+    model.ScorePairs({0, 1, 2}, {3, 4, 5}, &from_original);
+  }
+  {
+    core::CgKgrModel model(core::CgKgrConfig::FromPreset(preset.hparams));
+    ASSERT_TRUE(model.Fit(loaded.value(), QuickTrain(preset)).ok());
+    model.ScorePairs({0, 1, 2}, {3, 4, 5}, &from_loaded);
+  }
+  for (size_t i = 0; i < from_original.size(); ++i) {
+    EXPECT_FLOAT_EQ(from_original[i], from_loaded[i]);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IntegrationTest, CorruptionChangesKgModelNotCfModel) {
+  const data::Preset preset = TinyPreset();
+  const data::Dataset d = data::GenerateSyntheticDataset(preset.data, 3);
+  Rng rng(9);
+  const data::Dataset corrupted = data::CorruptKnowledgeGraph(d, 0.4, &rng);
+
+  auto score_with = [&](const std::string& name, const data::Dataset& ds) {
+    auto model = models::CreateModel(name, preset.hparams);
+    EXPECT_TRUE(model->Fit(ds, QuickTrain(preset)).ok());
+    std::vector<float> scores;
+    model->ScorePairs({0, 1, 2, 3}, {4, 5, 6, 7}, &scores);
+    return scores;
+  };
+
+  // BPRMF ignores the KG entirely.
+  const auto bpr_clean = score_with("BPRMF", d);
+  const auto bpr_corrupt = score_with("BPRMF", corrupted);
+  for (size_t i = 0; i < bpr_clean.size(); ++i) {
+    EXPECT_FLOAT_EQ(bpr_clean[i], bpr_corrupt[i]);
+  }
+
+  // CG-KGR consumes the KG, so corruption must change its scores.
+  const auto cg_clean = score_with("CG-KGR", d);
+  const auto cg_corrupt = score_with("CG-KGR", corrupted);
+  float diff = 0.0f;
+  for (size_t i = 0; i < cg_clean.size(); ++i) {
+    diff += std::abs(cg_clean[i] - cg_corrupt[i]);
+  }
+  EXPECT_GT(diff, 1e-6f);
+}
+
+TEST(IntegrationTest, TrainStatsFeedTableSix) {
+  const data::Preset preset = TinyPreset();
+  const data::Dataset d = data::GenerateSyntheticDataset(preset.data, 4);
+  auto model = models::CreateModel("KGCN", preset.hparams);
+  ASSERT_TRUE(model->Fit(d, QuickTrain(preset)).ok());
+  const models::TrainStats& stats = model->train_stats();
+  EXPECT_GT(stats.seconds_per_epoch, 0.0);
+  EXPECT_GE(stats.total_seconds, stats.seconds_per_epoch);
+  EXPECT_LE(stats.best_epoch, stats.epochs_run);
+  EXPECT_GT(stats.best_eval_metric, 0.4);
+}
+
+TEST(IntegrationTest, EarlyStoppingInvariant) {
+  // With patience 1 the loop may run at most one epoch past the best one.
+  const data::Preset preset = TinyPreset();
+  const data::Dataset d = data::GenerateSyntheticDataset(preset.data, 6);
+  auto model = models::CreateModel("BPRMF", preset.hparams);
+  models::TrainOptions options = QuickTrain(preset);
+  options.max_epochs = 30;
+  options.patience = 1;
+  ASSERT_TRUE(model->Fit(d, options).ok());
+  const models::TrainStats& stats = model->train_stats();
+  EXPECT_LE(stats.best_epoch, stats.epochs_run);
+  EXPECT_LE(stats.epochs_run, stats.best_epoch + options.patience);
+}
+
+}  // namespace
+}  // namespace cgkgr

@@ -1,0 +1,258 @@
+// Unit tests for src/tensor: Tensor container semantics, numeric kernels
+// (GEMM against a naive reference, parameterized over shapes/transposes),
+// segment softmax, and initializers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace cgkgr {
+namespace tensor {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(TensorTest, ShapeAndVolume) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.ShapeString(), "[2, 3, 4]");
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({5, 5});
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, CopiesShareStorage) {
+  Tensor a({3});
+  Tensor b = a;
+  a[0] = 7.0f;
+  EXPECT_EQ(b[0], 7.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a({3});
+  Tensor b = a.Clone();
+  a[0] = 7.0f;
+  EXPECT_EQ(b[0], 0.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a({2, 3});
+  Tensor b = a.Reshape({6});
+  a.at(1, 2) = 9.0f;
+  EXPECT_EQ(b[5], 9.0f);
+  EXPECT_EQ(b.rank(), 1);
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor t = Tensor::Full({2, 2}, 3.5f);
+  EXPECT_EQ(t[3], 3.5f);
+  Tensor s = Tensor::Scalar(-1.0f);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s[0], -1.0f);
+}
+
+TEST(TensorTest, At2D) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+}
+
+TEST(TensorTest, ShapeVolumeEmptyShapeIsOne) {
+  EXPECT_EQ(ShapeVolume({}), 1);
+  EXPECT_EQ(ShapeVolume({0, 5}), 0);
+}
+
+// --- GEMM against naive reference, parameterized over transposes/shapes ---
+
+class GemmTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int, int, int>> {
+};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  const auto [trans_a, trans_b, m, n, k] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 1000 + n * 100 + k * 10 +
+                                (trans_a ? 2 : 0) + (trans_b ? 1 : 0)));
+  // Storage shapes before the op-transpose.
+  Tensor a(trans_a ? std::vector<int64_t>{k, m} : std::vector<int64_t>{m, k});
+  Tensor b(trans_b ? std::vector<int64_t>{n, k} : std::vector<int64_t>{k, n});
+  UniformInit(&a, &rng, -1.0f, 1.0f);
+  UniformInit(&b, &rng, -1.0f, 1.0f);
+  Tensor c({m, n});
+  UniformInit(&c, &rng, -1.0f, 1.0f);
+  Tensor c_ref = c.Clone();
+
+  const float alpha = 0.7f;
+  const float beta = 0.3f;
+  Gemm(trans_a, trans_b, m, n, k, alpha, a.data(), b.data(), beta, c.data());
+
+  auto a_at = [&](int64_t i, int64_t kk) {
+    return trans_a ? a.at(kk, i) : a.at(i, kk);
+  };
+  auto b_at = [&](int64_t kk, int64_t j) {
+    return trans_b ? b.at(j, kk) : b.at(kk, j);
+  };
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float expected = beta * c_ref.at(i, j);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        expected += alpha * a_at(i, kk) * b_at(kk, j);
+      }
+      EXPECT_NEAR(c.at(i, j), expected, 1e-4f)
+          << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 3, 8), ::testing::Values(1, 5),
+                       ::testing::Values(1, 4, 7)));
+
+TEST(KernelTest, GemmBetaZeroIgnoresGarbage) {
+  // beta = 0 must overwrite even NaN garbage in C.
+  Tensor a({1, 1}, {2.0f});
+  Tensor b({1, 1}, {3.0f});
+  Tensor c({1, 1}, {std::nanf("")});
+  Gemm(false, false, 1, 1, 1, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  EXPECT_FLOAT_EQ(c[0], 6.0f);
+}
+
+TEST(KernelTest, AxpyAndScale) {
+  Tensor x({3}, {1.0f, 2.0f, 3.0f});
+  Tensor y({3}, {10.0f, 20.0f, 30.0f});
+  Axpy(3, 2.0f, x.data(), y.data());
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+  ScaleInPlace(3, 0.5f, y.data());
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+}
+
+TEST(KernelTest, Elementwise) {
+  Tensor a({2}, {3.0f, -1.0f});
+  Tensor b({2}, {2.0f, 4.0f});
+  Tensor out({2});
+  Add(2, a.data(), b.data(), out.data());
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  Sub(2, a.data(), b.data(), out.data());
+  EXPECT_FLOAT_EQ(out[1], -5.0f);
+  Mul(2, a.data(), b.data(), out.data());
+  EXPECT_FLOAT_EQ(out[0], 6.0f);
+}
+
+TEST(KernelTest, AddRowVectorBroadcasts) {
+  Tensor x({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor v({3}, {10, 20, 30});
+  AddRowVector(2, 3, v.data(), x.data());
+  EXPECT_FLOAT_EQ(x.at(0, 1), 20.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 2), 31.0f);
+}
+
+TEST(KernelTest, RowDotAndRowScale) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor d({2});
+  RowDot(2, 2, a.data(), b.data(), d.data());
+  EXPECT_FLOAT_EQ(d[0], 17.0f);
+  EXPECT_FLOAT_EQ(d[1], 53.0f);
+  Tensor s({2}, {2.0f, -1.0f});
+  Tensor scaled({2, 2});
+  RowScale(2, 2, a.data(), s.data(), scaled.data());
+  EXPECT_FLOAT_EQ(scaled.at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(scaled.at(1, 0), -3.0f);
+}
+
+TEST(KernelTest, SegmentSoftmaxNormalizes) {
+  Tensor x({6}, {1.0f, 2.0f, 3.0f, -1.0f, 0.0f, 1.0f});
+  Tensor out({6});
+  SegmentSoftmax(2, 3, x.data(), out.data());
+  for (int s = 0; s < 2; ++s) {
+    float total = 0.0f;
+    for (int i = 0; i < 3; ++i) total += out[s * 3 + i];
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+  // Monotone within segment.
+  EXPECT_LT(out[0], out[1]);
+  EXPECT_LT(out[1], out[2]);
+}
+
+TEST(KernelTest, SegmentSoftmaxStableForLargeInputs) {
+  Tensor x({3}, {1000.0f, 1001.0f, 999.0f});
+  Tensor out({3});
+  SegmentSoftmax(1, 3, x.data(), out.data());
+  float total = 0.0f;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(std::isnan(out[i]));
+    total += out[i];
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+}
+
+TEST(KernelTest, SigmoidStableAndCorrect) {
+  EXPECT_NEAR(Sigmoid(0.0f), 0.5f, 1e-6f);
+  EXPECT_NEAR(Sigmoid(100.0f), 1.0f, 1e-6f);
+  EXPECT_NEAR(Sigmoid(-100.0f), 0.0f, 1e-6f);
+  EXPECT_NEAR(Sigmoid(1.0f) + Sigmoid(-1.0f), 1.0f, 1e-6f);
+}
+
+TEST(KernelTest, SumDotSquaredNorm) {
+  Tensor x({3}, {1.0f, -2.0f, 3.0f});
+  EXPECT_FLOAT_EQ(Sum(3, x.data()), 2.0f);
+  EXPECT_FLOAT_EQ(SquaredNorm(3, x.data()), 14.0f);
+  Tensor y({3}, {1.0f, 1.0f, 1.0f});
+  EXPECT_FLOAT_EQ(Dot(3, x.data(), y.data()), 2.0f);
+}
+
+// --- initializers ---
+
+TEST(InitTest, XavierUniformBounds) {
+  Rng rng(31);
+  Tensor w({64, 32});
+  XavierUniform(&w, &rng);
+  const float bound = std::sqrt(6.0f / (64 + 32));
+  float max_abs = 0.0f;
+  for (int64_t i = 0; i < w.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(w[i]));
+  }
+  EXPECT_LE(max_abs, bound);
+  EXPECT_GT(max_abs, bound * 0.5f);  // actually spread out
+}
+
+TEST(InitTest, XavierOn3DUsesLastTwoDims) {
+  Rng rng(33);
+  Tensor w({5, 16, 16});
+  XavierUniform(&w, &rng);
+  const float bound = std::sqrt(6.0f / 32);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::abs(w[i]), bound);
+  }
+}
+
+TEST(InitTest, NormalInitMoments) {
+  Rng rng(35);
+  Tensor w({10000});
+  NormalInit(&w, &rng, 1.0f, 2.0f);
+  double sum = 0.0;
+  for (int64_t i = 0; i < w.size(); ++i) sum += w[i];
+  EXPECT_NEAR(sum / static_cast<double>(w.size()), 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace cgkgr

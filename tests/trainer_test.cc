@@ -1,0 +1,146 @@
+// Tests for models/trainer_util: the shared mini-batch driver and training
+// loop plumbing every model builds on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "data/synthetic.h"
+#include "models/registry.h"
+#include "models/trainer_util.h"
+
+namespace cgkgr {
+namespace models {
+namespace {
+
+std::vector<graph::Interaction> MakeTrain(int64_t users, int64_t per_user) {
+  std::vector<graph::Interaction> train;
+  for (int64_t u = 0; u < users; ++u) {
+    for (int64_t j = 0; j < per_user; ++j) train.push_back({u, (u + j) % 50});
+  }
+  return train;
+}
+
+TEST(TrainBatchTest, CoversEveryInteractionExactlyOnce) {
+  const auto train = MakeTrain(10, 7);
+  const auto positives = data::Dataset::BuildPositives(train, 10);
+  Rng rng(1);
+  std::multiset<std::pair<int64_t, int64_t>> seen;
+  int64_t batches = 0;
+  ForEachTrainBatch(train, positives, 50, /*batch_size=*/16, &rng,
+                    [&](const TrainBatch& batch) {
+                      ++batches;
+                      EXPECT_LE(batch.users.size(), 16u);
+                      EXPECT_EQ(batch.users.size(),
+                                batch.positive_items.size());
+                      EXPECT_EQ(batch.users.size(),
+                                batch.negative_items.size());
+                      for (size_t i = 0; i < batch.users.size(); ++i) {
+                        seen.insert({batch.users[i], batch.positive_items[i]});
+                      }
+                    });
+  EXPECT_EQ(batches, (70 + 15) / 16);
+  std::multiset<std::pair<int64_t, int64_t>> expected;
+  for (const auto& x : train) expected.insert({x.user, x.item});
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(TrainBatchTest, NegativesAreTrueNegatives) {
+  const auto train = MakeTrain(8, 10);
+  const auto positives = data::Dataset::BuildPositives(train, 8);
+  Rng rng(2);
+  ForEachTrainBatch(train, positives, 50, 32, &rng,
+                    [&](const TrainBatch& batch) {
+                      for (size_t i = 0; i < batch.users.size(); ++i) {
+                        const auto& p = positives[static_cast<size_t>(
+                            batch.users[i])];
+                        EXPECT_FALSE(std::binary_search(
+                            p.begin(), p.end(), batch.negative_items[i]));
+                      }
+                    });
+}
+
+TEST(TrainBatchTest, ShuffleDiffersAcrossRngs) {
+  const auto train = MakeTrain(10, 10);
+  const auto positives = data::Dataset::BuildPositives(train, 10);
+  auto first_batch_users = [&](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<int64_t> users;
+    bool captured = false;
+    ForEachTrainBatch(train, positives, 50, 16, &rng,
+                      [&](const TrainBatch& batch) {
+                        if (!captured) {
+                          users = batch.users;
+                          captured = true;
+                        }
+                      });
+    return users;
+  };
+  EXPECT_NE(first_batch_users(1), first_batch_users(2));
+  EXPECT_EQ(first_batch_users(3), first_batch_users(3));
+}
+
+data::Dataset SmallDataset() {
+  data::SyntheticConfig config;
+  config.name = "trainer-test";
+  config.seed = 404;
+  config.num_users = 40;
+  config.num_items = 50;
+  config.interactions_per_user = 8.0;
+  config.num_relations = 4;
+  config.num_informative_relations = 3;
+  config.triplets_per_item = 4.0;
+  config.num_noise_entities = 20;
+  config.entities_per_relation_pool = 8;
+  config.second_level_pool = 8;
+  return data::GenerateSyntheticDataset(config, 2);
+}
+
+TEST(TrainingLoopTest, RejectsEmptyTrainSplit) {
+  data::Dataset d = SmallDataset();
+  d.train.clear();
+  data::PresetHyperParams hparams;
+  hparams.embedding_dim = 8;
+  auto model = CreateModel("BPRMF", hparams);
+  TrainOptions options;
+  EXPECT_FALSE(model->Fit(d, options).ok());
+}
+
+TEST(TrainingLoopTest, RecallStoppingMetricDiffersFromAuc) {
+  // Both metrics must drive the loop without error and record a best value.
+  const data::Dataset d = SmallDataset();
+  data::PresetHyperParams hparams;
+  hparams.embedding_dim = 8;
+  for (const auto metric :
+       {EarlyStopMetric::kAuc, EarlyStopMetric::kRecallAt20}) {
+    auto model = CreateModel("BPRMF", hparams);
+    TrainOptions options;
+    options.max_epochs = 4;
+    options.patience = 4;
+    options.batch_size = 32;
+    options.early_stop_metric = metric;
+    ASSERT_TRUE(model->Fit(d, options).ok());
+    EXPECT_GT(model->train_stats().best_eval_metric, 0.0);
+    EXPECT_LE(model->train_stats().best_eval_metric, 1.0);
+  }
+}
+
+TEST(TrainingLoopTest, LossCurveLengthMatchesEpochsRun) {
+  const data::Dataset d = SmallDataset();
+  data::PresetHyperParams hparams;
+  hparams.embedding_dim = 8;
+  auto model = CreateModel("BPRMF", hparams);
+  TrainOptions options;
+  options.max_epochs = 5;
+  options.patience = 5;
+  options.batch_size = 32;
+  ASSERT_TRUE(model->Fit(d, options).ok());
+  EXPECT_EQ(static_cast<int64_t>(model->train_stats().epoch_losses.size()),
+            model->train_stats().epochs_run);
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace cgkgr
