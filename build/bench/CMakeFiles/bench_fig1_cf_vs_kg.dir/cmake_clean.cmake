@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_cf_vs_kg.dir/bench_fig1_cf_vs_kg.cc.o"
+  "CMakeFiles/bench_fig1_cf_vs_kg.dir/bench_fig1_cf_vs_kg.cc.o.d"
+  "bench_fig1_cf_vs_kg"
+  "bench_fig1_cf_vs_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_cf_vs_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_cf_vs_kg.
+# This may be replaced when dependencies are built.

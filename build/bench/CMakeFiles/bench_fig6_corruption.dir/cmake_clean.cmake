@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_corruption.dir/bench_fig6_corruption.cc.o"
+  "CMakeFiles/bench_fig6_corruption.dir/bench_fig6_corruption.cc.o.d"
+  "bench_fig6_corruption"
+  "bench_fig6_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_aggregator.dir/bench_table10_aggregator.cc.o"
+  "CMakeFiles/bench_table10_aggregator.dir/bench_table10_aggregator.cc.o.d"
+  "bench_table10_aggregator"
+  "bench_table10_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

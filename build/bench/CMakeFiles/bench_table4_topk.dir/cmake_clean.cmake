@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_topk.dir/bench_table4_topk.cc.o"
+  "CMakeFiles/bench_table4_topk.dir/bench_table4_topk.cc.o.d"
+  "bench_table4_topk"
+  "bench_table4_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

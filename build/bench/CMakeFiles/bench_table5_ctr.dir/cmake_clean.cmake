@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ctr.dir/bench_table5_ctr.cc.o"
+  "CMakeFiles/bench_table5_ctr.dir/bench_table5_ctr.cc.o.d"
+  "bench_table5_ctr"
+  "bench_table5_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

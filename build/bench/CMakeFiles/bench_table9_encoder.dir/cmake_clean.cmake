@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_encoder.dir/bench_table9_encoder.cc.o"
+  "CMakeFiles/bench_table9_encoder.dir/bench_table9_encoder.cc.o.d"
+  "bench_table9_encoder"
+  "bench_table9_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

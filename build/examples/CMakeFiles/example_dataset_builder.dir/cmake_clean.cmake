@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dataset_builder.dir/dataset_builder.cpp.o"
+  "CMakeFiles/example_dataset_builder.dir/dataset_builder.cpp.o.d"
+  "example_dataset_builder"
+  "example_dataset_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dataset_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

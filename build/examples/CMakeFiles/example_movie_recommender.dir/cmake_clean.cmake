@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_movie_recommender.dir/movie_recommender.cpp.o"
+  "CMakeFiles/example_movie_recommender.dir/movie_recommender.cpp.o.d"
+  "example_movie_recommender"
+  "example_movie_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_movie_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

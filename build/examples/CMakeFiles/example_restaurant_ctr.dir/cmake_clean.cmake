@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_restaurant_ctr.dir/restaurant_ctr.cpp.o"
+  "CMakeFiles/example_restaurant_ctr.dir/restaurant_ctr.cpp.o.d"
+  "example_restaurant_ctr"
+  "example_restaurant_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_restaurant_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

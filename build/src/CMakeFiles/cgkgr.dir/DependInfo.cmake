@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/cgkgr.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/cgkgr.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/baselines/bprmf.cc" "src/CMakeFiles/cgkgr.dir/baselines/bprmf.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/baselines/bprmf.cc.o.d"
+  "/root/repo/src/baselines/ckan.cc" "src/CMakeFiles/cgkgr.dir/baselines/ckan.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/baselines/ckan.cc.o.d"
+  "/root/repo/src/baselines/cke.cc" "src/CMakeFiles/cgkgr.dir/baselines/cke.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/baselines/cke.cc.o.d"
+  "/root/repo/src/baselines/kgat.cc" "src/CMakeFiles/cgkgr.dir/baselines/kgat.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/baselines/kgat.cc.o.d"
+  "/root/repo/src/baselines/kgcn.cc" "src/CMakeFiles/cgkgr.dir/baselines/kgcn.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/baselines/kgcn.cc.o.d"
+  "/root/repo/src/baselines/kgnn_ls.cc" "src/CMakeFiles/cgkgr.dir/baselines/kgnn_ls.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/baselines/kgnn_ls.cc.o.d"
+  "/root/repo/src/baselines/nfm.cc" "src/CMakeFiles/cgkgr.dir/baselines/nfm.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/baselines/nfm.cc.o.d"
+  "/root/repo/src/baselines/ripplenet.cc" "src/CMakeFiles/cgkgr.dir/baselines/ripplenet.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/baselines/ripplenet.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/cgkgr.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/cgkgr.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/cgkgr.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cgkgr.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/cgkgr.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/cgkgr.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/core/cgkgr_config.cc" "src/CMakeFiles/cgkgr.dir/core/cgkgr_config.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/core/cgkgr_config.cc.o.d"
+  "/root/repo/src/core/cgkgr_model.cc" "src/CMakeFiles/cgkgr.dir/core/cgkgr_model.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/core/cgkgr_model.cc.o.d"
+  "/root/repo/src/data/corruption.cc" "src/CMakeFiles/cgkgr.dir/data/corruption.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/data/corruption.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/cgkgr.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/cgkgr.dir/data/io.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/data/io.cc.o.d"
+  "/root/repo/src/data/presets.cc" "src/CMakeFiles/cgkgr.dir/data/presets.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/data/presets.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/cgkgr.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/cgkgr.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/cgkgr.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/protocol.cc" "src/CMakeFiles/cgkgr.dir/eval/protocol.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/eval/protocol.cc.o.d"
+  "/root/repo/src/eval/wilcoxon.cc" "src/CMakeFiles/cgkgr.dir/eval/wilcoxon.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/eval/wilcoxon.cc.o.d"
+  "/root/repo/src/graph/interaction_graph.cc" "src/CMakeFiles/cgkgr.dir/graph/interaction_graph.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/graph/interaction_graph.cc.o.d"
+  "/root/repo/src/graph/knowledge_graph.cc" "src/CMakeFiles/cgkgr.dir/graph/knowledge_graph.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/graph/knowledge_graph.cc.o.d"
+  "/root/repo/src/graph/sampler.cc" "src/CMakeFiles/cgkgr.dir/graph/sampler.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/graph/sampler.cc.o.d"
+  "/root/repo/src/models/recommender.cc" "src/CMakeFiles/cgkgr.dir/models/recommender.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/models/recommender.cc.o.d"
+  "/root/repo/src/models/registry.cc" "src/CMakeFiles/cgkgr.dir/models/registry.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/models/registry.cc.o.d"
+  "/root/repo/src/models/trainer_util.cc" "src/CMakeFiles/cgkgr.dir/models/trainer_util.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/models/trainer_util.cc.o.d"
+  "/root/repo/src/nn/adam.cc" "src/CMakeFiles/cgkgr.dir/nn/adam.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/nn/adam.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/CMakeFiles/cgkgr.dir/nn/dense.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/nn/dense.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/cgkgr.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/gradient_check.cc" "src/CMakeFiles/cgkgr.dir/nn/gradient_check.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/nn/gradient_check.cc.o.d"
+  "/root/repo/src/nn/parameter.cc" "src/CMakeFiles/cgkgr.dir/nn/parameter.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/nn/parameter.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/cgkgr.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/tensor/init.cc" "src/CMakeFiles/cgkgr.dir/tensor/init.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/tensor/init.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/cgkgr.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/tensor_ops.cc" "src/CMakeFiles/cgkgr.dir/tensor/tensor_ops.cc.o" "gcc" "src/CMakeFiles/cgkgr.dir/tensor/tensor_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgkgr_model_test.dir/cgkgr_model_test.cc.o"
+  "CMakeFiles/cgkgr_model_test.dir/cgkgr_model_test.cc.o.d"
+  "cgkgr_model_test"
+  "cgkgr_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgkgr_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
