@@ -8,7 +8,9 @@ namespace cgkgr {
 namespace autograd {
 
 namespace {
-bool g_grad_mode = true;
+// Per-thread so a NoGradGuard on one thread (e.g. a thread-pool worker
+// doing inference) cannot flip tape recording under a concurrent caller.
+thread_local bool g_grad_mode = true;
 }  // namespace
 
 void Node::EnsureGrad() {

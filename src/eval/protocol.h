@@ -33,6 +33,16 @@ struct TopKOptions {
   int64_t chunk_size = 4096;
   /// Seed for the user subsample.
   uint64_t user_sample_seed = 7;
+  /// Concurrent lanes for the per-user candidate masking, ranking sort, and
+  /// metric computation (common/thread_pool). All ScorePairs calls stay on
+  /// the calling thread in the exact order of the sequential path — the
+  /// PairScorer contract does not require thread safety, and several models
+  /// advance an internal RNG per call — so results are bit-identical for
+  /// every value of this knob; 1 (the default) runs the historical fully
+  /// sequential code path. Values > 1 buffer each evaluated user's candidate
+  /// scores (O(evaluated_users x num_items) floats) until the parallel
+  /// ranking phase.
+  int64_t num_threads = 1;
 };
 
 /// Mean ranking metrics over evaluated users. Recall/NDCG are the paper's

@@ -1,0 +1,215 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/macros.h"
+#include "common/timer.h"
+
+namespace cgkgr {
+namespace serve {
+
+namespace {
+
+/// Ranking order: score descending, item id ascending on ties. The id
+/// tiebreak makes results independent of block boundaries and thread
+/// schedule.
+inline bool Ranks(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+/// Collects the top-k of one item block [begin, end) into `out` (appended).
+void BlockTopK(const Snapshot& snapshot, int64_t user, int64_t begin,
+               int64_t end, int64_t k, bool filter_seen,
+               std::vector<ScoredItem>* out) {
+  const float* row = snapshot.UserScores(user);
+  const auto& seen = snapshot.seen[static_cast<size_t>(user)];
+  // Seen ids are sorted: walk the sub-range overlapping this block instead
+  // of binary-searching per item.
+  auto seen_it = filter_seen
+                     ? std::lower_bound(seen.begin(), seen.end(), begin)
+                     : seen.end();
+  std::vector<ScoredItem> block;
+  block.reserve(static_cast<size_t>(end - begin));
+  for (int64_t item = begin; item < end; ++item) {
+    if (seen_it != seen.end() && *seen_it == item) {
+      ++seen_it;
+      continue;
+    }
+    block.push_back({item, row[item]});
+  }
+  const size_t keep = std::min<size_t>(block.size(), static_cast<size_t>(k));
+  std::partial_sort(block.begin(), block.begin() + keep, block.end(), Ranks);
+  out->insert(out->end(), block.begin(), block.begin() + keep);
+}
+
+/// Merges per-block winner lists into the final top-k via a bounded
+/// min-heap (the worst resident is on top and gets displaced first).
+std::vector<ScoredItem> HeapMergeTopK(std::vector<ScoredItem> winners,
+                                      int64_t k) {
+  const auto worse = [](const ScoredItem& a, const ScoredItem& b) {
+    return Ranks(a, b);  // min-heap on ranking order: top() = current worst
+  };
+  std::priority_queue<ScoredItem, std::vector<ScoredItem>, decltype(worse)>
+      heap(worse);
+  for (const ScoredItem& candidate : winners) {
+    if (static_cast<int64_t>(heap.size()) < k) {
+      heap.push(candidate);
+    } else if (Ranks(candidate, heap.top())) {
+      heap.pop();
+      heap.push(candidate);
+    }
+  }
+  std::vector<ScoredItem> result(heap.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = heap.top();
+    heap.pop();
+  }
+  return result;
+}
+
+}  // namespace
+
+Engine::Engine(std::shared_ptr<const Snapshot> snapshot, EngineOptions options)
+    : options_(options), pool_(options.num_threads), snapshot_(std::move(snapshot)) {
+  CGKGR_CHECK(snapshot_ != nullptr);
+  CGKGR_CHECK(options_.block_size > 0);
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<
+        ShardedLruCache<CacheKey, std::vector<ScoredItem>, CacheKeyHash>>(
+        options_.cache_capacity, std::max<int64_t>(1, options_.cache_shards));
+  }
+}
+
+std::vector<ScoredItem> Engine::Compute(const Snapshot& snapshot, int64_t user,
+                                        int64_t k) const {
+  std::vector<ScoredItem> winners;
+  for (int64_t begin = 0; begin < snapshot.num_items;
+       begin += options_.block_size) {
+    BlockTopK(snapshot, user, begin,
+              std::min(snapshot.num_items, begin + options_.block_size), k,
+              options_.filter_seen, &winners);
+  }
+  return HeapMergeTopK(std::move(winners), k);
+}
+
+std::vector<ScoredItem> Engine::ComputeParallel(const Snapshot& snapshot,
+                                                int64_t user, int64_t k) {
+  const int64_t num_blocks =
+      (snapshot.num_items + options_.block_size - 1) / options_.block_size;
+  std::vector<std::vector<ScoredItem>> per_block(
+      static_cast<size_t>(num_blocks));
+  pool_.ParallelFor(
+      0, snapshot.num_items, options_.block_size,
+      [&](int64_t begin, int64_t end) {
+        BlockTopK(snapshot, user, begin, end, k, options_.filter_seen,
+                  &per_block[static_cast<size_t>(begin / options_.block_size)]);
+      });
+  std::vector<ScoredItem> winners;
+  for (const auto& block : per_block) {
+    winners.insert(winners.end(), block.begin(), block.end());
+  }
+  return HeapMergeTopK(std::move(winners), k);
+}
+
+std::vector<ScoredItem> Engine::Serve(
+    const Snapshot& snapshot, uint64_t generation, int64_t user, int64_t k,
+    const std::function<std::vector<ScoredItem>(int64_t, int64_t)>& compute) {
+  CGKGR_CHECK(user >= 0 && user < snapshot.num_users);
+  CGKGR_CHECK(k > 0);
+  WallTimer timer;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const CacheKey key{generation, user, k};
+  std::vector<ScoredItem> result;
+  if (cache_ != nullptr && cache_->Get(key, &result)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    latency_.Record(timer.ElapsedMillis() * 1e3);
+    return result;
+  }
+  if (cache_ != nullptr) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  result = compute(user, k);
+  if (cache_ != nullptr) cache_->Put(key, result);
+  latency_.Record(timer.ElapsedMillis() * 1e3);
+  return result;
+}
+
+std::vector<ScoredItem> Engine::TopK(int64_t user, int64_t k) {
+  std::shared_ptr<const Snapshot> snapshot;
+  uint64_t generation = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    snapshot = snapshot_;
+    generation = generation_;
+  }
+  return Serve(*snapshot, generation, user, k,
+               [this, &snapshot](int64_t u, int64_t kk) {
+                 return ComputeParallel(*snapshot, u, kk);
+               });
+}
+
+std::vector<std::vector<ScoredItem>> Engine::TopKBatch(
+    const std::vector<TopKRequest>& requests) {
+  std::shared_ptr<const Snapshot> snapshot;
+  uint64_t generation = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    snapshot = snapshot_;
+    generation = generation_;
+  }
+  std::vector<std::vector<ScoredItem>> results(requests.size());
+  // Whole requests spread across lanes; each lane computes single-threaded
+  // (independent queries parallelize better than shared block merges).
+  pool_.ParallelForEach(
+      0, static_cast<int64_t>(requests.size()), /*grain=*/1, [&](int64_t r) {
+        const TopKRequest& request = requests[static_cast<size_t>(r)];
+        results[static_cast<size_t>(r)] =
+            Serve(*snapshot, generation, request.user, request.k,
+                  [this, &snapshot](int64_t u, int64_t k) {
+                    return Compute(*snapshot, u, k);
+                  });
+      });
+  return results;
+}
+
+void Engine::ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot) {
+  CGKGR_CHECK(snapshot != nullptr);
+  {
+    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+    ++generation_;
+  }
+  // Explicit invalidation; the generation bump above already guarantees
+  // in-flight queries against the old snapshot cannot serve future hits.
+  if (cache_ != nullptr) cache_->Clear();
+  snapshot_reloads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const Snapshot> Engine::snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+EngineStats Engine::stats() const {
+  EngineStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.cache_evictions = cache_ != nullptr ? cache_->evictions() : 0;
+  stats.snapshot_reloads = snapshot_reloads_.load(std::memory_order_relaxed);
+  stats.p50_micros = latency_.PercentileMicros(0.50);
+  stats.p99_micros = latency_.PercentileMicros(0.99);
+  return stats;
+}
+
+void Engine::ResetStats() {
+  requests_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  latency_.Reset();
+}
+
+}  // namespace serve
+}  // namespace cgkgr

@@ -1,0 +1,145 @@
+#ifndef CGKGR_SERVE_ENGINE_H_
+#define CGKGR_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "serve/lru_cache.h"
+#include "serve/snapshot.h"
+#include "serve/stats.h"
+
+namespace cgkgr {
+namespace serve {
+
+/// One ranked recommendation.
+struct ScoredItem {
+  int64_t item = 0;
+  float score = 0.0f;
+
+  bool operator==(const ScoredItem&) const = default;
+};
+
+/// One query in a TopKBatch call.
+struct TopKRequest {
+  int64_t user = 0;
+  int64_t k = 0;
+};
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Concurrent lanes (1 = fully single-threaded, no worker spawned).
+  /// Single TopK calls split their item blocks across lanes; TopKBatch
+  /// spreads whole requests instead (better locality, no merge contention).
+  int64_t num_threads = 1;
+  /// Items per scoring block (the partial_sort granule).
+  int64_t block_size = 512;
+  /// Drop items the user already interacted with in the train split.
+  bool filter_seen = true;
+  /// Total cached result lists across shards; 0 disables the cache.
+  int64_t cache_capacity = 4096;
+  /// Lock shards of the result cache.
+  int64_t cache_shards = 8;
+};
+
+/// Answers Top-K recommendation queries from a frozen Snapshot at
+/// interactive latency: no model code runs on the request path.
+///
+/// Per query, the user's score row is scanned in blocks; each block keeps
+/// its local top-k with std::partial_sort, and block winners meet in a
+/// bounded min-heap merge, so per-query work is O(num_items + blocks·k·log k)
+/// instead of a full O(num_items·log num_items) sort. Results are
+/// deterministic: ties break toward the smaller item id regardless of
+/// block/thread schedule.
+///
+/// Thread safety: TopK/TopKBatch may be called concurrently with each other
+/// and with ReloadSnapshot. Reload swaps the snapshot pointer under a writer
+/// lock and invalidates the result cache (entries are additionally
+/// generation-keyed, so an in-flight query can never resurrect a stale
+/// list).
+class Engine {
+ public:
+  Engine(std::shared_ptr<const Snapshot> snapshot, EngineOptions options);
+
+  /// The top `k` unseen items for `user`, ranked by (score desc, item asc).
+  /// Fewer than k items are returned only when the candidate set is smaller
+  /// than k. `user` must be in [0, num_users); k must be positive.
+  std::vector<ScoredItem> TopK(int64_t user, int64_t k);
+
+  /// Answers a batch of requests, parallelized across the pool. Results are
+  /// aligned with `requests`.
+  std::vector<std::vector<ScoredItem>> TopKBatch(
+      const std::vector<TopKRequest>& requests);
+
+  /// Atomically replaces the snapshot (e.g. after retraining) and
+  /// invalidates every cached result.
+  void ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot);
+
+  /// The currently served snapshot.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Point-in-time counters.
+  EngineStats stats() const;
+
+  /// Zeroes counters and the latency histogram (call quiesced).
+  void ResetStats();
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  /// Scores one request against `snapshot`, single-threaded.
+  std::vector<ScoredItem> Compute(const Snapshot& snapshot, int64_t user,
+                                  int64_t k) const;
+  /// Block-parallel variant used for direct TopK calls.
+  std::vector<ScoredItem> ComputeParallel(const Snapshot& snapshot,
+                                          int64_t user, int64_t k);
+  /// Cache lookup + compute + cache fill for one request.
+  std::vector<ScoredItem> Serve(
+      const Snapshot& snapshot, uint64_t generation, int64_t user, int64_t k,
+      const std::function<std::vector<ScoredItem>(int64_t, int64_t)>& compute);
+
+  struct CacheKey {
+    uint64_t generation = 0;
+    int64_t user = 0;
+    int64_t k = 0;
+
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const {
+      // splitmix-style mixing of the three fields.
+      uint64_t h = key.generation * 0x9E3779B97F4A7C15ULL;
+      h ^= static_cast<uint64_t>(key.user) + 0x9E3779B97F4A7C15ULL +
+           (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(key.k) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+           (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  const EngineOptions options_;
+  ThreadPool pool_;
+
+  mutable std::shared_mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_;  // guarded by snapshot_mu_
+  uint64_t generation_ = 0;                   // guarded by snapshot_mu_
+
+  std::unique_ptr<ShardedLruCache<CacheKey, std::vector<ScoredItem>,
+                                  CacheKeyHash>>
+      cache_;  // null when cache_capacity == 0
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> snapshot_reloads_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace serve
+}  // namespace cgkgr
+
+#endif  // CGKGR_SERVE_ENGINE_H_

@@ -1,0 +1,134 @@
+#ifndef CGKGR_SERVE_LRU_CACHE_H_
+#define CGKGR_SERVE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+namespace serve {
+
+/// A thread-safe LRU cache sharded by key hash. Each shard holds its own
+/// mutex, recency list, and index, so concurrent lookups for different keys
+/// mostly touch disjoint locks. Eviction is per shard (capacity is divided
+/// evenly across shards), which approximates global LRU the way most
+/// production caches do (memcached, LevelDB block cache).
+///
+/// Values are returned by copy: entries can be evicted by another thread the
+/// moment the shard lock is released, so references would dangle.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// `capacity` = total entries across shards (values < num_shards are
+  /// raised so every shard can hold at least one entry). Use num_shards = 1
+  /// for deterministic global LRU order (tests); the serving engine defaults
+  /// to more shards for lock spreading.
+  explicit ShardedLruCache(int64_t capacity, int64_t num_shards = 8) {
+    CGKGR_CHECK(capacity > 0 && num_shards > 0);
+    const int64_t per_shard = (capacity + num_shards - 1) / num_shards;
+    shards_.reserve(static_cast<size_t>(num_shards));
+    for (int64_t s = 0; s < num_shards; ++s) {
+      // Shard owns a mutex (immovable), so shards live behind unique_ptr.
+      shards_.push_back(std::make_unique<Shard>());
+      shards_.back()->capacity = per_shard;
+    }
+  }
+
+  /// Copies the cached value for `key` into `*value` and promotes the entry
+  /// to most-recently-used. Returns false on miss.
+  bool Get(const Key& key, Value* value) {
+    CGKGR_CHECK(value != nullptr);
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    *value = it->second->second;
+    return true;
+  }
+
+  /// Inserts or overwrites `key`, evicting the shard's least-recently-used
+  /// entry when full.
+  void Put(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    if (static_cast<int64_t>(shard.order.size()) >= shard.capacity) {
+      shard.index.erase(shard.order.back().first);
+      shard.order.pop_back();
+      ++shard.evictions;
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.order.begin());
+  }
+
+  /// True when `key` is resident (no recency promotion; test helper).
+  bool Contains(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.index.find(key) != shard.index.end();
+  }
+
+  /// Drops every entry in every shard (snapshot-reload invalidation).
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->order.clear();
+      shard->index.clear();
+    }
+  }
+
+  /// Resident entries across shards.
+  int64_t size() const {
+    int64_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += static_cast<int64_t>(shard->order.size());
+    }
+    return total;
+  }
+
+  /// Evictions across shards since construction (Clear does not count).
+  int64_t evictions() const {
+    int64_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->evictions;
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    int64_t capacity = 0;
+    int64_t evictions = 0;
+    /// Front = most recently used.
+    std::list<std::pair<Key, Value>> order;
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        index;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[Hash()(key) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace serve
+}  // namespace cgkgr
+
+#endif  // CGKGR_SERVE_LRU_CACHE_H_

@@ -1,0 +1,133 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace cgkgr {
+namespace serve {
+
+namespace {
+/// Framing follows nn/serialize: a magic line, counts, then hex-float
+/// payload lines (bit-exact round-trips through strtod).
+const char kMagic[] = "cgkgr-snapshot-v1";
+}  // namespace
+
+Snapshot BuildSnapshot(models::RecommenderModel* model,
+                       const data::Dataset& dataset,
+                       const BuildSnapshotOptions& options) {
+  CGKGR_CHECK(model != nullptr);
+  CGKGR_CHECK(options.chunk_size > 0);
+  Snapshot snapshot;
+  snapshot.model_name = model->name();
+  snapshot.dataset_name = dataset.name;
+  snapshot.num_users = dataset.num_users;
+  snapshot.num_items = dataset.num_items;
+  snapshot.scores.resize(
+      static_cast<size_t>(dataset.num_users * dataset.num_items));
+  snapshot.seen = dataset.BuildTrainPositives();
+
+  // Model scoring stays on this thread (PairScorer is not required to be
+  // thread-safe). Pairs are chunked exactly like the eval protocol so the
+  // per-call shapes match what models were exercised with.
+  std::vector<int64_t> batch_users;
+  std::vector<int64_t> batch_items;
+  std::vector<float> batch_scores;
+  for (int64_t user = 0; user < dataset.num_users; ++user) {
+    for (int64_t begin = 0; begin < dataset.num_items;
+         begin += options.chunk_size) {
+      const int64_t end =
+          std::min(dataset.num_items, begin + options.chunk_size);
+      batch_users.assign(static_cast<size_t>(end - begin), user);
+      batch_items.resize(static_cast<size_t>(end - begin));
+      for (int64_t i = begin; i < end; ++i) {
+        batch_items[static_cast<size_t>(i - begin)] = i;
+      }
+      model->ScorePairs(batch_users, batch_items, &batch_scores);
+      CGKGR_CHECK(batch_scores.size() == static_cast<size_t>(end - begin));
+      std::copy(batch_scores.begin(), batch_scores.end(),
+                snapshot.scores.begin() +
+                    static_cast<size_t>(user * dataset.num_items + begin));
+    }
+  }
+  return snapshot;
+}
+
+Status SaveSnapshot(const Snapshot& snapshot, const std::string& path) {
+  CGKGR_CHECK(snapshot.scores.size() ==
+              static_cast<size_t>(snapshot.num_users * snapshot.num_items));
+  CGKGR_CHECK(snapshot.seen.size() ==
+              static_cast<size_t>(snapshot.num_users));
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << kMagic << '\n'
+      << snapshot.model_name << '\n'
+      << snapshot.dataset_name << '\n'
+      << snapshot.num_users << ' ' << snapshot.num_items << '\n';
+  for (int64_t u = 0; u < snapshot.num_users; ++u) {
+    const float* row = snapshot.UserScores(u);
+    for (int64_t i = 0; i < snapshot.num_items; ++i) {
+      // %a hex floats round-trip exactly.
+      out << StrFormat("%a", static_cast<double>(row[i]));
+      out << (i + 1 == snapshot.num_items ? '\n' : ' ');
+    }
+    if (snapshot.num_items == 0) out << '\n';
+  }
+  for (int64_t u = 0; u < snapshot.num_users; ++u) {
+    const auto& items = snapshot.seen[static_cast<size_t>(u)];
+    out << items.size();
+    for (int64_t item : items) out << ' ' << item;
+    out << '\n';
+  }
+  return out ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<Snapshot> LoadSnapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad snapshot header: " + magic);
+  }
+  Snapshot snapshot;
+  std::getline(in, snapshot.model_name);
+  std::getline(in, snapshot.dataset_name);
+  in >> snapshot.num_users >> snapshot.num_items;
+  if (!in || snapshot.num_users < 0 || snapshot.num_items < 0) {
+    return Status::IOError("truncated snapshot dimensions");
+  }
+  snapshot.scores.resize(
+      static_cast<size_t>(snapshot.num_users * snapshot.num_items));
+  for (size_t i = 0; i < snapshot.scores.size(); ++i) {
+    std::string token;
+    in >> token;
+    char* token_end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &token_end);
+    if (!in || token_end != token.c_str() + token.size()) {
+      return Status::IOError("malformed score value: " + token);
+    }
+    snapshot.scores[i] = static_cast<float>(parsed);
+  }
+  snapshot.seen.resize(static_cast<size_t>(snapshot.num_users));
+  for (int64_t u = 0; u < snapshot.num_users; ++u) {
+    size_t count = 0;
+    in >> count;
+    if (!in) return Status::IOError("truncated seen list");
+    auto& items = snapshot.seen[static_cast<size_t>(u)];
+    items.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      in >> items[i];
+      if (!in || items[i] < 0 || items[i] >= snapshot.num_items) {
+        return Status::IOError("seen item out of range");
+      }
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace serve
+}  // namespace cgkgr

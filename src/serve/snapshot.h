@@ -1,0 +1,68 @@
+#ifndef CGKGR_SERVE_SNAPSHOT_H_
+#define CGKGR_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "models/recommender.h"
+
+namespace cgkgr {
+namespace serve {
+
+/// A frozen inference artifact: the trained model's final per-user score
+/// vectors over the item catalog, plus the per-user train-split item lists
+/// used for seen-item filtering at query time.
+///
+/// The scores are materialized offline through `eval::PairScorer`, so the
+/// snapshot is exact for *any* RecommenderModel — including the non-bilinear
+/// ones (CG-KGR's guided attention, CKAN, NFM) whose scoring function does
+/// not factor into a user·item dot product. Serving then never touches the
+/// model: `serve::Engine` answers Top-K from this matrix alone.
+struct Snapshot {
+  std::string model_name;
+  std::string dataset_name;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  /// Row-major (num_users x num_items): scores[u * num_items + i] is the
+  /// model's matching score y_hat(u, i).
+  std::vector<float> scores;
+  /// Per-user sorted train-split item ids (candidates the engine filters
+  /// out when EngineOptions::filter_seen is set).
+  std::vector<std::vector<int64_t>> seen;
+
+  /// The user's score vector (length num_items).
+  const float* UserScores(int64_t user) const {
+    return scores.data() + user * num_items;
+  }
+};
+
+/// Knobs for BuildSnapshot.
+struct BuildSnapshotOptions {
+  /// Pairs scored per ScorePairs call (mirrors eval::TopKOptions). Scoring
+  /// always stays on the calling thread: PairScorer implementations are not
+  /// required to be thread-safe (several baselines advance a member RNG per
+  /// call), so snapshot export is a strictly sequential offline pass.
+  int64_t chunk_size = 4096;
+};
+
+/// Batch-scores every (user, item) pair of the dataset through the trained
+/// model and packages the result with train-split seen lists.
+Snapshot BuildSnapshot(models::RecommenderModel* model,
+                       const data::Dataset& dataset,
+                       const BuildSnapshotOptions& options = {});
+
+/// Writes `snapshot` to `path` in a versioned text format. Scores use
+/// hexadecimal float literals (the nn/serialize convention), so the
+/// round-trip is bit-exact.
+Status SaveSnapshot(const Snapshot& snapshot, const std::string& path);
+
+/// Loads a snapshot previously written by SaveSnapshot.
+Result<Snapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace serve
+}  // namespace cgkgr
+
+#endif  // CGKGR_SERVE_SNAPSHOT_H_

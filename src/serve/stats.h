@@ -1,0 +1,66 @@
+#ifndef CGKGR_SERVE_STATS_H_
+#define CGKGR_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cgkgr {
+namespace serve {
+
+/// Lock-free fixed-bucket latency histogram. Bucket b counts samples in
+/// [2^b, 2^(b+1)) microseconds (bucket 0 additionally absorbs sub-1us
+/// samples), so 32 buckets span sub-microsecond to ~71 minutes. Percentiles
+/// are read as the upper bound of the bucket containing the requested rank —
+/// a <=2x overestimate, the usual tradeoff for O(1) atomic recording on the
+/// request path.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 32;
+
+  /// Records one sample; safe to call from any thread.
+  void Record(double micros);
+
+  /// Upper bound (in microseconds) of the bucket holding the p-quantile
+  /// sample, p in [0, 1]. Returns 0 when empty.
+  double PercentileMicros(double p) const;
+
+  /// Samples recorded.
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Zeroes all buckets (not atomic with respect to concurrent Record; call
+  /// from a quiesced engine).
+  void Reset();
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+};
+
+/// A point-in-time copy of an Engine's counters.
+struct EngineStats {
+  int64_t requests = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t snapshot_reloads = 0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+
+  double CacheHitRate() const {
+    const int64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+
+  /// Renders the counters as an aligned two-column table
+  /// (common/table_printer layout).
+  std::string ToTable() const;
+};
+
+}  // namespace serve
+}  // namespace cgkgr
+
+#endif  // CGKGR_SERVE_STATS_H_

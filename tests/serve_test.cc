@@ -1,0 +1,343 @@
+// Tests for src/serve: snapshot save->load round-trip equality, Engine
+// Top-K agreement with brute-force model scoring, LRU cache eviction and
+// invalidation-on-reload, batch/single consistency, and the threaded
+// EvaluateTopK knob staying bit-identical.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "eval/protocol.h"
+#include "models/registry.h"
+#include "serve/engine.h"
+#include "serve/lru_cache.h"
+#include "serve/snapshot.h"
+
+namespace cgkgr {
+namespace serve {
+namespace {
+
+data::Dataset SmallDataset() {
+  data::SyntheticConfig config;
+  config.name = "serve-test";
+  config.seed = 99;
+  config.num_users = 40;
+  config.num_items = 70;
+  config.interactions_per_user = 9.0;
+  config.triplets_per_item = 4.0;
+  return data::GenerateSyntheticDataset(config, 5);
+}
+
+/// A quickly trained deterministic pure-function scorer (BPRMF scores are
+/// plain dot products: no inference-time sampling, so brute-force and
+/// snapshot scoring agree exactly).
+std::unique_ptr<models::RecommenderModel> TrainedModel(
+    const data::Dataset& dataset) {
+  data::PresetHyperParams hparams;
+  hparams.embedding_dim = 8;
+  auto model = models::CreateModel("BPRMF", hparams);
+  models::TrainOptions options;
+  options.max_epochs = 4;
+  options.patience = 100;
+  options.seed = 7;
+  EXPECT_TRUE(model->Fit(dataset, options).ok());
+  return model;
+}
+
+/// Engine's ranking order: score desc, item id asc.
+bool Ranks(const ScoredItem& a, const ScoredItem& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
+/// Brute-force reference: score every unseen item through the model and
+/// fully sort.
+std::vector<ScoredItem> BruteForceTopK(models::RecommenderModel* model,
+                                       const data::Dataset& dataset,
+                                       const std::vector<int64_t>& seen,
+                                       int64_t user, int64_t k) {
+  std::vector<int64_t> items;
+  for (int64_t i = 0; i < dataset.num_items; ++i) {
+    if (!std::binary_search(seen.begin(), seen.end(), i)) items.push_back(i);
+  }
+  const std::vector<int64_t> users(items.size(), user);
+  std::vector<float> scores;
+  model->ScorePairs(users, items, &scores);
+  std::vector<ScoredItem> ranked(items.size());
+  for (size_t i = 0; i < items.size(); ++i) ranked[i] = {items[i], scores[i]};
+  std::sort(ranked.begin(), ranked.end(), Ranks);
+  if (static_cast<int64_t>(ranked.size()) > k) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  return ranked;
+}
+
+// --- Snapshot ---
+
+TEST(SnapshotTest, SaveLoadRoundTripIsExact) {
+  Snapshot snapshot;
+  snapshot.model_name = "unit test model";
+  snapshot.dataset_name = "tiny";
+  snapshot.num_users = 3;
+  snapshot.num_items = 4;
+  snapshot.scores = {0.5f,     -1.25f, 3.1415926f, 0.0f,  //
+                     -0.0f,    1e-30f, -7.5e8f,    2.0f,  //
+                     0.33333f, 42.0f,  -42.0f,     1e-6f};
+  snapshot.seen = {{0, 2}, {}, {1, 2, 3}};
+  const std::string path = "/tmp/cgkgr_serve_test.snapshot";
+  ASSERT_TRUE(SaveSnapshot(snapshot, path).ok());
+
+  Result<Snapshot> loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().model_name, snapshot.model_name);
+  EXPECT_EQ(loaded.value().dataset_name, snapshot.dataset_name);
+  EXPECT_EQ(loaded.value().num_users, snapshot.num_users);
+  EXPECT_EQ(loaded.value().num_items, snapshot.num_items);
+  ASSERT_EQ(loaded.value().scores.size(), snapshot.scores.size());
+  for (size_t i = 0; i < snapshot.scores.size(); ++i) {
+    // Hex-float framing: bit-exact, not just approximately equal.
+    EXPECT_EQ(loaded.value().scores[i], snapshot.scores[i]) << "score " << i;
+  }
+  EXPECT_EQ(loaded.value().seen, snapshot.seen);
+}
+
+TEST(SnapshotTest, LoadRejectsMissingAndCorruptFiles) {
+  EXPECT_FALSE(LoadSnapshot("/nonexistent/cgkgr.snapshot").ok());
+  const std::string path = "/tmp/cgkgr_serve_test_bad.snapshot";
+  {
+    std::ofstream out(path);
+    out << "not-a-snapshot\n";
+  }
+  EXPECT_FALSE(LoadSnapshot(path).ok());
+}
+
+TEST(SnapshotTest, BuildSnapshotMatchesModelScores) {
+  const data::Dataset dataset = SmallDataset();
+  auto model = TrainedModel(dataset);
+  const Snapshot snapshot = BuildSnapshot(model.get(), dataset);
+  EXPECT_EQ(snapshot.model_name, model->name());
+  EXPECT_EQ(snapshot.num_users, dataset.num_users);
+  EXPECT_EQ(snapshot.num_items, dataset.num_items);
+  EXPECT_EQ(snapshot.seen, dataset.BuildTrainPositives());
+
+  // Spot-check full rows against direct model calls.
+  for (int64_t user : {int64_t{0}, dataset.num_users / 2,
+                       dataset.num_users - 1}) {
+    std::vector<int64_t> items(static_cast<size_t>(dataset.num_items));
+    for (int64_t i = 0; i < dataset.num_items; ++i) {
+      items[static_cast<size_t>(i)] = i;
+    }
+    const std::vector<int64_t> users(items.size(), user);
+    std::vector<float> expected;
+    model->ScorePairs(users, items, &expected);
+    const float* row = snapshot.UserScores(user);
+    for (int64_t i = 0; i < dataset.num_items; ++i) {
+      ASSERT_EQ(row[i], expected[static_cast<size_t>(i)])
+          << "user " << user << " item " << i;
+    }
+  }
+}
+
+// --- Engine vs brute force ---
+
+TEST(EngineTest, TopKMatchesBruteForceForEveryUser) {
+  const data::Dataset dataset = SmallDataset();
+  auto model = TrainedModel(dataset);
+  auto snapshot = std::make_shared<const Snapshot>(
+      BuildSnapshot(model.get(), dataset));
+
+  EngineOptions options;
+  options.num_threads = 4;
+  options.block_size = 16;  // force multiple blocks + heap merge
+  Engine engine(snapshot, options);
+
+  const auto seen = dataset.BuildTrainPositives();
+  for (int64_t user = 0; user < dataset.num_users; ++user) {
+    const auto expected = BruteForceTopK(
+        model.get(), dataset, seen[static_cast<size_t>(user)], user, 10);
+    const auto actual = engine.TopK(user, 10);
+    ASSERT_EQ(actual, expected) << "user " << user;
+  }
+}
+
+TEST(EngineTest, TopKBatchMatchesSingleCalls) {
+  const data::Dataset dataset = SmallDataset();
+  auto model = TrainedModel(dataset);
+  auto snapshot = std::make_shared<const Snapshot>(
+      BuildSnapshot(model.get(), dataset));
+
+  EngineOptions options;
+  options.num_threads = 4;
+  options.cache_capacity = 0;  // exercise the uncached path
+  Engine engine(snapshot, options);
+
+  std::vector<TopKRequest> requests;
+  for (int64_t user = 0; user < dataset.num_users; ++user) {
+    requests.push_back({user, 1 + user % 13});
+  }
+  const auto batched = engine.TopKBatch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    EXPECT_EQ(batched[r], engine.TopK(requests[r].user, requests[r].k))
+        << "request " << r;
+  }
+}
+
+TEST(EngineTest, FilterSeenExcludesTrainItems) {
+  const data::Dataset dataset = SmallDataset();
+  auto model = TrainedModel(dataset);
+  auto snapshot = std::make_shared<const Snapshot>(
+      BuildSnapshot(model.get(), dataset));
+  Engine engine(snapshot, EngineOptions{});
+
+  const auto seen = dataset.BuildTrainPositives();
+  for (int64_t user = 0; user < dataset.num_users; ++user) {
+    const auto& user_seen = seen[static_cast<size_t>(user)];
+    for (const ScoredItem& rec : engine.TopK(user, dataset.num_items)) {
+      EXPECT_FALSE(std::binary_search(user_seen.begin(), user_seen.end(),
+                                      rec.item))
+          << "user " << user << " got seen item " << rec.item;
+    }
+  }
+}
+
+TEST(EngineTest, ShortCandidateListsReturnFewerThanK) {
+  Snapshot snapshot;
+  snapshot.model_name = "m";
+  snapshot.dataset_name = "d";
+  snapshot.num_users = 1;
+  snapshot.num_items = 5;
+  snapshot.scores = {5.0f, 4.0f, 3.0f, 2.0f, 1.0f};
+  snapshot.seen = {{0, 3}};
+  Engine engine(std::make_shared<const Snapshot>(std::move(snapshot)),
+                EngineOptions{});
+  const auto result = engine.TopK(0, 10);
+  const std::vector<ScoredItem> expected = {{1, 4.0f}, {2, 3.0f}, {4, 1.0f}};
+  EXPECT_EQ(result, expected);
+}
+
+// --- LRU cache ---
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  ShardedLruCache<int, int> cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  int value = 0;
+  ASSERT_TRUE(cache.Get(1, &value));  // promotes 1 over 2
+  cache.Put(3, 30);                   // evicts 2
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2);
+}
+
+TEST(LruCacheTest, PutOverwritesAndPromotes) {
+  ShardedLruCache<int, int> cache(2, 1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // overwrite, no eviction, 1 becomes MRU
+  EXPECT_EQ(cache.evictions(), 0);
+  cache.Put(3, 30);  // evicts 2 (LRU), not 1
+  int value = 0;
+  ASSERT_TRUE(cache.Get(1, &value));
+  EXPECT_EQ(value, 11);
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LruCacheTest, ClearDropsEverything) {
+  ShardedLruCache<int, int> cache(8, 4);
+  for (int i = 0; i < 8; ++i) cache.Put(i, i);
+  EXPECT_GT(cache.size(), 0);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(cache.Contains(i));
+}
+
+TEST(EngineTest, CacheHitsAndInvalidationOnReload) {
+  Snapshot first;
+  first.model_name = "m";
+  first.dataset_name = "d";
+  first.num_users = 2;
+  first.num_items = 3;
+  first.scores = {1.0f, 2.0f, 3.0f, 3.0f, 2.0f, 1.0f};
+  first.seen = {{}, {}};
+
+  EngineOptions options;
+  options.cache_capacity = 16;
+  Engine engine(std::make_shared<const Snapshot>(first), options);
+
+  const auto before = engine.TopK(0, 2);
+  EXPECT_EQ(before.front().item, 2);
+  EXPECT_EQ(engine.TopK(0, 2), before);  // served from cache
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 1);
+
+  // Reload with inverted scores for user 0: the cached list must not
+  // survive.
+  Snapshot second = first;
+  second.scores = {3.0f, 2.0f, 1.0f, 3.0f, 2.0f, 1.0f};
+  engine.ReloadSnapshot(std::make_shared<const Snapshot>(second));
+  const auto after = engine.TopK(0, 2);
+  EXPECT_EQ(after.front().item, 0);
+  stats = engine.stats();
+  EXPECT_EQ(stats.snapshot_reloads, 1);
+  EXPECT_EQ(stats.cache_misses, 2);  // post-reload query recomputed
+  EXPECT_EQ(stats.cache_hits, 1);
+}
+
+TEST(EngineTest, StatsTableRendersCounters) {
+  Snapshot snapshot;
+  snapshot.model_name = "m";
+  snapshot.dataset_name = "d";
+  snapshot.num_users = 1;
+  snapshot.num_items = 2;
+  snapshot.scores = {1.0f, 2.0f};
+  snapshot.seen = {{}};
+  Engine engine(std::make_shared<const Snapshot>(std::move(snapshot)),
+                EngineOptions{});
+  engine.TopK(0, 1);
+  const std::string table = engine.stats().ToTable();
+  EXPECT_NE(table.find("requests"), std::string::npos);
+  EXPECT_NE(table.find("p99 latency"), std::string::npos);
+}
+
+// --- Threaded EvaluateTopK knob ---
+
+TEST(EvaluateTopKThreadedTest, ResultsBitIdenticalToSequential) {
+  const data::Dataset dataset = SmallDataset();
+  auto model = TrainedModel(dataset);
+  const auto mask = dataset.BuildTrainPositives();
+
+  eval::TopKOptions sequential;
+  sequential.ks = {5, 10, 20};
+  const eval::TopKResult a =
+      eval::EvaluateTopK(model.get(), dataset, dataset.test, mask, sequential);
+
+  eval::TopKOptions threaded = sequential;
+  threaded.num_threads = 4;
+  const eval::TopKResult b =
+      eval::EvaluateTopK(model.get(), dataset, dataset.test, mask, threaded);
+
+  EXPECT_EQ(a.evaluated_users, b.evaluated_users);
+  for (int64_t k : sequential.ks) {
+    EXPECT_EQ(a.recall.at(k), b.recall.at(k)) << "recall@" << k;
+    EXPECT_EQ(a.ndcg.at(k), b.ndcg.at(k)) << "ndcg@" << k;
+    EXPECT_EQ(a.precision.at(k), b.precision.at(k)) << "precision@" << k;
+    EXPECT_EQ(a.hit_rate.at(k), b.hit_rate.at(k)) << "hit@" << k;
+  }
+  EXPECT_EQ(a.map, b.map);
+  EXPECT_EQ(a.mrr, b.mrr);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace cgkgr
