@@ -1,0 +1,230 @@
+#include "analysis/tape_lint.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace cgkgr {
+namespace analysis {
+
+namespace {
+
+using autograd::Node;
+
+std::string ShapeString(const std::vector<int64_t>& shape) {
+  std::vector<std::string> dims;
+  dims.reserve(shape.size());
+  for (int64_t d : shape) dims.push_back(StrFormat("%lld", (long long)d));
+  return "[" + Join(dims, ", ") + "]";
+}
+
+/// Assigns "MatMul#3"-style labels in DFS discovery order so reports are
+/// deterministic for a given tape.
+class NodeLabeler {
+ public:
+  std::string Label(const Node* node) {
+    auto [it, inserted] = ids_.emplace(node, ids_.size());
+    return StrFormat("%s#%zu", node->op_name, it->second);
+  }
+
+ private:
+  std::unordered_map<const Node*, size_t> ids_;
+};
+
+}  // namespace
+
+const char* TapeViolationName(TapeViolation violation) {
+  switch (violation) {
+    case TapeViolation::kNonScalarLoss:
+      return "non-scalar-loss";
+    case TapeViolation::kShapeMismatch:
+      return "shape-mismatch";
+    case TapeViolation::kFreedBuffer:
+      return "freed-buffer";
+    case TapeViolation::kGradShapeMismatch:
+      return "grad-shape-mismatch";
+    case TapeViolation::kDetachedNode:
+      return "detached-node";
+    case TapeViolation::kOrphanedNode:
+      return "orphaned-node";
+    case TapeViolation::kUnreachableParameter:
+      return "unreachable-parameter";
+  }
+  return "unknown";
+}
+
+std::string TapeLintReport::ToTable() const {
+  TablePrinter census({"Tape", "Count"});
+  census.AddRow({"nodes", StrFormat("%lld", (long long)nodes)});
+  census.AddRow({"edges", StrFormat("%lld", (long long)edges)});
+  census.AddRow({"parameters", StrFormat("%lld", (long long)parameters)});
+  census.AddRow({"reachable parameters",
+                 StrFormat("%lld", (long long)reachable_parameters)});
+  if (frozen_parameters > 0) {
+    census.AddRow({"expected-frozen parameters",
+                   StrFormat("%lld", (long long)frozen_parameters)});
+  }
+  census.AddRow({"violations", StrFormat("%zu", issues.size())});
+  std::string out = census.ToString();
+  if (!issues.empty()) {
+    TablePrinter table({"Violation", "Node", "Detail"});
+    for (const TapeLintIssue& issue : issues) {
+      table.AddRow({TapeViolationName(issue.code), issue.node, issue.detail});
+    }
+    out += table.ToString();
+  }
+  return out;
+}
+
+Status LintTape(const autograd::Variable& loss,
+                const std::vector<autograd::Variable>& parameters,
+                const std::vector<std::string>& names, TapeLintReport* report,
+                const TapeLintOptions& options) {
+  CGKGR_CHECK(report != nullptr);
+  CGKGR_CHECK(names.empty() || names.size() == parameters.size());
+  *report = TapeLintReport{};
+  report->parameters = static_cast<int64_t>(parameters.size());
+  NodeLabeler labeler;
+
+  auto add = [report](TapeViolation code, std::string node,
+                      std::string detail) {
+    report->issues.push_back(
+        TapeLintIssue{code, std::move(node), std::move(detail)});
+  };
+
+  // Root checks. A broken root means no tape to walk, so bail out early —
+  // everything downstream would be noise.
+  if (!loss.defined()) {
+    add(TapeViolation::kNonScalarLoss, "loss", "loss variable is undefined");
+  } else if (loss.value().size() != 1) {
+    add(TapeViolation::kNonScalarLoss, labeler.Label(loss.node().get()),
+        StrFormat("loss must be scalar, got shape %s",
+                  loss.value().ShapeString().c_str()));
+  } else if (!loss.requires_grad()) {
+    add(TapeViolation::kNonScalarLoss, labeler.Label(loss.node().get()),
+        "loss does not require grad: no tape was recorded "
+        "(forward ran under NoGradGuard or only constants?)");
+  }
+  if (!report->issues.empty()) {
+    return Status::Internal(
+        StrFormat("tape lint: %s (%s)",
+                  TapeViolationName(report->issues.front().code),
+                  report->issues.front().detail.c_str()));
+  }
+
+  // Iterative DFS over every recorded edge (not just requires-grad ones:
+  // shape metadata is validated for constants too).
+  std::vector<const Node*> stack = {loss.node().get()};
+  std::unordered_map<const Node*, bool> visited;
+  visited.emplace(loss.node().get(), true);
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++report->nodes;
+    const std::string label = labeler.Label(node);
+
+    if (node->backward_fn && node->inputs.empty()) {
+      add(TapeViolation::kOrphanedNode, label,
+          "backward function attached but no inputs recorded; "
+          "its backward pass is a silent no-op");
+    }
+    if (!node->backward_fn && !node->inputs.empty()) {
+      add(TapeViolation::kDetachedNode, label,
+          StrFormat("%zu input(s) recorded but no backward function; "
+                    "gradient flow stops here",
+                    node->inputs.size()));
+    }
+    if (!node->grad.empty() && !node->grad.SameShape(node->value)) {
+      add(TapeViolation::kGradShapeMismatch, label,
+          StrFormat("grad shape %s != value shape %s",
+                    node->grad.ShapeString().c_str(),
+                    node->value.ShapeString().c_str()));
+    }
+    if (node->input_shapes.size() != node->inputs.size()) {
+      add(TapeViolation::kShapeMismatch, label,
+          StrFormat("%zu input(s) recorded but %zu shape(s); "
+                    "tape metadata is inconsistent",
+                    node->inputs.size(), node->input_shapes.size()));
+    }
+
+    const size_t checked_edges =
+        std::min(node->inputs.size(), node->input_shapes.size());
+    for (size_t i = 0; i < node->inputs.size(); ++i) {
+      const Node* input = node->inputs[i].get();
+      ++report->edges;
+      if (i < checked_edges) {
+        const std::vector<int64_t>& recorded = node->input_shapes[i];
+        if (input->value.empty() && tensor::ShapeVolume(recorded) > 0) {
+          add(TapeViolation::kFreedBuffer, label,
+              StrFormat("input %zu (%s) was recorded with shape %s but its "
+                        "buffer is now empty",
+                        i, labeler.Label(input).c_str(),
+                        ShapeString(recorded).c_str()));
+        } else if (input->value.shape() != recorded) {
+          add(TapeViolation::kShapeMismatch, label,
+              StrFormat("input %zu (%s) now has shape %s but was recorded "
+                        "with shape %s",
+                        i, labeler.Label(input).c_str(),
+                        input->value.ShapeString().c_str(),
+                        ShapeString(recorded).c_str()));
+        }
+      }
+      if (input->requires_grad && !node->requires_grad) {
+        add(TapeViolation::kDetachedNode, label,
+            StrFormat("input %zu (%s) requires grad but this node does not; "
+                      "the backward pass will never reach it",
+                      i, labeler.Label(input).c_str()));
+      }
+      if (visited.emplace(input, true).second) stack.push_back(input);
+    }
+  }
+
+  for (size_t p = 0; p < parameters.size(); ++p) {
+    const autograd::Variable& param = parameters[p];
+    CGKGR_CHECK_MSG(param.defined(), "LintTape: parameter %zu is undefined",
+                    p);
+    const std::string name =
+        names.empty() ? StrFormat("param#%zu", p) : names[p];
+    if (!param.requires_grad()) continue;
+    if (visited.find(param.node().get()) != visited.end()) {
+      ++report->reachable_parameters;
+      continue;
+    }
+    // Declared staged-training exemption (see TapeLintOptions).
+    bool expected = false;
+    for (const std::string& prefix : options.expected_frozen) {
+      if (name.compare(0, prefix.size(), prefix) == 0) {
+        expected = true;
+        break;
+      }
+    }
+    if (expected) {
+      ++report->frozen_parameters;
+    } else {
+      add(TapeViolation::kUnreachableParameter, name,
+          StrFormat("trainable parameter (shape %s) is not reachable from "
+                    "the loss; the optimizer will keep it frozen",
+                    param.value().ShapeString().c_str()));
+    }
+  }
+
+  if (report->clean()) return Status::OK();
+  return Status::Internal(
+      StrFormat("tape lint: %zu violation(s), first = %s (%s)",
+                report->issues.size(),
+                TapeViolationName(report->issues.front().code),
+                report->issues.front().detail.c_str()));
+}
+
+Status LintTape(const autograd::Variable& loss,
+                const nn::ParameterStore& store, TapeLintReport* report,
+                const TapeLintOptions& options) {
+  return LintTape(loss, store.parameters(), store.Names(), report, options);
+}
+
+}  // namespace analysis
+}  // namespace cgkgr

@@ -41,7 +41,7 @@ Variable Gather(const Variable& table, std::vector<int64_t> indices) {
   }
   auto idx = std::make_shared<std::vector<int64_t>>(std::move(indices));
   return MakeOpResult(
-      std::move(out), {table}, [idx, d](Node* node) {
+      "Gather", std::move(out), {table}, [idx, d](Node* node) {
         const NodePtr& table_node = node->inputs[0];
         if (!table_node->requires_grad) return;
         table_node->EnsureGrad();
@@ -67,7 +67,7 @@ Variable RowRepeat(const Variable& x, int64_t times) {
     }
   }
   return MakeOpResult(
-      std::move(out), {x}, [n, d, times](Node* node) {
+      "RowRepeat", std::move(out), {x}, [n, d, times](Node* node) {
         const NodePtr& input = node->inputs[0];
         if (!input->requires_grad) return;
         input->EnsureGrad();
@@ -94,7 +94,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
   tensor::Gemm(false, false, m, n, k, 1.0f, ta.data(), tb.data(), 0.0f,
                out.data());
   return MakeOpResult(
-      std::move(out), {a, b}, [m, n, k](Node* node) {
+      "MatMul", std::move(out), {a, b}, [m, n, k](Node* node) {
         const NodePtr& na = node->inputs[0];
         const NodePtr& nb = node->inputs[1];
         const float* g = node->grad.data();
@@ -118,7 +118,7 @@ Variable Add(const Variable& a, const Variable& b) {
   const int64_t n = a.value().size();
   tensor::Tensor out(a.value().shape());
   tensor::Add(n, a.value().data(), b.value().data(), out.data());
-  return MakeOpResult(std::move(out), {a, b}, [n](Node* node) {
+  return MakeOpResult("Add", std::move(out), {a, b}, [n](Node* node) {
     AccumulateInto(node->inputs[0], node->grad.data(), n);
     AccumulateInto(node->inputs[1], node->grad.data(), n);
   });
@@ -129,7 +129,7 @@ Variable Sub(const Variable& a, const Variable& b) {
   const int64_t n = a.value().size();
   tensor::Tensor out(a.value().shape());
   tensor::Sub(n, a.value().data(), b.value().data(), out.data());
-  return MakeOpResult(std::move(out), {a, b}, [n](Node* node) {
+  return MakeOpResult("Sub", std::move(out), {a, b}, [n](Node* node) {
     AccumulateInto(node->inputs[0], node->grad.data(), n);
     const NodePtr& nb = node->inputs[1];
     if (nb->requires_grad) {
@@ -144,7 +144,7 @@ Variable Mul(const Variable& a, const Variable& b) {
   const int64_t n = a.value().size();
   tensor::Tensor out(a.value().shape());
   tensor::Mul(n, a.value().data(), b.value().data(), out.data());
-  return MakeOpResult(std::move(out), {a, b}, [n](Node* node) {
+  return MakeOpResult("Mul", std::move(out), {a, b}, [n](Node* node) {
     const NodePtr& na = node->inputs[0];
     const NodePtr& nb = node->inputs[1];
     const float* g = node->grad.data();
@@ -172,7 +172,7 @@ Variable AddRowBias(const Variable& x, const Variable& b) {
   tensor::Tensor out = tx.Clone();
   tensor::AddRowVector(rows, cols, tb.data(), out.data());
   return MakeOpResult(
-      std::move(out), {x, b}, [rows, cols](Node* node) {
+      "AddRowBias", std::move(out), {x, b}, [rows, cols](Node* node) {
         AccumulateInto(node->inputs[0], node->grad.data(), rows * cols);
         const NodePtr& nb = node->inputs[1];
         if (nb->requires_grad) {
@@ -194,7 +194,7 @@ Variable RowDot(const Variable& a, const Variable& b) {
   tensor::Tensor out({rows});
   tensor::RowDot(rows, cols, ta.data(), b.value().data(), out.data());
   return MakeOpResult(
-      std::move(out), {a, b}, [rows, cols](Node* node) {
+      "RowDot", std::move(out), {a, b}, [rows, cols](Node* node) {
         const NodePtr& na = node->inputs[0];
         const NodePtr& nb = node->inputs[1];
         const float* g = node->grad.data();
@@ -224,7 +224,7 @@ Variable RowScale(const Variable& x, const Variable& s) {
   tensor::Tensor out({rows, cols});
   tensor::RowScale(rows, cols, tx.data(), ts.data(), out.data());
   return MakeOpResult(
-      std::move(out), {x, s}, [rows, cols](Node* node) {
+      "RowScale", std::move(out), {x, s}, [rows, cols](Node* node) {
         const NodePtr& nx = node->inputs[0];
         const NodePtr& ns = node->inputs[1];
         const float* g = node->grad.data();
@@ -260,7 +260,7 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
     std::copy_n(tb.data() + r * d2, d2, out.data() + r * (d1 + d2) + d1);
   }
   return MakeOpResult(
-      std::move(out), {a, b}, [rows, d1, d2](Node* node) {
+      "ConcatCols", std::move(out), {a, b}, [rows, d1, d2](Node* node) {
         const NodePtr& na = node->inputs[0];
         const NodePtr& nb = node->inputs[1];
         const float* g = node->grad.data();
@@ -290,7 +290,8 @@ Variable SegmentSoftmax(const Variable& x, int64_t segment_size) {
   // The backward closure needs the forward output; keep a handle to it.
   tensor::Tensor y = out;
   return MakeOpResult(
-      std::move(out), {x}, [segments, segment_size, y](Node* node) {
+      "SegmentSoftmax", std::move(out), {x},
+      [segments, segment_size, y](Node* node) {
         const NodePtr& nx = node->inputs[0];
         if (!nx->requires_grad) return;
         nx->EnsureGrad();
@@ -325,7 +326,7 @@ Variable SegmentWeightedSum(const Variable& values, const Variable& weights,
     }
   }
   return MakeOpResult(
-      std::move(out), {values, weights},
+      "SegmentWeightedSum", std::move(out), {values, weights},
       [segments, segment_size, d](Node* node) {
         const NodePtr& nv = node->inputs[0];
         const NodePtr& nw = node->inputs[1];
@@ -359,7 +360,7 @@ namespace {
 /// Shared implementation for elementwise activations whose derivative can be
 /// expressed from the forward output y.
 template <typename Forward, typename BackwardFromOutput>
-Variable UnaryFromOutput(const Variable& x, Forward fwd,
+Variable UnaryFromOutput(const char* op_name, const Variable& x, Forward fwd,
                          BackwardFromOutput dydx) {
   const int64_t n = x.value().size();
   tensor::Tensor out(x.value().shape());
@@ -367,7 +368,7 @@ Variable UnaryFromOutput(const Variable& x, Forward fwd,
   float* ov = out.data();
   for (int64_t i = 0; i < n; ++i) ov[i] = fwd(xv[i]);
   tensor::Tensor y = out;
-  return MakeOpResult(std::move(out), {x}, [n, y, dydx](Node* node) {
+  return MakeOpResult(op_name, std::move(out), {x}, [n, y, dydx](Node* node) {
     const NodePtr& nx = node->inputs[0];
     if (!nx->requires_grad) return;
     nx->EnsureGrad();
@@ -382,13 +383,13 @@ Variable UnaryFromOutput(const Variable& x, Forward fwd,
 
 Variable Relu(const Variable& x) {
   return UnaryFromOutput(
-      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      "Relu", x, [](float v) { return v > 0.0f ? v : 0.0f; },
       [](float y) { return y > 0.0f ? 1.0f : 0.0f; });
 }
 
 Variable LeakyRelu(const Variable& x, float negative_slope) {
   return UnaryFromOutput(
-      x,
+      "LeakyRelu", x,
       [negative_slope](float v) {
         return v > 0.0f ? v : negative_slope * v;
       },
@@ -399,13 +400,13 @@ Variable LeakyRelu(const Variable& x, float negative_slope) {
 
 Variable Tanh(const Variable& x) {
   return UnaryFromOutput(
-      x, [](float v) { return std::tanh(v); },
+      "Tanh", x, [](float v) { return std::tanh(v); },
       [](float y) { return 1.0f - y * y; });
 }
 
 Variable SigmoidV(const Variable& x) {
   return UnaryFromOutput(
-      x, [](float v) { return tensor::Sigmoid(v); },
+      "Sigmoid", x, [](float v) { return tensor::Sigmoid(v); },
       [](float y) { return y * (1.0f - y); });
 }
 
@@ -417,7 +418,7 @@ Variable PairwiseMax(const Variable& a, const Variable& b) {
   const float* bv = b.value().data();
   float* ov = out.data();
   for (int64_t i = 0; i < n; ++i) ov[i] = std::max(av[i], bv[i]);
-  return MakeOpResult(std::move(out), {a, b}, [n](Node* node) {
+  return MakeOpResult("PairwiseMax", std::move(out), {a, b}, [n](Node* node) {
     const NodePtr& na = node->inputs[0];
     const NodePtr& nb = node->inputs[1];
     const float* g = node->grad.data();
@@ -446,7 +447,7 @@ Variable Scale(const Variable& x, float c) {
   const float* xv = x.value().data();
   float* ov = out.data();
   for (int64_t i = 0; i < n; ++i) ov[i] = c * xv[i];
-  return MakeOpResult(std::move(out), {x}, [n, c](Node* node) {
+  return MakeOpResult("Scale", std::move(out), {x}, [n, c](Node* node) {
     const NodePtr& nx = node->inputs[0];
     if (!nx->requires_grad) return;
     nx->EnsureGrad();
@@ -459,7 +460,7 @@ Variable Mean(const Variable& x) {
   CGKGR_CHECK(n > 0);
   tensor::Tensor out({1}, {tensor::Sum(n, x.value().data()) /
                            static_cast<float>(n)});
-  return MakeOpResult(std::move(out), {x}, [n](Node* node) {
+  return MakeOpResult("Mean", std::move(out), {x}, [n](Node* node) {
     const NodePtr& nx = node->inputs[0];
     if (!nx->requires_grad) return;
     nx->EnsureGrad();
@@ -472,7 +473,7 @@ Variable Mean(const Variable& x) {
 Variable SumAll(const Variable& x) {
   const int64_t n = x.value().size();
   tensor::Tensor out({1}, {tensor::Sum(n, x.value().data())});
-  return MakeOpResult(std::move(out), {x}, [n](Node* node) {
+  return MakeOpResult("SumAll", std::move(out), {x}, [n](Node* node) {
     const NodePtr& nx = node->inputs[0];
     if (!nx->requires_grad) return;
     nx->EnsureGrad();
@@ -509,7 +510,8 @@ Variable RelationMatMul(const Variable& x, std::vector<int64_t> relations,
   }
   auto rels = std::make_shared<std::vector<int64_t>>(std::move(relations));
   return MakeOpResult(
-      std::move(out), {x, matrices}, [rels, n, d](Node* node) {
+      "RelationMatMul", std::move(out), {x, matrices},
+      [rels, n, d](Node* node) {
         const NodePtr& nx = node->inputs[0];
         const NodePtr& nm = node->inputs[1];
         const float* g = node->grad.data();
@@ -543,7 +545,7 @@ Variable RelationMatMul(const Variable& x, std::vector<int64_t> relations,
 Variable Reshape(const Variable& x, std::vector<int64_t> shape) {
   const int64_t n = x.value().size();
   tensor::Tensor out = x.value().Reshape(std::move(shape));
-  return MakeOpResult(std::move(out), {x}, [n](Node* node) {
+  return MakeOpResult("Reshape", std::move(out), {x}, [n](Node* node) {
     AccumulateInto(node->inputs[0], node->grad.data(), n);
   });
 }
@@ -563,7 +565,8 @@ Variable BCEWithLogits(const Variable& logits, std::vector<float> labels) {
   }
   tensor::Tensor out({1}, {total / static_cast<float>(n)});
   auto y = std::make_shared<std::vector<float>>(std::move(labels));
-  return MakeOpResult(std::move(out), {logits}, [y, n](Node* node) {
+  return MakeOpResult("BCEWithLogits", std::move(out), {logits},
+                      [y, n](Node* node) {
     const NodePtr& nl = node->inputs[0];
     if (!nl->requires_grad) return;
     nl->EnsureGrad();
@@ -591,7 +594,8 @@ Variable BPRLoss(const Variable& positive_scores,
   }
   tensor::Tensor out({1}, {total / static_cast<float>(n)});
   return MakeOpResult(
-      std::move(out), {positive_scores, negative_scores}, [n](Node* node) {
+      "BPRLoss", std::move(out), {positive_scores, negative_scores},
+      [n](Node* node) {
         const NodePtr& np = node->inputs[0];
         const NodePtr& nn = node->inputs[1];
         const float g = node->grad[0] / static_cast<float>(n);

@@ -92,7 +92,8 @@ void Variable::Backward() {
   }
 }
 
-Variable MakeOpResult(tensor::Tensor value, std::vector<Variable> inputs,
+Variable MakeOpResult(const char* op_name, tensor::Tensor value,
+                      std::vector<Variable> inputs,
                       std::function<void(Node*)> backward_fn) {
   bool any_requires_grad = false;
   if (GradModeEnabled()) {
@@ -109,8 +110,11 @@ Variable MakeOpResult(tensor::Tensor value, std::vector<Variable> inputs,
   out.node_->value = std::move(value);
   if (any_requires_grad) {
     out.node_->requires_grad = true;
+    out.node_->op_name = op_name;
     out.node_->inputs.reserve(inputs.size());
+    out.node_->input_shapes.reserve(inputs.size());
     for (Variable& input : inputs) {
+      out.node_->input_shapes.push_back(input.value().shape());
       out.node_->inputs.push_back(input.node());
     }
     out.node_->backward_fn = std::move(backward_fn);

@@ -26,6 +26,17 @@ class Node {
   /// Accumulates `grad` into the inputs' grads. Null for leaves.
   std::function<void(Node*)> backward_fn;
 
+  // Tape metadata consumed by analysis::LintTape (see
+  // src/analysis/tape_lint.h). Recorded only when the edge itself is
+  // recorded, i.e. when gradient mode is on and some input requires grad.
+  /// Static name of the op that produced this node; "leaf" for leaves and
+  /// detached constants.
+  const char* op_name = "leaf";
+  /// Shapes of the inputs as observed when the op ran, parallel to
+  /// `inputs`. LintTape compares them against the inputs' current values to
+  /// catch post-forward mutation and freed/moved-out buffers.
+  std::vector<std::vector<int64_t>> input_shapes;
+
   /// Allocates (zero-filled) grad storage if not present.
   void EnsureGrad();
   /// Zero-fills the grad if allocated.
@@ -73,7 +84,7 @@ class Variable {
   int64_t size() const { return value().size(); }
 
  private:
-  friend Variable MakeOpResult(tensor::Tensor value,
+  friend Variable MakeOpResult(const char* op_name, tensor::Tensor value,
                                std::vector<Variable> inputs,
                                std::function<void(Node*)> backward_fn);
   NodePtr node_;
@@ -81,8 +92,10 @@ class Variable {
 
 /// Creates the result Variable of an op: when gradient mode is on and any
 /// input requires a gradient, the tape edge and backward closure are
-/// recorded; otherwise a detached constant is returned.
-Variable MakeOpResult(tensor::Tensor value, std::vector<Variable> inputs,
+/// recorded; otherwise a detached constant is returned. `op_name` must be a
+/// string literal (stored unowned on the node for lint reports).
+Variable MakeOpResult(const char* op_name, tensor::Tensor value,
+                      std::vector<Variable> inputs,
                       std::function<void(Node*)> backward_fn);
 
 /// True when ops should record the tape (default true; single-threaded

@@ -1,6 +1,7 @@
 #include "baselines/bprmf.h"
 
 #include "autograd/ops.h"
+#include "common/macros.h"
 #include "models/trainer_util.h"
 #include "nn/adam.h"
 #include "tensor/tensor_ops.h"
@@ -38,7 +39,7 @@ Status BprMf::Fit(const data::Dataset& dataset,
           autograd::Variable vneg = item_table_->Lookup(batch.negative_items);
           autograd::Variable loss = autograd::BPRLoss(
               autograd::RowDot(vu, vpos), autograd::RowDot(vu, vneg));
-          loss.Backward();
+          models::LintAndBackward(loss, store_, options);
           optimizer.Step();
           total_loss += loss.value()[0];
           ++batches;

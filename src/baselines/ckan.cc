@@ -1,6 +1,7 @@
 #include "baselines/ckan.h"
 
 #include "autograd/ops.h"
+#include "common/macros.h"
 #include "models/trainer_util.h"
 #include "nn/adam.h"
 
@@ -61,7 +62,7 @@ Status Ckan::Fit(const data::Dataset& dataset,
                     labels.begin() + static_cast<int64_t>(batch.users.size()),
                     1.0f);
           Variable loss = autograd::BCEWithLogits(scores, std::move(labels));
-          loss.Backward();
+          models::LintAndBackward(loss, store_, options);
           optimizer.Step();
           total_loss += loss.value()[0];
           ++batches;

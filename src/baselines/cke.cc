@@ -1,6 +1,7 @@
 #include "baselines/cke.h"
 
 #include "autograd/ops.h"
+#include "common/macros.h"
 #include "models/trainer_util.h"
 #include "nn/adam.h"
 
@@ -87,7 +88,7 @@ Status Cke::Fit(const data::Dataset& dataset,
           Variable kg_loss = autograd::BPRLoss(neg_distance, pos_distance);
           loss = autograd::Add(loss, autograd::Scale(kg_loss, kKgLossWeight));
 
-          loss.Backward();
+          models::LintAndBackward(loss, store_, options);
           optimizer.Step();
           total_loss += loss.value()[0];
           ++batches;

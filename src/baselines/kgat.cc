@@ -1,6 +1,7 @@
 #include "baselines/kgat.h"
 
 #include "autograd/ops.h"
+#include "common/macros.h"
 #include "models/trainer_util.h"
 #include "nn/adam.h"
 
@@ -114,7 +115,11 @@ Status Kgat::Fit(const data::Dataset& dataset,
               TransRDistance(heads, rels, tails));
           loss = autograd::Add(loss, autograd::Scale(kg_loss, kKgLossWeight));
 
-          loss.Backward();
+          // The warm-up epoch intentionally bypasses Propagate, so the
+          // bi-interaction layers are declared frozen for lint purposes.
+          analysis::TapeLintOptions lint_options;
+          if (pretrain) lint_options.expected_frozen = {"bi_add/", "bi_mul/"};
+          models::LintAndBackward(loss, store_, options, lint_options);
           optimizer.Step();
           total_loss += loss.value()[0];
           ++batches;

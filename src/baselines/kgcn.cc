@@ -1,6 +1,7 @@
 #include "baselines/kgcn.h"
 
 #include "autograd/ops.h"
+#include "common/macros.h"
 #include "models/trainer_util.h"
 #include "nn/adam.h"
 
@@ -57,7 +58,7 @@ Status Kgcn::Fit(const data::Dataset& dataset,
         dataset.train, all_positives, dataset.num_items, options.batch_size,
         rng, [&](const models::TrainBatch& batch) {
           Variable loss = ComputeBatchLoss(batch, rng);
-          loss.Backward();
+          models::LintAndBackward(loss, store_, options);
           optimizer.Step();
           total_loss += loss.value()[0];
           ++batches;

@@ -1,3 +1,4 @@
+// lint-repo: allow=printf-family (this is the logger sink itself)
 #include "common/logging.h"
 
 #include <cstdio>

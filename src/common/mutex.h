@@ -1,0 +1,115 @@
+#ifndef CGKGR_COMMON_MUTEX_H_
+#define CGKGR_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/macros.h"
+
+namespace cgkgr {
+
+/// \file
+/// Capability-annotated mutex wrappers for clang's thread-safety analysis
+/// (-Wthread-safety). std::mutex and std::shared_mutex carry no capability
+/// attributes, so members guarded by them cannot be machine-checked; these
+/// wrappers are attribute-for-attribute what Abseil's Mutex exposes while
+/// delegating to the std types underneath.
+///
+/// The method names keep the std lowercase spelling so the wrappers satisfy
+/// the standard Lockable/SharedLockable named requirements: they work with
+/// std::lock_guard / std::unique_lock / std::shared_lock and — because any
+/// BasicLockable is accepted — with cgkgr::CondVar
+/// (std::condition_variable_any) waits. For guarded-member access prefer the
+/// scoped MutexLock / ReaderMutexLock / WriterMutexLock types below: unlike
+/// the std RAII guards they are CGKGR_SCOPED_CAPABILITY, so the analysis
+/// tracks what they hold.
+///
+/// Condition-variable convention: write waits as explicit while-loops
+/// (`while (!pred()) cv.wait(mu_);`) rather than the predicate-lambda
+/// overload — clang analyzes a lambda body as a separate function that does
+/// not hold the capability, so predicate lambdas over guarded members
+/// produce false positives.
+
+/// Exclusive mutex carrying the "mutex" capability.
+class CGKGR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CGKGR_ACQUIRE() { mu_.lock(); }
+  void unlock() CGKGR_RELEASE() { mu_.unlock(); }
+  bool try_lock() CGKGR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex carrying the "shared_mutex" capability.
+class CGKGR_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CGKGR_ACQUIRE() { mu_.lock(); }
+  void unlock() CGKGR_RELEASE() { mu_.unlock(); }
+  bool try_lock() CGKGR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() CGKGR_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() CGKGR_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() CGKGR_TRY_ACQUIRE(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex, visible to the analysis.
+class CGKGR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) CGKGR_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() CGKGR_RELEASE() { mu_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class CGKGR_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) CGKGR_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderMutexLock() CGKGR_RELEASE() { mu_->unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class CGKGR_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) CGKGR_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~WriterMutexLock() CGKGR_RELEASE() { mu_->unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Condition variable usable with cgkgr::Mutex (any BasicLockable).
+using CondVar = std::condition_variable_any;
+
+}  // namespace cgkgr
+
+#endif  // CGKGR_COMMON_MUTEX_H_

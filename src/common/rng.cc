@@ -1,3 +1,4 @@
+#include "common/macros.h"
 #include "common/rng.h"
 
 #include <cmath>

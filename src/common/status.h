@@ -28,7 +28,13 @@ enum class StatusCode {
 ///   Status st = DoThing();
 ///   if (!st.ok()) return st;        // or CGKGR_RETURN_NOT_OK(DoThing());
 /// \endcode
-class Status {
+///
+/// The class is [[nodiscard]] and the build compiles with
+/// -Werror=unused-result: silently dropping a returned Status (an unlogged
+/// failed save, an ignored parse error) is a compile error. Callers that
+/// genuinely cannot act on a failure state the fact with CGKGR_CHECK(...)
+/// or by assigning to a named variable — never by bare discarding.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -87,9 +93,10 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Accessing the value of an
-/// errored Result is a fatal programming error.
+/// errored Result is a fatal programming error. [[nodiscard]] for the same
+/// reason Status is: an ignored Result is an ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}

@@ -1,3 +1,4 @@
+// lint-repo: allow=printf-family (StrFormat wraps vsnprintf)
 #include "common/string_util.h"
 
 #include <cstdarg>

@@ -1,3 +1,4 @@
+// lint-repo: allow=printf-family (Print() is a sanctioned stdout sink)
 #include "common/table_printer.h"
 
 #include <cstdio>

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace cgkgr {
 
@@ -19,7 +20,7 @@ ThreadPool::ThreadPool(int64_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -33,8 +34,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      // Explicit wait loop (not the predicate overload): clang's thread
+      // safety analysis treats a predicate lambda as a lock-free context.
+      while (!stop_ && queue_.empty()) work_cv_.wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -42,7 +45,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
     }
     idle_cv_.notify_all();
@@ -56,7 +59,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     CGKGR_CHECK_MSG(!stop_, "Submit after ~ThreadPool began");
     queue_.push_back(std::move(task));
   }
@@ -64,14 +67,14 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || in_flight_ != 0) idle_cv_.wait(mu_);
 }
 
 bool ThreadPool::TryRunQueuedTask() {
   std::function<void()> task;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -79,7 +82,7 @@ bool ThreadPool::TryRunQueuedTask() {
   }
   task();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --in_flight_;
   }
   idle_cv_.notify_all();
@@ -96,9 +99,9 @@ struct ForState {
   int64_t grain = 1;
   const std::function<void(int64_t, int64_t)>* body = nullptr;
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  int64_t pending_helpers = 0;
+  Mutex mu;
+  CondVar done_cv;
+  int64_t pending_helpers CGKGR_GUARDED_BY(mu) = 0;
 
   void RunChunks() {
     for (;;) {
@@ -133,12 +136,15 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   state->end = end;
   state->grain = grain;
   state->body = &body;
-  state->pending_helpers = helpers;
+  {
+    MutexLock lock(&state->mu);
+    state->pending_helpers = helpers;
+  }
   for (int64_t h = 0; h < helpers; ++h) {
     Submit([state] {
       state->RunChunks();
       {
-        std::unique_lock<std::mutex> lock(state->mu);
+        MutexLock lock(&state->mu);
         --state->pending_helpers;
       }
       state->done_cv.notify_one();
@@ -152,14 +158,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // would deadlock.
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(state->mu);
+      MutexLock lock(&state->mu);
       if (state->pending_helpers == 0) return;
     }
     if (!TryRunQueuedTask()) {
-      std::unique_lock<std::mutex> lock(state->mu);
-      state->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&state] {
-        return state->pending_helpers == 0;
-      });
+      MutexLock lock(&state->mu);
+      if (state->pending_helpers != 0) {
+        state->done_cv.wait_for(state->mu, std::chrono::milliseconds(1));
+      }
     }
   }
 }

@@ -1,13 +1,14 @@
 #ifndef CGKGR_COMMON_THREAD_POOL_H_
 #define CGKGR_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/macros.h"
+#include "common/mutex.h"
 
 namespace cgkgr {
 
@@ -43,7 +44,7 @@ class ThreadPool {
 
   /// Enqueues `task` for asynchronous execution. With a single-lane pool
   /// (no workers) the task runs inline before Submit returns.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) CGKGR_EXCLUDES(mu_);
 
   /// Calls `body(chunk_begin, chunk_end)` over disjoint chunks covering
   /// [begin, end) with chunk length <= grain; every index is covered exactly
@@ -60,28 +61,29 @@ class ThreadPool {
                        const std::function<void(int64_t)>& body);
 
   /// Blocks until every task submitted so far has finished executing.
-  void WaitIdle();
+  void WaitIdle() CGKGR_EXCLUDES(mu_);
 
   /// The hardware concurrency, with a floor of 1 when unknown.
   static int64_t HardwareThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CGKGR_EXCLUDES(mu_);
 
   /// Pops and runs one queued task if any is pending; returns whether a
   /// task ran. Used by ParallelFor's completion wait so a lane blocked on
   /// its helpers keeps the queue moving (makes nested ParallelFor
   /// deadlock-free). Consequence: any task may execute on any thread that
   /// is inside ParallelFor, not just on workers.
-  bool TryRunQueuedTask();
+  bool TryRunQueuedTask() CGKGR_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // queue became non-empty / stopping
-  std::condition_variable idle_cv_;   // a task finished (for WaitIdle)
-  int64_t in_flight_ = 0;             // tasks popped but not yet finished
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // queue became non-empty / stopping
+  CondVar idle_cv_;  // a task finished (for WaitIdle)
+  std::deque<std::function<void()>> queue_ CGKGR_GUARDED_BY(mu_);
+  /// Tasks popped but not yet finished.
+  int64_t in_flight_ CGKGR_GUARDED_BY(mu_) = 0;
+  bool stop_ CGKGR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cgkgr

@@ -1,3 +1,4 @@
+#include "common/macros.h"
 #include "core/cgkgr_config.h"
 
 namespace cgkgr {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "autograd/ops.h"
+#include "common/macros.h"
+#include "models/trainer_util.h"
 #include "common/logging.h"
 #include "nn/serialize.h"
 
@@ -130,7 +132,7 @@ Status CgKgrModel::Fit(const data::Dataset& dataset,
                     labels.begin() + static_cast<int64_t>(batch.users.size()),
                     1.0f);
           Variable loss = autograd::BCEWithLogits(scores, std::move(labels));
-          loss.Backward();
+          models::LintAndBackward(loss, store_, options);
           optimizer.Step();
           total_loss += loss.value()[0];
           ++batches;

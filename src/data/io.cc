@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/macros.h"
 #include "common/string_util.h"
 
 namespace cgkgr {

@@ -29,6 +29,11 @@ struct TrainOptions {
   /// Users sampled for per-epoch Recall@20 early stopping.
   int64_t eval_topk_users = 60;
   bool verbose = false;
+  /// Debug flag: run analysis::LintTape on every recorded loss tape before
+  /// its backward pass (fatal on violations). Also enabled globally by
+  /// setting the CGKGR_LINT_TAPE environment variable; see
+  /// docs/static_analysis.md.
+  bool lint_tape = false;
 };
 
 /// Outcome bookkeeping of a Fit() call (feeds the paper's Table VI).

@@ -1,12 +1,34 @@
 #include "models/trainer_util.h"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "analysis/tape_lint.h"
 #include "common/logging.h"
+#include "common/macros.h"
 #include "common/timer.h"
 
 namespace cgkgr {
 namespace models {
+
+bool TapeLintEnabled(const TrainOptions& options) {
+  static const bool env_enabled = std::getenv("CGKGR_LINT_TAPE") != nullptr;
+  return options.lint_tape || env_enabled;
+}
+
+void LintAndBackward(autograd::Variable loss, const nn::ParameterStore& store,
+                     const TrainOptions& options,
+                     const analysis::TapeLintOptions& lint_options) {
+  if (TapeLintEnabled(options)) {
+    analysis::TapeLintReport report;
+    const Status status = analysis::LintTape(loss, store, &report, lint_options);
+    if (!status.ok()) {
+      CGKGR_LOG(Error) << "autograd tape lint failed:\n" << report.ToTable();
+      CGKGR_CHECK_MSG(false, "%s", status.ToString().c_str());
+    }
+  }
+  loss.Backward();
+}
 
 void ForEachTrainBatch(
     const std::vector<graph::Interaction>& train,

@@ -1,3 +1,4 @@
+#include "common/macros.h"
 #include "nn/dense.h"
 
 namespace cgkgr {

@@ -1,3 +1,4 @@
+#include "common/macros.h"
 #include "nn/embedding.h"
 
 namespace cgkgr {

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/macros.h"
 #include "common/string_util.h"
 
 namespace cgkgr {

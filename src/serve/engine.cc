@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/timer.h"
 
 namespace cgkgr {
@@ -140,7 +141,7 @@ std::vector<ScoredItem> Engine::TopK(int64_t user, int64_t k) {
   std::shared_ptr<const Snapshot> snapshot;
   uint64_t generation = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    ReaderMutexLock lock(&snapshot_mu_);
     snapshot = snapshot_;
     generation = generation_;
   }
@@ -155,7 +156,7 @@ std::vector<std::vector<ScoredItem>> Engine::TopKBatch(
   std::shared_ptr<const Snapshot> snapshot;
   uint64_t generation = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    ReaderMutexLock lock(&snapshot_mu_);
     snapshot = snapshot_;
     generation = generation_;
   }
@@ -177,7 +178,7 @@ std::vector<std::vector<ScoredItem>> Engine::TopKBatch(
 void Engine::ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot) {
   CGKGR_CHECK(snapshot != nullptr);
   {
-    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    WriterMutexLock lock(&snapshot_mu_);
     snapshot_ = std::move(snapshot);
     ++generation_;
   }
@@ -188,7 +189,7 @@ void Engine::ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot) {
 }
 
 std::shared_ptr<const Snapshot> Engine::snapshot() const {
-  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  ReaderMutexLock lock(&snapshot_mu_);
   return snapshot_;
 }
 

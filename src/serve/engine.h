@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/macros.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "serve/lru_cache.h"
 #include "serve/snapshot.h"
@@ -77,10 +78,12 @@ class Engine {
 
   /// Atomically replaces the snapshot (e.g. after retraining) and
   /// invalidates every cached result.
-  void ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot);
+  void ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot)
+      CGKGR_EXCLUDES(snapshot_mu_);
 
   /// The currently served snapshot.
-  std::shared_ptr<const Snapshot> snapshot() const;
+  std::shared_ptr<const Snapshot> snapshot() const
+      CGKGR_EXCLUDES(snapshot_mu_);
 
   /// Point-in-time counters.
   EngineStats stats() const;
@@ -124,9 +127,9 @@ class Engine {
   const EngineOptions options_;
   ThreadPool pool_;
 
-  mutable std::shared_mutex snapshot_mu_;
-  std::shared_ptr<const Snapshot> snapshot_;  // guarded by snapshot_mu_
-  uint64_t generation_ = 0;                   // guarded by snapshot_mu_
+  mutable SharedMutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_ CGKGR_GUARDED_BY(snapshot_mu_);
+  uint64_t generation_ CGKGR_GUARDED_BY(snapshot_mu_) = 0;
 
   std::unique_ptr<ShardedLruCache<CacheKey, std::vector<ScoredItem>,
                                   CacheKeyHash>>

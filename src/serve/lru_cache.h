@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace cgkgr {
 namespace serve {
@@ -45,7 +45,7 @@ class ShardedLruCache {
   bool Get(const Key& key, Value* value) {
     CGKGR_CHECK(value != nullptr);
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) return false;
     shard.order.splice(shard.order.begin(), shard.order, it->second);
@@ -57,7 +57,7 @@ class ShardedLruCache {
   /// entry when full.
   void Put(const Key& key, Value value) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       it->second->second = std::move(value);
@@ -76,14 +76,14 @@ class ShardedLruCache {
   /// True when `key` is resident (no recency promotion; test helper).
   bool Contains(const Key& key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     return shard.index.find(key) != shard.index.end();
   }
 
   /// Drops every entry in every shard (snapshot-reload invalidation).
   void Clear() {
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       shard->order.clear();
       shard->index.clear();
     }
@@ -93,7 +93,7 @@ class ShardedLruCache {
   int64_t size() const {
     int64_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       total += static_cast<int64_t>(shard->order.size());
     }
     return total;
@@ -103,7 +103,7 @@ class ShardedLruCache {
   int64_t evictions() const {
     int64_t total = 0;
     for (const auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(&shard->mu);
       total += shard->evictions;
     }
     return total;
@@ -111,14 +111,15 @@ class ShardedLruCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
+    /// Immutable after ShardedLruCache construction; read without the lock.
     int64_t capacity = 0;
-    int64_t evictions = 0;
+    int64_t evictions CGKGR_GUARDED_BY(mu) = 0;
     /// Front = most recently used.
-    std::list<std::pair<Key, Value>> order;
+    std::list<std::pair<Key, Value>> order CGKGR_GUARDED_BY(mu);
     std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
                        Hash>
-        index;
+        index CGKGR_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const Key& key) {

@@ -15,6 +15,13 @@ namespace serve {
 /// are read as the upper bound of the bucket containing the requested rank —
 /// a <=2x overestimate, the usual tradeoff for O(1) atomic recording on the
 /// request path.
+///
+/// Thread-safety note: this type holds no mutex-protected state, so it
+/// carries no CGKGR_GUARDED_BY annotations — every member is a relaxed
+/// atomic and the static analysis has nothing to check here. Races in the
+/// atomics' *usage* (e.g. Reset concurrent with Record) are the domain of
+/// TSan (CGKGR_SANITIZE=thread), which is the dynamic complement to the
+/// compile-time annotations; see docs/static_analysis.md.
 class LatencyHistogram {
  public:
   static constexpr int kNumBuckets = 32;

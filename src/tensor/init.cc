@@ -1,3 +1,4 @@
+#include "common/macros.h"
 #include "tensor/init.h"
 
 #include <cmath>

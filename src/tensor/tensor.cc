@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/macros.h"
 #include "common/string_util.h"
 
 namespace cgkgr {

@@ -1,0 +1,322 @@
+// Tests for the correctness-analysis layer: the autograd tape linter
+// (every violation class must fire on a deliberately broken tape and stay
+// silent on healthy ones, including full model training), plus a smoke
+// test of the capability-annotated mutex wrappers under real contention.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/tape_lint.h"
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "models/registry.h"
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace cgkgr {
+namespace analysis {
+namespace {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+bool HasViolation(const TapeLintReport& report, TapeViolation code) {
+  for (const TapeLintIssue& issue : report.issues) {
+    if (issue.code == code) return true;
+  }
+  return false;
+}
+
+/// a (param) -> Mul -> SumAll (scalar loss). The minimal healthy tape.
+struct SmallTape {
+  Variable a{Tensor({2, 2}, {1, 2, 3, 4}), /*requires_grad=*/true};
+  Variable product;
+  Variable loss;
+
+  SmallTape() {
+    product = autograd::Mul(a, a);
+    loss = autograd::SumAll(product);
+  }
+};
+
+// --- healthy tapes ---
+
+TEST(TapeLintTest, CleanTapePasses) {
+  SmallTape tape;
+  TapeLintReport report;
+  ASSERT_TRUE(LintTape(tape.loss, {tape.a}, {"a"}, &report).ok());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.parameters, 1);
+  EXPECT_EQ(report.reachable_parameters, 1);
+  EXPECT_GE(report.nodes, 3);
+  EXPECT_GE(report.edges, 3);
+}
+
+TEST(TapeLintTest, LintThenBackwardStillCorrect) {
+  // Linting is read-only: gradients after LintTape match a plain Backward.
+  SmallTape tape;
+  TapeLintReport report;
+  ASSERT_TRUE(LintTape(tape.loss, {tape.a}, {}, &report).ok());
+  tape.loss.Backward();
+  // d/da sum(a*a) = 2a.
+  EXPECT_FLOAT_EQ(tape.a.grad().at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(tape.a.grad().at(1, 1), 8.0f);
+}
+
+TEST(TapeLintTest, ParameterStoreOverloadMatchesVectorOverload) {
+  nn::ParameterStore store;
+  Rng rng(7);
+  Variable w = store.Create("w", {3, 2}, nn::Init::kXavierUniform, &rng);
+  Variable loss = autograd::SumAll(autograd::Mul(w, w));
+  TapeLintReport report;
+  ASSERT_TRUE(LintTape(loss, store, &report).ok());
+  EXPECT_EQ(report.parameters, 1);
+  EXPECT_EQ(report.reachable_parameters, 1);
+}
+
+// --- root violations ---
+
+TEST(TapeLintTest, UndefinedLossFlagged) {
+  TapeLintReport report;
+  EXPECT_FALSE(LintTape(Variable(), {}, {}, &report).ok());
+  EXPECT_TRUE(HasViolation(report, TapeViolation::kNonScalarLoss));
+}
+
+TEST(TapeLintTest, NonScalarLossFlagged) {
+  Variable loss(Tensor({2}, {1, 2}), /*requires_grad=*/true);
+  TapeLintReport report;
+  EXPECT_FALSE(LintTape(loss, {}, {}, &report).ok());
+  EXPECT_TRUE(HasViolation(report, TapeViolation::kNonScalarLoss));
+}
+
+TEST(TapeLintTest, NoGradLossFlagged) {
+  // A loss with no tape behind it (e.g. forward ran under NoGradGuard).
+  SmallTape tape;
+  Variable loss;
+  {
+    autograd::NoGradGuard guard;
+    loss = autograd::SumAll(autograd::Mul(tape.a, tape.a));
+  }
+  TapeLintReport report;
+  EXPECT_FALSE(LintTape(loss, {tape.a}, {}, &report).ok());
+  EXPECT_TRUE(HasViolation(report, TapeViolation::kNonScalarLoss));
+}
+
+// --- structural violations (tapes corrupted by hand) ---
+
+TEST(TapeLintTest, MutatedInputShapeFlagged) {
+  SmallTape tape;
+  // The forward recorded a as [2, 2]; resizing it afterwards invalidates
+  // the closure that Backward would run.
+  *tape.a.mutable_value() = Tensor({3, 3});
+  TapeLintReport report;
+  EXPECT_FALSE(LintTape(tape.loss, {tape.a}, {}, &report).ok());
+  EXPECT_TRUE(HasViolation(report, TapeViolation::kShapeMismatch));
+}
+
+TEST(TapeLintTest, FreedBufferFlagged) {
+  SmallTape tape;
+  *tape.a.mutable_value() = Tensor();  // moved-out / released buffer
+  TapeLintReport report;
+  EXPECT_FALSE(LintTape(tape.loss, {tape.a}, {}, &report).ok());
+  EXPECT_TRUE(HasViolation(report, TapeViolation::kFreedBuffer));
+}
+
+TEST(TapeLintTest, InconsistentShapeMetadataFlagged) {
+  SmallTape tape;
+  tape.product.node()->input_shapes.pop_back();
+  TapeLintReport report;
+  EXPECT_FALSE(LintTape(tape.loss, {tape.a}, {}, &report).ok());
+  EXPECT_TRUE(HasViolation(report, TapeViolation::kShapeMismatch));
+}
+
+TEST(TapeLintTest, StaleGradShapeFlagged) {
+  SmallTape tape;
+  tape.product.node()->grad = Tensor({1, 4});  // value is [2, 2]
+  TapeLintReport report;
+  EXPECT_FALSE(LintTape(tape.loss, {tape.a}, {}, &report).ok());
+  EXPECT_TRUE(HasViolation(report, TapeViolation::kGradShapeMismatch));
+}
+
+TEST(TapeLintTest, DetachedNodeFlagged) {
+  SmallTape tape;
+  // Inputs recorded but the backward closure was dropped: gradient flow
+  // silently stops at this node.
+  tape.product.node()->backward_fn = nullptr;
+  tape.product.node()->requires_grad = false;
+  TapeLintReport report;
+  EXPECT_FALSE(LintTape(tape.loss, {tape.a}, {}, &report).ok());
+  EXPECT_TRUE(HasViolation(report, TapeViolation::kDetachedNode));
+}
+
+TEST(TapeLintTest, OrphanedNodeFlagged) {
+  SmallTape tape;
+  // Backward closure kept but the input edges were severed: the closure
+  // runs against nothing.
+  tape.product.node()->inputs.clear();
+  tape.product.node()->input_shapes.clear();
+  TapeLintReport report;
+  EXPECT_FALSE(LintTape(tape.loss, {tape.a}, {}, &report).ok());
+  EXPECT_TRUE(HasViolation(report, TapeViolation::kOrphanedNode));
+}
+
+TEST(TapeLintTest, UnreachableParameterFlagged) {
+  SmallTape tape;
+  Variable unused(Tensor({4}), /*requires_grad=*/true);
+  TapeLintReport report;
+  EXPECT_FALSE(LintTape(tape.loss, {tape.a, unused}, {"a", "unused"},
+                        &report)
+                   .ok());
+  EXPECT_TRUE(HasViolation(report, TapeViolation::kUnreachableParameter));
+  EXPECT_EQ(report.reachable_parameters, 1);
+  // The report names the offending parameter, not a DFS label.
+  bool named = false;
+  for (const TapeLintIssue& issue : report.issues) {
+    if (issue.node == "unused") named = true;
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(TapeLintTest, ExpectedFrozenParameterIsExempt) {
+  // Staged training (e.g. KGAT's warm-up epoch) declares deliberately idle
+  // parameters via expected_frozen; they are counted, not flagged.
+  SmallTape tape;
+  Variable warmup_only(Tensor({4}), /*requires_grad=*/true);
+  TapeLintOptions options;
+  options.expected_frozen = {"bi_"};
+  TapeLintReport report;
+  ASSERT_TRUE(LintTape(tape.loss, {tape.a, warmup_only}, {"a", "bi_add/W"},
+                       &report, options)
+                  .ok());
+  EXPECT_EQ(report.frozen_parameters, 1);
+  EXPECT_EQ(report.reachable_parameters, 1);
+  // A prefix that does not match still flags the parameter.
+  options.expected_frozen = {"other_"};
+  EXPECT_FALSE(LintTape(tape.loss, {tape.a, warmup_only}, {"a", "bi_add/W"},
+                        &report, options)
+                   .ok());
+  EXPECT_TRUE(HasViolation(report, TapeViolation::kUnreachableParameter));
+}
+
+TEST(TapeLintTest, UntrainedParameterIsNotFlagged) {
+  // requires_grad == false parameters are frozen on purpose.
+  SmallTape tape;
+  Variable frozen(Tensor({4}), /*requires_grad=*/false);
+  TapeLintReport report;
+  EXPECT_TRUE(LintTape(tape.loss, {tape.a, frozen}, {}, &report).ok());
+}
+
+TEST(TapeLintTest, ReportTableListsViolations) {
+  SmallTape tape;
+  *tape.a.mutable_value() = Tensor({3, 3});
+  TapeLintReport report;
+  EXPECT_FALSE(LintTape(tape.loss, {tape.a}, {}, &report).ok());
+  const std::string table = report.ToTable();
+  EXPECT_NE(table.find("violations"), std::string::npos);
+  EXPECT_NE(table.find("shape-mismatch"), std::string::npos);
+}
+
+TEST(TapeLintTest, ViolationNamesAreUnique) {
+  const TapeViolation all[] = {
+      TapeViolation::kNonScalarLoss,     TapeViolation::kShapeMismatch,
+      TapeViolation::kFreedBuffer,       TapeViolation::kGradShapeMismatch,
+      TapeViolation::kDetachedNode,      TapeViolation::kOrphanedNode,
+      TapeViolation::kUnreachableParameter,
+  };
+  std::vector<std::string> names;
+  for (TapeViolation v : all) names.emplace_back(TapeViolationName(v));
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+// --- end to end: training under the lint gate ---
+
+TEST(TapeLintTest, ModelTrainsLintClean) {
+  // options.lint_tape makes every backward pass go through LintTape; a
+  // violation would abort the process, so finishing Fit proves the tape
+  // of a real model is lint-clean on every batch.
+  data::SyntheticConfig config;
+  config.name = "lint-test";
+  config.seed = 11;
+  config.num_users = 30;
+  config.num_items = 40;
+  config.interactions_per_user = 8.0;
+  config.num_relations = 4;
+  config.num_informative_relations = 3;
+  config.triplets_per_item = 4.0;
+  const data::Dataset dataset = data::GenerateSyntheticDataset(config, 3);
+
+  data::PresetHyperParams hparams;
+  hparams.embedding_dim = 8;
+  hparams.depth = 1;
+  hparams.learning_rate = 1e-2f;
+
+  models::TrainOptions options;
+  options.max_epochs = 2;
+  options.patience = 2;
+  options.batch_size = 64;
+  options.seed = 5;
+  options.lint_tape = true;
+
+  auto model = models::CreateModel("BPRMF", hparams);
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(model->Fit(dataset, options).ok());
+}
+
+// --- thread-safety wrappers ---
+
+TEST(MutexWrapperTest, MutexLockExcludesConcurrentWriters) {
+  Mutex mu;
+  int64_t counter = 0;
+  ThreadPool pool(4);
+  pool.ParallelForEach(0, 2000, /*grain=*/16, [&](int64_t) {
+    MutexLock lock(&mu);
+    ++counter;
+  });
+  EXPECT_EQ(counter, 2000);
+}
+
+TEST(MutexWrapperTest, SharedMutexAllowsConcurrentReaders) {
+  SharedMutex mu;
+  int64_t value = 0;
+  {
+    WriterMutexLock lock(&mu);
+    value = 42;
+  }
+  int64_t observed_sum = 0;
+  Mutex sum_mu;
+  ThreadPool pool(4);
+  pool.ParallelForEach(0, 256, /*grain=*/1, [&](int64_t) {
+    int64_t observed;
+    {
+      ReaderMutexLock lock(&mu);
+      observed = value;
+    }
+    MutexLock lock(&sum_mu);
+    observed_sum += observed;
+  });
+  EXPECT_EQ(observed_sum, 42 * 256);
+}
+
+TEST(MutexWrapperTest, TryLockReportsContention) {
+  Mutex mu;
+  mu.lock();
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace cgkgr
