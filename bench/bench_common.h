@@ -20,6 +20,7 @@
 #include "eval/protocol.h"
 #include "eval/wilcoxon.h"
 #include "models/registry.h"
+#include "obs/metrics.h"
 
 namespace cgkgr {
 namespace bench {
@@ -121,6 +122,7 @@ inline TrialOutcome RunTrial(const data::Preset& preset,
                                 ? models::EarlyStopMetric::kRecallAt20
                                 : models::EarlyStopMetric::kAuc;
   train.verbose = options.verbose;
+  train.run_label = model_name;
   const Status st = model->Fit(dataset, train);
   CGKGR_CHECK_MSG(st.ok(), "Fit(%s) failed: %s", model_name.c_str(),
                   st.ToString().c_str());
@@ -153,6 +155,14 @@ inline data::Dataset BuildTrialDataset(const data::Preset& preset,
   return data::GenerateSyntheticDataset(
       preset.data,
       base_seed + 7919ULL * static_cast<uint64_t>(trial_index));
+}
+
+/// The process metrics registry as a JSON array, for embedding under a
+/// "metrics" key in every benchmark's JSON output — BENCH_*.json files then
+/// carry the counters (cache hits, samples/sec, epoch timings) that
+/// accumulated while the benchmark ran.
+inline std::string MetricsJson() {
+  return obs::MetricsRegistry::Default().DumpJson();
 }
 
 /// Marks `value` with '*' when a Wilcoxon signed-rank test between `ours`

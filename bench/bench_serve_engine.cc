@@ -94,7 +94,10 @@ std::string ToJson(const std::vector<RunResult>& runs,
         (long long)r.queries, r.seconds, r.qps, r.hit_rate, r.p50_micros,
         r.p99_micros, i + 1 == runs.size() ? "" : ",");
   }
-  json += "  ]\n}\n";
+  json += "  ],\n";
+  // The registry snapshot: engine counters, cache gauges, pool histograms
+  // as they stand at the end of the sweep.
+  json += "  \"metrics\": " + bench::MetricsJson() + "\n}\n";
   return json;
 }
 

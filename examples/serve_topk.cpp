@@ -8,6 +8,11 @@
 //
 //   --threads 4        serve with 4 lanes
 //   --snapshot <path>  where to persist the frozen scores
+//   --metrics          print the process metrics registry at exit
+//
+// With CGKGR_TRACE=trace.json in the environment, the whole run (training
+// epochs with sample/forward/backward phases, serve requests with
+// rank/merge) is exported as Chrome trace-event JSON loadable in Perfetto.
 
 #include <algorithm>
 #include <cstdio>
@@ -20,6 +25,8 @@
 #include "common/timer.h"
 #include "data/presets.h"
 #include "models/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 #include "serve/snapshot.h"
 
@@ -37,6 +44,8 @@ int main(int argc, char** argv) {
   flags.DefineInt64("queries", 2000, "demo queries to serve");
   flags.DefineString("snapshot", "/tmp/cgkgr_demo.snapshot",
                      "snapshot file path");
+  flags.DefineBool("metrics", false,
+                   "print the process metrics registry at exit");
   Status st = flags.Parse(argc, argv);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -60,6 +69,7 @@ int main(int argc, char** argv) {
   train.batch_size = preset.hparams.batch_size;
   train.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
   train.early_stop_metric = models::EarlyStopMetric::kRecallAt20;
+  train.run_label = flags.GetString("model");
   std::printf("training %s on %s (%lld users, %lld items)...\n",
               model->name().c_str(), dataset.name.c_str(),
               (long long)dataset.num_users, (long long)dataset.num_items);
@@ -130,5 +140,16 @@ int main(int argc, char** argv) {
 
   // 6. Serving counters.
   std::printf("%s", engine.stats().ToTable().c_str());
+
+  // 7. Whole-process telemetry: every instrument (trainer, serve engine,
+  // LRU cache, thread pool) that accumulated during the run.
+  if (flags.GetBool("metrics")) {
+    std::printf("\n== metrics registry ==\n%s",
+                obs::MetricsRegistry::Default().ToTable().c_str());
+  }
+  if (obs::TraceCollector::IsEnabled()) {
+    std::printf("trace spans will be written to %s at exit\n",
+                obs::TraceCollector::Default().output_path().c_str());
+  }
   return results.empty() ? 1 : 0;
 }

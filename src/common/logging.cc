@@ -5,11 +5,25 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/mutex.h"
+
 namespace cgkgr {
 
 namespace {
 
 LogLevel g_threshold = LogLevel::kInfo;
+
+/// Guards the capture stack and each capture's entries. Function-local so
+/// logging from static initializers/destructors stays safe.
+Mutex& CaptureMutex() {
+  static Mutex mu;
+  return mu;
+}
+
+LogCapture*& ActiveCapture() {
+  static LogCapture* active = nullptr;
+  return active;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -41,7 +55,17 @@ Logger::Logger(LogLevel level, const char* file, int line) : level_(level) {
 
 Logger::~Logger() {
   if (level_ >= g_threshold) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    bool captured = false;
+    {
+      MutexLock lock(&CaptureMutex());
+      if (ActiveCapture() != nullptr) {
+        ActiveCapture()->Append(stream_.str());
+        captured = true;
+      }
+    }
+    if (!captured) {
+      std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();
@@ -51,5 +75,34 @@ Logger::~Logger() {
 void Logger::SetThreshold(LogLevel level) { g_threshold = level; }
 
 LogLevel Logger::Threshold() { return g_threshold; }
+
+LogCapture::LogCapture() {
+  MutexLock lock(&CaptureMutex());
+  previous_ = ActiveCapture();
+  ActiveCapture() = this;
+}
+
+LogCapture::~LogCapture() {
+  MutexLock lock(&CaptureMutex());
+  ActiveCapture() = previous_;
+}
+
+void LogCapture::Append(const std::string& line) {
+  // Called under CaptureMutex() from Logger::~Logger.
+  entries_.push_back(line);
+}
+
+std::vector<std::string> LogCapture::entries() const {
+  MutexLock lock(&CaptureMutex());
+  return entries_;
+}
+
+bool LogCapture::Contains(std::string_view substring) const {
+  MutexLock lock(&CaptureMutex());
+  for (const std::string& line : entries_) {
+    if (line.find(substring) != std::string::npos) return true;
+  }
+  return false;
+}
 
 }  // namespace cgkgr

@@ -3,6 +3,8 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace cgkgr {
 
@@ -33,6 +35,64 @@ class Logger {
  private:
   LogLevel level_;
   std::ostringstream stream_;
+};
+
+namespace logging_internal {
+
+/// Streamable ` key=value` pair; see Kv() below.
+template <typename T>
+struct KvPair {
+  std::string_view key;
+  const T& value;
+};
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const KvPair<T>& kv) {
+  return os << ' ' << kv.key << '=' << kv.value;
+}
+
+}  // namespace logging_internal
+
+/// Structured `key=value` suffix for log lines: streams as ` key=value`
+/// (leading space), so lines read `... epoch=3 loss=0.41` and stay greppable
+/// by key.
+///
+/// \code
+///   CGKGR_LOG(Info) << "train" << Kv("epoch", epoch) << Kv("loss", loss);
+/// \endcode
+template <typename T>
+logging_internal::KvPair<T> Kv(std::string_view key, const T& value) {
+  return {key, value};
+}
+
+/// RAII sink that diverts log lines (at or above the threshold) away from
+/// stderr into an in-memory list while in scope — the test-visible
+/// alternative to scraping stderr. Captures nest; the innermost wins.
+/// Capture installation is mutex-protected, but a capture must outlive any
+/// concurrent logging (install before spawning workers, or keep captures to
+/// single-threaded test sections).
+class LogCapture {
+ public:
+  LogCapture();
+  ~LogCapture();
+
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  /// Captured lines, oldest first (formatted exactly as stderr would see
+  /// them, minus the trailing newline).
+  std::vector<std::string> entries() const;
+
+  /// True when any captured line contains `substring`.
+  bool Contains(std::string_view substring) const;
+
+ private:
+  friend class Logger;
+
+  void Append(const std::string& line);
+
+  LogCapture* previous_;
+  std::vector<std::string> entries_;
 };
 
 }  // namespace cgkgr

@@ -7,8 +7,45 @@
 
 #include "common/macros.h"
 #include "common/mutex.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace cgkgr {
+
+namespace {
+
+/// Pool instruments, shared across pools (fetched once; relaxed-atomic
+/// updates after that). The inline single-lane path stays unmetered so
+/// ThreadPool(1) remains an exact no-op.
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_micros;
+  obs::Counter* tasks_total;
+  obs::Counter* busy_micros_total;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics metrics{
+      obs::MetricsRegistry::Default().GetGauge("threadpool_queue_depth"),
+      obs::MetricsRegistry::Default().GetHistogram("threadpool_task_micros"),
+      obs::MetricsRegistry::Default().GetCounter("threadpool_tasks_total"),
+      obs::MetricsRegistry::Default().GetCounter(
+          "threadpool_busy_micros_total")};
+  return metrics;
+}
+
+/// Runs one dequeued task, recording latency/utilization instruments.
+void RunMetered(const std::function<void()>& task) {
+  WallTimer timer;
+  task();
+  const double micros = timer.ElapsedMillis() * 1e3;
+  const PoolMetrics& metrics = Metrics();
+  metrics.task_micros->Record(micros);
+  metrics.tasks_total->Increment();
+  metrics.busy_micros_total->Increment(static_cast<int64_t>(micros));
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int64_t num_threads) {
   const int64_t lanes = std::max<int64_t>(1, num_threads);
@@ -43,7 +80,8 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    Metrics().queue_depth->Add(-1.0);
+    RunMetered(task);
     {
       MutexLock lock(&mu_);
       --in_flight_;
@@ -63,6 +101,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     CGKGR_CHECK_MSG(!stop_, "Submit after ~ThreadPool began");
     queue_.push_back(std::move(task));
   }
+  Metrics().queue_depth->Add(1.0);
   work_cv_.notify_one();
 }
 
@@ -80,7 +119,8 @@ bool ThreadPool::TryRunQueuedTask() {
     queue_.pop_front();
     ++in_flight_;
   }
-  task();
+  Metrics().queue_depth->Add(-1.0);
+  RunMetered(task);
   {
     MutexLock lock(&mu_);
     --in_flight_;
@@ -164,7 +204,8 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     if (!TryRunQueuedTask()) {
       MutexLock lock(&state->mu);
       if (state->pending_helpers != 0) {
-        state->done_cv.wait_for(state->mu, std::chrono::milliseconds(1));
+        state->done_cv.wait_for(state->mu,
+                                std::chrono::milliseconds(1));  // NOLINT(adhoc-timing)
       }
     }
   }

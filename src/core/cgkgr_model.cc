@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "models/trainer_util.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "nn/serialize.h"
 
 namespace cgkgr {
@@ -125,13 +126,20 @@ Status CgKgrModel::Fit(const data::Dataset& dataset,
           std::vector<int64_t> items = batch.positive_items;
           items.insert(items.end(), batch.negative_items.begin(),
                        batch.negative_items.end());
-          BatchGraph bg = SampleBatch(users, items, rng);
-          Variable scores = Forward(bg, nullptr);
-          std::vector<float> labels(users.size(), 0.0f);
-          std::fill(labels.begin(),
-                    labels.begin() + static_cast<int64_t>(batch.users.size()),
-                    1.0f);
-          Variable loss = autograd::BCEWithLogits(scores, std::move(labels));
+          BatchGraph bg = [&] {
+            obs::ScopedSpan sample_span("train/sample");
+            return SampleBatch(users, items, rng);
+          }();
+          Variable loss = [&] {
+            obs::ScopedSpan forward_span("train/forward");
+            Variable scores = Forward(bg, nullptr);
+            std::vector<float> labels(users.size(), 0.0f);
+            std::fill(
+                labels.begin(),
+                labels.begin() + static_cast<int64_t>(batch.users.size()),
+                1.0f);
+            return autograd::BCEWithLogits(scores, std::move(labels));
+          }();
           models::LintAndBackward(loss, store_, options);
           optimizer.Step();
           total_loss += loss.value()[0];

@@ -34,6 +34,15 @@ struct TrainOptions {
   /// setting the CGKGR_LINT_TAPE environment variable; see
   /// docs/static_analysis.md.
   bool lint_tape = false;
+  /// When non-empty, the training loop appends one JSON object per epoch
+  /// (dataset, model, epoch, loss, eval_metric, epoch_seconds,
+  /// samples_per_sec) to this JSONL file — the learning-curve feed; see
+  /// docs/observability.md. The CGKGR_METRICS_JSONL environment variable
+  /// supplies a process-wide default when this field is empty.
+  std::string metrics_jsonl;
+  /// Model tag stamped into JSONL rows and metric labels ("cgkgr",
+  /// "bprmf", ...); empty renders as "model".
+  std::string run_label;
 };
 
 /// Outcome bookkeeping of a Fit() call (feeds the paper's Table VI).

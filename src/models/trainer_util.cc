@@ -1,15 +1,51 @@
 #include "models/trainer_util.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "analysis/tape_lint.h"
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/timer.h"
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cgkgr {
 namespace models {
+
+namespace {
+
+/// Record the parameter-gradient L2 norm on every Nth backward pass: cheap
+/// enough to leave on, frequent enough to catch explosions.
+constexpr int64_t kGradNormSampleEvery = 16;
+
+/// L2 norm across every parameter gradient in the store.
+double GradientNorm(const nn::ParameterStore& store) {
+  double sum_sq = 0.0;
+  for (autograd::Variable parameter : store.parameters()) {
+    const tensor::Tensor& grad = parameter.grad();
+    for (int64_t i = 0; i < grad.size(); ++i) {
+      const double g = grad[i];
+      sum_sq += g * g;
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+/// Resolves the per-epoch JSONL path: the per-run TrainOptions field wins,
+/// the CGKGR_METRICS_JSONL environment variable is the process default.
+std::string MetricsJsonlPath(const TrainOptions& options) {
+  if (!options.metrics_jsonl.empty()) return options.metrics_jsonl;
+  const char* env = std::getenv("CGKGR_METRICS_JSONL");
+  return env != nullptr ? env : "";
+}
+
+}  // namespace
 
 bool TapeLintEnabled(const TrainOptions& options) {
   static const bool env_enabled = std::getenv("CGKGR_LINT_TAPE") != nullptr;
@@ -27,7 +63,18 @@ void LintAndBackward(autograd::Variable loss, const nn::ParameterStore& store,
       CGKGR_CHECK_MSG(false, "%s", status.ToString().c_str());
     }
   }
-  loss.Backward();
+  {
+    obs::ScopedSpan backward_span("train/backward");
+    loss.Backward();
+  }
+  static std::atomic<int64_t> backward_calls{0};
+  if (backward_calls.fetch_add(1, std::memory_order_relaxed) %
+          kGradNormSampleEvery ==
+      0) {
+    static obs::Gauge* grad_norm =
+        obs::MetricsRegistry::Default().GetGauge("train_grad_norm");
+    grad_norm->Set(GradientNorm(store));
+  }
 }
 
 void ForEachTrainBatch(
@@ -36,6 +83,10 @@ void ForEachTrainBatch(
     int64_t batch_size, Rng* rng,
     const std::function<void(const TrainBatch&)>& fn) {
   CGKGR_CHECK(batch_size > 0 && rng != nullptr);
+  static obs::Counter* batches_total =
+      obs::MetricsRegistry::Default().GetCounter("train_batches_total");
+  static obs::Counter* samples_total =
+      obs::MetricsRegistry::Default().GetCounter("train_samples_total");
   std::vector<size_t> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng->Shuffle(&order);
@@ -48,14 +99,20 @@ void ForEachTrainBatch(
     batch.users.clear();
     batch.positive_items.clear();
     batch.negative_items.clear();
-    for (size_t i = begin; i < end; ++i) {
-      const graph::Interaction& x = train[order[i]];
-      batch.users.push_back(x.user);
-      batch.positive_items.push_back(x.item);
-      batch.negative_items.push_back(
-          data::SampleNegativeItem(all_positives, x.user, num_items, rng));
+    {
+      obs::ScopedSpan negatives_span("train/negatives");
+      for (size_t i = begin; i < end; ++i) {
+        const graph::Interaction& x = train[order[i]];
+        batch.users.push_back(x.user);
+        batch.positive_items.push_back(x.item);
+        batch.negative_items.push_back(
+            data::SampleNegativeItem(all_positives, x.user, num_items, rng));
+      }
     }
+    obs::ScopedSpan batch_span("train/batch");
     fn(batch);
+    batches_total->Increment();
+    samples_total->Increment(static_cast<int64_t>(end - begin));
   }
 }
 
@@ -97,6 +154,31 @@ Status RunTrainingLoop(eval::PairScorer* scorer, nn::ParameterStore* store,
                : eval::EvaluateCtr(scorer, eval_examples).auc;
   };
 
+  // Per-dataset registry instruments; the samples/sec gauge divides the
+  // train-split size (one positive per interaction per epoch) by epoch time.
+  const std::string model_label =
+      options.run_label.empty() ? "model" : options.run_label;
+  const obs::Labels labels = {{"dataset", dataset.name}};
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  obs::Counter* epochs_total =
+      registry.GetCounter("train_epochs_total", labels);
+  obs::Histogram* epoch_micros =
+      registry.GetHistogram("train_epoch_micros", labels);
+  obs::Gauge* epoch_loss = registry.GetGauge("train_epoch_loss", labels);
+  obs::Gauge* eval_metric_gauge =
+      registry.GetGauge("train_eval_metric", labels);
+  obs::Gauge* samples_per_sec =
+      registry.GetGauge("train_samples_per_sec", labels);
+  const std::string jsonl_path = MetricsJsonlPath(options);
+  std::unique_ptr<obs::JsonlSink> jsonl;
+  if (!jsonl_path.empty()) {
+    jsonl = std::make_unique<obs::JsonlSink>(jsonl_path);
+    if (!jsonl->status().ok()) {
+      CGKGR_LOG(Warning) << "metrics JSONL sink disabled: "
+                         << jsonl->status().ToString();
+    }
+  }
+
   Rng train_rng(options.seed);
   std::vector<tensor::Tensor> best_snapshot;
   int64_t best_epoch = 0;
@@ -107,15 +189,45 @@ Status RunTrainingLoop(eval::PairScorer* scorer, nn::ParameterStore* store,
   for (int64_t epoch = 1; epoch <= options.max_epochs; ++epoch) {
     WallTimer epoch_timer;
     Rng epoch_rng = train_rng.Fork();
-    const double loss = run_epoch(&epoch_rng);
-    epoch_seconds_sum += epoch_timer.ElapsedSeconds();
+    double loss = 0.0;
+    {
+      obs::ScopedSpan epoch_span("train/epoch");
+      loss = run_epoch(&epoch_rng);
+    }
+    const double epoch_seconds = epoch_timer.ElapsedSeconds();
+    epoch_seconds_sum += epoch_seconds;
     stats->epoch_losses.push_back(loss);
     stats->epochs_run = epoch;
 
-    const double metric = eval_metric();
+    double metric = 0.0;
+    {
+      obs::ScopedSpan eval_span("train/eval");
+      metric = eval_metric();
+    }
+    const double samples_rate =
+        epoch_seconds > 0.0
+            ? static_cast<double>(dataset.train.size()) / epoch_seconds
+            : 0.0;
+    epochs_total->Increment();
+    epoch_micros->Record(epoch_seconds * 1e6);
+    epoch_loss->Set(loss);
+    eval_metric_gauge->Set(metric);
+    samples_per_sec->Set(samples_rate);
+    if (jsonl != nullptr) {
+      jsonl->Write(obs::JsonlRow()
+                       .Add("dataset", dataset.name)
+                       .Add("model", model_label)
+                       .Add("epoch", epoch)
+                       .Add("loss", loss)
+                       .Add("eval_metric", metric)
+                       .Add("epoch_seconds", epoch_seconds)
+                       .Add("samples_per_sec", samples_rate));
+    }
     if (options.verbose) {
-      CGKGR_LOG(Info) << dataset.name << " epoch " << epoch << " loss " << loss
-                      << " eval-metric " << metric;
+      CGKGR_LOG(Info) << "train" << Kv("dataset", dataset.name)
+                      << Kv("model", model_label) << Kv("epoch", epoch)
+                      << Kv("loss", loss) << Kv("eval_metric", metric)
+                      << Kv("samples_per_sec", samples_rate);
     }
     if (metric > best_metric) {
       best_metric = metric;

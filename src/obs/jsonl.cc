@@ -1,0 +1,82 @@
+#include "obs/jsonl.h"
+
+#include <cmath>
+
+#include "common/mutex.h"
+#include "common/string_util.h"
+
+namespace cgkgr {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonlRow& JsonlRow::AddRaw(std::string_view key, const std::string& rendered) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += "\"" + JsonEscape(key) + "\": " + rendered;
+  return *this;
+}
+
+JsonlRow& JsonlRow::Add(std::string_view key, std::string_view value) {
+  return AddRaw(key, "\"" + JsonEscape(value) + "\"");
+}
+
+JsonlRow& JsonlRow::Add(std::string_view key, double value) {
+  // NaN/Inf are not JSON; render as null so the line stays parseable.
+  return AddRaw(key, std::isfinite(value) ? StrFormat("%.8g", value)
+                                          : std::string("null"));
+}
+
+JsonlRow& JsonlRow::Add(std::string_view key, int64_t value) {
+  return AddRaw(key, StrFormat("%lld", static_cast<long long>(value)));
+}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : path_(path), out_(path, std::ios::app) {
+  if (!out_) {
+    status_ = Status::IOError("cannot open JSONL sink: " + path);
+  }
+}
+
+void JsonlSink::Write(const JsonlRow& row) {
+  MutexLock lock(&mu_);
+  if (!status_.ok()) return;
+  out_ << row.ToJson() << '\n';
+  out_.flush();
+  if (!out_) {
+    status_ = Status::IOError("write failed on JSONL sink: " + path_);
+  }
+}
+
+Status JsonlSink::status() const {
+  MutexLock lock(&mu_);
+  return status_;
+}
+
+}  // namespace obs
+}  // namespace cgkgr

@@ -1,0 +1,67 @@
+#ifndef CGKGR_OBS_JSONL_H_
+#define CGKGR_OBS_JSONL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "common/macros.h"
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace cgkgr {
+namespace obs {
+
+/// \file
+/// JSONL (one JSON object per line) sink for per-epoch metric rows —
+/// learning curves, trial aggregates — consumed by pandas.read_json(
+/// lines=True) or jq. Append-mode, so successive runs accumulate in one
+/// file and a crash loses at most the unflushed row.
+
+/// Builder for one JSONL row. Keys are emitted in insertion order.
+class JsonlRow {
+ public:
+  JsonlRow& Add(std::string_view key, std::string_view value);
+  JsonlRow& Add(std::string_view key, double value);
+  JsonlRow& Add(std::string_view key, int64_t value);
+  JsonlRow& Add(std::string_view key, int value) {
+    return Add(key, static_cast<int64_t>(value));
+  }
+
+  /// The row as a single-line JSON object (no trailing newline).
+  std::string ToJson() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonlRow& AddRaw(std::string_view key, const std::string& rendered);
+
+  std::string body_;
+};
+
+/// Thread-safe append-only JSONL file writer.
+class JsonlSink {
+ public:
+  /// Opens `path` for appending. A failed open is sticky: Write becomes a
+  /// no-op and status() reports the error (callers on training hot paths
+  /// should not have to CHECK a telemetry sink).
+  explicit JsonlSink(const std::string& path);
+
+  /// Appends one row + newline and flushes (rows survive a later crash).
+  void Write(const JsonlRow& row) CGKGR_EXCLUDES(mu_);
+
+  /// OK while the sink is healthy; first open/write error otherwise.
+  Status status() const CGKGR_EXCLUDES(mu_);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  const std::string path_;
+  mutable Mutex mu_;
+  std::ofstream out_ CGKGR_GUARDED_BY(mu_);
+  Status status_ CGKGR_GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace cgkgr
+
+#endif  // CGKGR_OBS_JSONL_H_

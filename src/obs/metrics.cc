@@ -1,0 +1,291 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/mutex.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace cgkgr {
+namespace obs {
+
+namespace {
+
+/// Canonical label rendering: sorted by key, `key="value",...` without the
+/// surrounding braces (so histogram dumps can splice in `le="..."`).
+std::string RenderLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const auto& [key, value] = labels[i];
+    CGKGR_CHECK_MSG(!key.empty(), "empty metric label key");
+    CGKGR_CHECK_MSG(value.find_first_of("\"\\\n") == std::string::npos,
+                    "metric label value %s needs no escaping by contract",
+                    value.c_str());
+    if (i > 0) out += ',';
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  }
+  return out;
+}
+
+/// `name{labels}` or bare `name` when unlabeled.
+std::string Identity(const std::string& name, const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+/// Trims trailing zeros off a %.6f rendering so gauges print as `3.5`, not
+/// `3.500000` (and integers as `42`).
+std::string FormatValue(double value) {
+  std::string s = StrFormat("%.6f", value);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested sample, 1-based (p99 of 100 samples = 99th).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p * static_cast<double>(count))));
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) return std::exp2(static_cast<double>(b + 1));
+  }
+  return std::exp2(static_cast<double>(buckets.size()));
+}
+
+void Histogram::Record(double value) {
+  int bucket = 0;
+  if (value >= 1.0) {
+    // floor(log2(value)), clamped to the last bucket.
+    bucket =
+        std::min<int>(kNumBuckets - 1, static_cast<int>(std::log2(value)));
+  }
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const int64_t n =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    snapshot.buckets[static_cast<size_t>(b)] = n;
+    snapshot.count += n;
+  }
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+HistogramSnapshot Histogram::SnapshotAndZero() {
+  HistogramSnapshot snapshot;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    // exchange, not load+store: a concurrent Record's increment is either in
+    // the value we took or in the zeroed bucket — never lost.
+    const int64_t n = buckets_[static_cast<size_t>(b)].exchange(
+        0, std::memory_order_relaxed);
+    snapshot.buckets[static_cast<size_t>(b)] = n;
+    snapshot.count += n;
+  }
+  snapshot.sum = sum_.exchange(0.0, std::memory_order_relaxed);
+  // count_ is derivable from the buckets; swap it too so count() tracks.
+  count_.exchange(0, std::memory_order_relaxed);
+  return snapshot;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Family& MetricsRegistry::GetFamily(const std::string& name,
+                                                    Type type) {
+  CGKGR_CHECK_MSG(!name.empty(), "empty metric name");
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+  } else {
+    CGKGR_CHECK_MSG(it->second.type == type,
+                    "metric '%s' registered with two instrument types",
+                    name.c_str());
+  }
+  return it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  const std::string key = RenderLabels(labels);
+  MutexLock lock(&mu_);
+  auto& slot = GetFamily(name, Type::kCounter).counters[key];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  const std::string key = RenderLabels(labels);
+  MutexLock lock(&mu_);
+  auto& slot = GetFamily(name, Type::kGauge).gauges[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels) {
+  const std::string key = RenderLabels(labels);
+  MutexLock lock(&mu_);
+  auto& slot = GetFamily(name, Type::kHistogram).histograms[key];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::Dump() const {
+  MutexLock lock(&mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    switch (family.type) {
+      case Type::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        for (const auto& [labels, counter] : family.counters) {
+          out += StrFormat("%s %lld\n", Identity(name, labels).c_str(),
+                           static_cast<long long>(counter->value()));
+        }
+        break;
+      case Type::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        for (const auto& [labels, gauge] : family.gauges) {
+          out += StrFormat("%s %s\n", Identity(name, labels).c_str(),
+                           FormatValue(gauge->value()).c_str());
+        }
+        break;
+      case Type::kHistogram:
+        out += "# TYPE " + name + " histogram\n";
+        for (const auto& [labels, histogram] : family.histograms) {
+          const HistogramSnapshot snapshot = histogram->Snapshot();
+          const std::string sep = labels.empty() ? "" : ",";
+          const std::string braced =
+              labels.empty() ? "" : "{" + labels + "}";
+          int64_t cumulative = 0;
+          for (size_t b = 0; b < snapshot.buckets.size(); ++b) {
+            if (snapshot.buckets[b] == 0) continue;  // documented deviation
+            cumulative += snapshot.buckets[b];
+            out += StrFormat(
+                "%s_bucket{%s%sle=\"%s\"} %lld\n", name.c_str(),
+                labels.c_str(), sep.c_str(),
+                FormatValue(std::exp2(static_cast<double>(b + 1))).c_str(),
+                static_cast<long long>(cumulative));
+          }
+          out += StrFormat("%s_bucket{%s%sle=\"+Inf\"} %lld\n", name.c_str(),
+                           labels.c_str(), sep.c_str(),
+                           static_cast<long long>(snapshot.count));
+          out += StrFormat("%s_sum%s %s\n", name.c_str(), braced.c_str(),
+                           FormatValue(snapshot.sum).c_str());
+          out += StrFormat("%s_count%s %lld\n", name.c_str(), braced.c_str(),
+                           static_cast<long long>(snapshot.count));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  MutexLock lock(&mu_);
+  std::string out = "[";
+  bool first = true;
+  const auto append = [&out, &first](const std::string& entry) {
+    out += first ? "\n" : ",\n";
+    out += "    " + entry;
+    first = false;
+  };
+  for (const auto& [name, family] : families_) {
+    const auto prefix = [&name](const std::string& labels) {
+      return "{\"instrument\": \"" + JsonEscape(name) + "\", \"labels\": \"" +
+             JsonEscape(labels) + "\"";
+    };
+    for (const auto& [labels, counter] : family.counters) {
+      append(prefix(labels) +
+             StrFormat(", \"type\": \"counter\", \"value\": %lld}",
+                       static_cast<long long>(counter->value())));
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      append(prefix(labels) + StrFormat(", \"type\": \"gauge\", "
+                                        "\"value\": %.6g}",
+                                        gauge->value()));
+    }
+    for (const auto& [labels, histogram] : family.histograms) {
+      const HistogramSnapshot snapshot = histogram->Snapshot();
+      append(prefix(labels) +
+             StrFormat(", \"type\": \"histogram\", \"count\": %lld, "
+                       "\"sum\": %.6g, \"p50\": %.6g, \"p99\": %.6g}",
+                       static_cast<long long>(snapshot.count), snapshot.sum,
+                       snapshot.Percentile(0.50), snapshot.Percentile(0.99)));
+    }
+  }
+  out += first ? "]" : "\n  ]";
+  return out;
+}
+
+std::string MetricsRegistry::ToTable() const {
+  MutexLock lock(&mu_);
+  TablePrinter table({"Instrument", "Type", "Value"});
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, counter] : family.counters) {
+      table.AddRow({Identity(name, labels), "counter",
+                    StrFormat("%lld",
+                              static_cast<long long>(counter->value()))});
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      table.AddRow(
+          {Identity(name, labels), "gauge", FormatValue(gauge->value())});
+    }
+    for (const auto& [labels, histogram] : family.histograms) {
+      const HistogramSnapshot snapshot = histogram->Snapshot();
+      table.AddRow({Identity(name, labels), "histogram",
+                    StrFormat("n=%lld p50=%s p99=%s sum=%s",
+                              static_cast<long long>(snapshot.count),
+                              FormatValue(snapshot.Percentile(0.50)).c_str(),
+                              FormatValue(snapshot.Percentile(0.99)).c_str(),
+                              FormatValue(snapshot.sum).c_str())});
+    }
+  }
+  return table.ToString();
+}
+
+int64_t MetricsRegistry::NumInstruments() const {
+  MutexLock lock(&mu_);
+  int64_t total = 0;
+  for (const auto& [name, family] : families_) {
+    total += static_cast<int64_t>(family.counters.size() +
+                                  family.gauges.size() +
+                                  family.histograms.size());
+  }
+  return total;
+}
+
+}  // namespace obs
+}  // namespace cgkgr

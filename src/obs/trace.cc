@@ -1,0 +1,199 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/mutex.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace cgkgr {
+namespace obs {
+
+namespace {
+
+/// Per-thread buffer cap; spans past it are dropped (and counted in the
+/// `obs_trace_dropped_spans_total` metric) rather than growing unboundedly.
+constexpr size_t kMaxSpansPerThread = size_t{1} << 20;
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void ExportAtExit() {
+  if (!TraceCollector::IsEnabled()) return;
+  const Status st = TraceCollector::Default().WriteFile();
+  if (!st.ok()) {
+    CGKGR_LOG(Error) << "trace export failed: " << st.ToString();
+  }
+}
+
+/// Reads CGKGR_TRACE at static-init time so every binary linking the
+/// library honors the env var without explicit wiring.
+bool InitFromEnv() {
+  const char* path = std::getenv("CGKGR_TRACE");
+  if (path != nullptr && path[0] != '\0') {
+    TraceCollector::Default().Enable(path);
+  }
+  return true;
+}
+
+const bool g_env_init = InitFromEnv();
+
+}  // namespace
+
+namespace trace_internal {
+
+std::atomic<bool> g_enabled{false};
+
+double NowMicros() {
+  // Steady clock relative to a process-local epoch: Chrome trace `ts` only
+  // needs to be internally consistent, not wall-clock anchored.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+}  // namespace trace_internal
+
+/// One thread's spans. shared_ptr-owned jointly by the thread (thread_local)
+/// and the collector, so a drain after thread exit still sees the spans and
+/// a thread outliving a drain keeps a valid buffer.
+struct TraceCollector::ThreadBuffer {
+  struct Span {
+    const char* name;  // string literal, by ScopedSpan contract
+    double ts_us;
+    double dur_us;
+  };
+
+  Mutex mu;
+  std::vector<Span> spans CGKGR_GUARDED_BY(mu);
+  int64_t tid = 0;  // sequential id assigned at registration
+};
+
+TraceCollector& TraceCollector::Default() {
+  // Function-local static: constructed at first use (the CGKGR_TRACE env
+  // probe during static init), destroyed after the atexit exporter runs.
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::Enable(std::string path) {
+  bool register_at_exit = false;
+  {
+    MutexLock lock(&mu_);
+    if (!path.empty()) {
+      path_ = std::move(path);
+      if (!at_exit_registered_) {
+        at_exit_registered_ = true;
+        register_at_exit = true;
+      }
+    }
+  }
+  if (register_at_exit) std::atexit(&ExportAtExit);
+  trace_internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::Disable() {
+  trace_internal::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::string TraceCollector::output_path() const {
+  MutexLock lock(&mu_);
+  return path_;
+}
+
+TraceCollector::ThreadBuffer* TraceCollector::BufferForThisThread() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (buffer == nullptr) {
+    buffer = std::make_shared<ThreadBuffer>();
+    MutexLock lock(&mu_);
+    buffer->tid = static_cast<int64_t>(buffers_.size());
+    buffers_.push_back(buffer);
+  }
+  return buffer.get();
+}
+
+void trace_internal::EmitSpan(const char* name, double start_us) {
+  const double end_us = NowMicros();
+  TraceCollector::ThreadBuffer* buffer =
+      TraceCollector::Default().BufferForThisThread();
+  MutexLock lock(&buffer->mu);
+  if (buffer->spans.size() >= kMaxSpansPerThread) {
+    static Counter* dropped = MetricsRegistry::Default().GetCounter(
+        "obs_trace_dropped_spans_total");
+    dropped->Increment();
+    return;
+  }
+  buffer->spans.push_back({name, start_us, end_us - start_us});
+}
+
+std::vector<TraceCollector::Event> TraceCollector::DrainEvents() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    MutexLock lock(&mu_);
+    buffers = buffers_;
+  }
+  std::vector<Event> events;
+  for (const auto& buffer : buffers) {
+    std::vector<ThreadBuffer::Span> spans;
+    {
+      MutexLock lock(&buffer->mu);
+      spans.swap(buffer->spans);
+    }
+    for (const auto& span : spans) {
+      events.push_back({span.name, span.ts_us, span.dur_us, buffer->tid});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+  return events;
+}
+
+std::string TraceCollector::DrainJson() {
+  const std::vector<Event> events = DrainEvents();
+  std::string out = "{\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat(
+        "  {\"name\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+        "\"pid\": 1, \"tid\": %lld}",
+        JsonEscape(e.name).c_str(), e.ts_us, e.dur_us,
+        static_cast<long long>(e.tid));
+  }
+  out += events.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+Status TraceCollector::WriteFile() {
+  const std::string path = output_path();
+  if (path.empty()) {
+    return Status::InvalidArgument("trace output path not set");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open trace output: " + path);
+  }
+  out << DrainJson();
+  out.flush();
+  if (!out) {
+    return Status::IOError("short write to trace output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace cgkgr

@@ -1,0 +1,126 @@
+#ifndef CGKGR_OBS_TRACE_H_
+#define CGKGR_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace cgkgr {
+namespace obs {
+
+/// \file
+/// Lightweight tracing: RAII ScopedSpan records (name, start, duration) into
+/// a per-thread buffer; the process-wide TraceCollector drains the buffers
+/// into Chrome trace-event JSON that loads directly in chrome://tracing and
+/// Perfetto (ui.perfetto.dev). Setting the environment variable
+/// `CGKGR_TRACE=<path>` enables tracing process-wide and writes the JSON to
+/// `<path>` at clean process exit. When tracing is disabled a span costs one
+/// relaxed atomic load and a branch — cheap enough to leave in hot paths.
+///
+/// Span names must be string literals (the collector stores the pointer, not
+/// a copy). Spans emit as Chrome "complete" (`ph:"X"`) events, so sibling
+/// and nested spans on one thread render as a flame graph per thread.
+
+namespace trace_internal {
+
+/// Fast global enable flag read by every ScopedSpan constructor.
+extern std::atomic<bool> g_enabled;
+
+/// Microseconds since the collector's epoch (steady clock).
+double NowMicros();
+
+/// Appends a completed span to the calling thread's buffer.
+void EmitSpan(const char* name, double start_us);
+
+}  // namespace trace_internal
+
+/// RAII span: opens at construction, closes (and records) at destruction.
+///
+/// \code
+///   obs::ScopedSpan span("train/epoch");
+/// \endcode
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(trace_internal::g_enabled.load(std::memory_order_relaxed)
+                  ? name
+                  : nullptr),
+        start_us_(name_ != nullptr ? trace_internal::NowMicros() : 0.0) {}
+
+  ~ScopedSpan() {
+    if (name_ != nullptr) trace_internal::EmitSpan(name_, start_us_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_;
+};
+
+/// Process-wide collector of per-thread span buffers.
+class TraceCollector {
+ public:
+  /// One completed span, as drained for tests/export.
+  struct Event {
+    std::string name;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    int64_t tid = 0;
+  };
+
+  /// The process-wide collector (also reachable via CGKGR_TRACE).
+  static TraceCollector& Default();
+
+  /// True when spans are being recorded (fast, lock-free).
+  static bool IsEnabled() {
+    return trace_internal::g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Starts recording. `path` is where WriteFile/at-exit export goes; pass
+  /// "" to record without an at-exit file (tests drain explicitly). The
+  /// first Enable with a non-empty path registers an at-exit exporter.
+  void Enable(std::string path) CGKGR_EXCLUDES(mu_);
+
+  /// Stops recording (already-buffered spans stay until drained).
+  void Disable();
+
+  /// The at-exit export path ("" when none).
+  std::string output_path() const CGKGR_EXCLUDES(mu_);
+
+  /// Removes and returns every buffered span, sorted by start time.
+  std::vector<Event> DrainEvents() CGKGR_EXCLUDES(mu_);
+
+  /// Drains into Chrome trace-event JSON (the `traceEvents` envelope).
+  std::string DrainJson();
+
+  /// Drains into a Chrome trace JSON file at output_path().
+  Status WriteFile();
+
+ private:
+  friend void trace_internal::EmitSpan(const char* name, double start_us);
+
+  TraceCollector() = default;
+
+  struct ThreadBuffer;
+
+  /// Registers (once per thread) and returns the calling thread's buffer.
+  ThreadBuffer* BufferForThisThread() CGKGR_EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  std::string path_ CGKGR_GUARDED_BY(mu_);
+  bool at_exit_registered_ CGKGR_GUARDED_BY(mu_) = false;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ CGKGR_GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace cgkgr
+
+#endif  // CGKGR_OBS_TRACE_H_

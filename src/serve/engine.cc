@@ -1,16 +1,29 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <queue>
+#include <string>
 
 #include "common/macros.h"
 #include "common/mutex.h"
+#include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cgkgr {
 namespace serve {
 
 namespace {
+
+/// One label set per Engine instance: {engine="0"}, {engine="1"}, ... keeps
+/// concurrent engines' counts separable in the shared registry.
+obs::Labels NextEngineLabels() {
+  static std::atomic<int64_t> next_id{0};
+  return {{"engine", StrFormat("%lld", static_cast<long long>(next_id.fetch_add(
+                                  1, std::memory_order_relaxed)))}};
+}
 
 /// Ranking order: score descending, item id ascending on ties. The id
 /// tiebreak makes results independent of block boundaries and thread
@@ -73,25 +86,43 @@ std::vector<ScoredItem> HeapMergeTopK(std::vector<ScoredItem> winners,
 }  // namespace
 
 Engine::Engine(std::shared_ptr<const Snapshot> snapshot, EngineOptions options)
-    : options_(options), pool_(options.num_threads), snapshot_(std::move(snapshot)) {
+    : options_(options),
+      pool_(options.num_threads),
+      snapshot_(std::move(snapshot)) {
   CGKGR_CHECK(snapshot_ != nullptr);
   CGKGR_CHECK(options_.block_size > 0);
+  const obs::Labels labels = NextEngineLabels();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  requests_ = registry.GetCounter("serve_requests_total", labels);
+  cache_hits_ = registry.GetCounter("serve_cache_hits_total", labels);
+  cache_misses_ = registry.GetCounter("serve_cache_misses_total", labels);
+  cache_evictions_ =
+      registry.GetCounter("serve_cache_evictions_total", labels);
+  snapshot_reloads_ =
+      registry.GetCounter("serve_snapshot_reloads_total", labels);
+  cache_size_ = registry.GetGauge("serve_cache_size", labels);
+  latency_ = registry.GetHistogram("serve_request_micros", labels);
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<
         ShardedLruCache<CacheKey, std::vector<ScoredItem>, CacheKeyHash>>(
-        options_.cache_capacity, std::max<int64_t>(1, options_.cache_shards));
+        options_.cache_capacity, std::max<int64_t>(1, options_.cache_shards),
+        cache_evictions_, cache_size_);
   }
 }
 
 std::vector<ScoredItem> Engine::Compute(const Snapshot& snapshot, int64_t user,
                                         int64_t k) const {
   std::vector<ScoredItem> winners;
-  for (int64_t begin = 0; begin < snapshot.num_items;
-       begin += options_.block_size) {
-    BlockTopK(snapshot, user, begin,
-              std::min(snapshot.num_items, begin + options_.block_size), k,
-              options_.filter_seen, &winners);
+  {
+    obs::ScopedSpan rank_span("serve/rank");
+    for (int64_t begin = 0; begin < snapshot.num_items;
+         begin += options_.block_size) {
+      BlockTopK(snapshot, user, begin,
+                std::min(snapshot.num_items, begin + options_.block_size), k,
+                options_.filter_seen, &winners);
+    }
   }
+  obs::ScopedSpan merge_span("serve/merge");
   return HeapMergeTopK(std::move(winners), k);
 }
 
@@ -101,16 +132,21 @@ std::vector<ScoredItem> Engine::ComputeParallel(const Snapshot& snapshot,
       (snapshot.num_items + options_.block_size - 1) / options_.block_size;
   std::vector<std::vector<ScoredItem>> per_block(
       static_cast<size_t>(num_blocks));
-  pool_.ParallelFor(
-      0, snapshot.num_items, options_.block_size,
-      [&](int64_t begin, int64_t end) {
-        BlockTopK(snapshot, user, begin, end, k, options_.filter_seen,
-                  &per_block[static_cast<size_t>(begin / options_.block_size)]);
-      });
   std::vector<ScoredItem> winners;
-  for (const auto& block : per_block) {
-    winners.insert(winners.end(), block.begin(), block.end());
+  {
+    obs::ScopedSpan rank_span("serve/rank");
+    pool_.ParallelFor(
+        0, snapshot.num_items, options_.block_size,
+        [&](int64_t begin, int64_t end) {
+          BlockTopK(
+              snapshot, user, begin, end, k, options_.filter_seen,
+              &per_block[static_cast<size_t>(begin / options_.block_size)]);
+        });
+    for (const auto& block : per_block) {
+      winners.insert(winners.end(), block.begin(), block.end());
+    }
   }
+  obs::ScopedSpan merge_span("serve/merge");
   return HeapMergeTopK(std::move(winners), k);
 }
 
@@ -119,21 +155,22 @@ std::vector<ScoredItem> Engine::Serve(
     const std::function<std::vector<ScoredItem>(int64_t, int64_t)>& compute) {
   CGKGR_CHECK(user >= 0 && user < snapshot.num_users);
   CGKGR_CHECK(k > 0);
+  obs::ScopedSpan request_span("serve/request");
   WallTimer timer;
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_->Increment();
   const CacheKey key{generation, user, k};
   std::vector<ScoredItem> result;
   if (cache_ != nullptr && cache_->Get(key, &result)) {
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    latency_.Record(timer.ElapsedMillis() * 1e3);
+    cache_hits_->Increment();
+    latency_->Record(timer.ElapsedMillis() * 1e3);
     return result;
   }
   if (cache_ != nullptr) {
-    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    cache_misses_->Increment();
   }
   result = compute(user, k);
   if (cache_ != nullptr) cache_->Put(key, result);
-  latency_.Record(timer.ElapsedMillis() * 1e3);
+  latency_->Record(timer.ElapsedMillis() * 1e3);
   return result;
 }
 
@@ -185,7 +222,7 @@ void Engine::ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot) {
   // Explicit invalidation; the generation bump above already guarantees
   // in-flight queries against the old snapshot cannot serve future hits.
   if (cache_ != nullptr) cache_->Clear();
-  snapshot_reloads_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_reloads_->Increment();
 }
 
 std::shared_ptr<const Snapshot> Engine::snapshot() const {
@@ -195,21 +232,22 @@ std::shared_ptr<const Snapshot> Engine::snapshot() const {
 
 EngineStats Engine::stats() const {
   EngineStats stats;
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-  stats.cache_evictions = cache_ != nullptr ? cache_->evictions() : 0;
-  stats.snapshot_reloads = snapshot_reloads_.load(std::memory_order_relaxed);
-  stats.p50_micros = latency_.PercentileMicros(0.50);
-  stats.p99_micros = latency_.PercentileMicros(0.99);
+  stats.requests = requests_->value();
+  stats.cache_hits = cache_hits_->value();
+  stats.cache_misses = cache_misses_->value();
+  stats.cache_evictions = cache_evictions_->value();
+  stats.snapshot_reloads = snapshot_reloads_->value();
+  const obs::HistogramSnapshot latency = latency_->Snapshot();
+  stats.p50_micros = latency.Percentile(0.50);
+  stats.p99_micros = latency.Percentile(0.99);
   return stats;
 }
 
 void Engine::ResetStats() {
-  requests_.store(0, std::memory_order_relaxed);
-  cache_hits_.store(0, std::memory_order_relaxed);
-  cache_misses_.store(0, std::memory_order_relaxed);
-  latency_.Reset();
+  requests_->Reset();
+  cache_hits_->Reset();
+  cache_misses_->Reset();
+  latency_->Reset();
 }
 
 }  // namespace serve

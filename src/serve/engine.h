@@ -1,7 +1,6 @@
 #ifndef CGKGR_SERVE_ENGINE_H_
 #define CGKGR_SERVE_ENGINE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -10,6 +9,7 @@
 #include "common/macros.h"
 #include "common/mutex.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/lru_cache.h"
 #include "serve/snapshot.h"
 #include "serve/stats.h"
@@ -85,10 +85,12 @@ class Engine {
   std::shared_ptr<const Snapshot> snapshot() const
       CGKGR_EXCLUDES(snapshot_mu_);
 
-  /// Point-in-time counters.
+  /// Point-in-time counters (reads this engine's registry instruments).
   EngineStats stats() const;
 
-  /// Zeroes counters and the latency histogram (call quiesced).
+  /// Zeroes counters and the latency histogram. Safe concurrent with
+  /// serving: the histogram swap is atomic per bucket (SnapshotAndZero), so
+  /// in-flight samples land either before or after the reset, never in both.
   void ResetStats();
 
   const EngineOptions& options() const { return options_; }
@@ -131,15 +133,22 @@ class Engine {
   std::shared_ptr<const Snapshot> snapshot_ CGKGR_GUARDED_BY(snapshot_mu_);
   uint64_t generation_ CGKGR_GUARDED_BY(snapshot_mu_) = 0;
 
+  // Registry instruments, labeled {engine="<sequential id>"} so every
+  // Engine's counts stay separable (and serve_test's exact per-engine
+  // assertions hold) while still appearing in the process-wide
+  // MetricsRegistry::Dump(). Pointers are registry-owned and stable; set
+  // once in the constructor, immutable after.
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* cache_evictions_ = nullptr;
+  obs::Counter* snapshot_reloads_ = nullptr;
+  obs::Gauge* cache_size_ = nullptr;
+  obs::Histogram* latency_ = nullptr;
+
   std::unique_ptr<ShardedLruCache<CacheKey, std::vector<ScoredItem>,
                                   CacheKeyHash>>
       cache_;  // null when cache_capacity == 0
-
-  std::atomic<int64_t> requests_{0};
-  std::atomic<int64_t> cache_hits_{0};
-  std::atomic<int64_t> cache_misses_{0};
-  std::atomic<int64_t> snapshot_reloads_{0};
-  LatencyHistogram latency_;
 };
 
 }  // namespace serve

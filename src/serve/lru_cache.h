@@ -10,6 +10,7 @@
 
 #include "common/macros.h"
 #include "common/mutex.h"
+#include "obs/metrics.h"
 
 namespace cgkgr {
 namespace serve {
@@ -29,7 +30,15 @@ class ShardedLruCache {
   /// raised so every shard can hold at least one entry). Use num_shards = 1
   /// for deterministic global LRU order (tests); the serving engine defaults
   /// to more shards for lock spreading.
-  explicit ShardedLruCache(int64_t capacity, int64_t num_shards = 8) {
+  ///
+  /// Optional telemetry hooks (both may be null): `eviction_counter` is
+  /// incremented per evicted entry, `size_gauge` tracks resident entries.
+  /// Owners pass registry instruments so cache behavior shows up in
+  /// MetricsRegistry::Dump() without the cache knowing its own name.
+  explicit ShardedLruCache(int64_t capacity, int64_t num_shards = 8,
+                           obs::Counter* eviction_counter = nullptr,
+                           obs::Gauge* size_gauge = nullptr)
+      : eviction_counter_(eviction_counter), size_gauge_(size_gauge) {
     CGKGR_CHECK(capacity > 0 && num_shards > 0);
     const int64_t per_shard = (capacity + num_shards - 1) / num_shards;
     shards_.reserve(static_cast<size_t>(num_shards));
@@ -68,9 +77,12 @@ class ShardedLruCache {
       shard.index.erase(shard.order.back().first);
       shard.order.pop_back();
       ++shard.evictions;
+      if (eviction_counter_ != nullptr) eviction_counter_->Increment();
+      if (size_gauge_ != nullptr) size_gauge_->Add(-1.0);
     }
     shard.order.emplace_front(key, std::move(value));
     shard.index.emplace(key, shard.order.begin());
+    if (size_gauge_ != nullptr) size_gauge_->Add(1.0);
   }
 
   /// True when `key` is resident (no recency promotion; test helper).
@@ -82,10 +94,15 @@ class ShardedLruCache {
 
   /// Drops every entry in every shard (snapshot-reload invalidation).
   void Clear() {
+    int64_t dropped = 0;
     for (auto& shard : shards_) {
       MutexLock lock(&shard->mu);
+      dropped += static_cast<int64_t>(shard->order.size());
       shard->order.clear();
       shard->index.clear();
+    }
+    if (size_gauge_ != nullptr) {
+      size_gauge_->Add(-static_cast<double>(dropped));
     }
   }
 
@@ -126,6 +143,8 @@ class ShardedLruCache {
     return *shards_[Hash()(key) % shards_.size()];
   }
 
+  obs::Counter* const eviction_counter_;
+  obs::Gauge* const size_gauge_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -1,46 +1,10 @@
 #include "serve/stats.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/string_util.h"
 #include "common/table_printer.h"
 
 namespace cgkgr {
 namespace serve {
-
-void LatencyHistogram::Record(double micros) {
-  int bucket = 0;
-  if (micros >= 1.0) {
-    // floor(log2(micros)), clamped to the last bucket.
-    bucket = std::min<int>(kNumBuckets - 1,
-                           static_cast<int>(std::log2(micros)));
-  }
-  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
-                                                  std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::PercentileMicros(double p) const {
-  const int64_t total = count();
-  if (total == 0) return 0.0;
-  p = std::clamp(p, 0.0, 1.0);
-  // Rank of the requested sample, 1-based (p99 of 100 samples = 99th).
-  const int64_t rank = std::max<int64_t>(
-      1, static_cast<int64_t>(std::ceil(p * static_cast<double>(total))));
-  int64_t cumulative = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
-    cumulative += buckets_[static_cast<size_t>(b)].load(
-        std::memory_order_relaxed);
-    if (cumulative >= rank) return std::exp2(b + 1);
-  }
-  return std::exp2(kNumBuckets);
-}
-
-void LatencyHistogram::Reset() {
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-}
 
 std::string EngineStats::ToTable() const {
   TablePrinter table({"Metric", "Value"});

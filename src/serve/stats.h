@@ -1,51 +1,27 @@
 #ifndef CGKGR_SERVE_STATS_H_
 #define CGKGR_SERVE_STATS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace cgkgr {
 namespace serve {
 
-/// Lock-free fixed-bucket latency histogram. Bucket b counts samples in
-/// [2^b, 2^(b+1)) microseconds (bucket 0 additionally absorbs sub-1us
-/// samples), so 32 buckets span sub-microsecond to ~71 minutes. Percentiles
-/// are read as the upper bound of the bucket containing the requested rank —
-/// a <=2x overestimate, the usual tradeoff for O(1) atomic recording on the
-/// request path.
-///
-/// Thread-safety note: this type holds no mutex-protected state, so it
-/// carries no CGKGR_GUARDED_BY annotations — every member is a relaxed
-/// atomic and the static analysis has nothing to check here. Races in the
-/// atomics' *usage* (e.g. Reset concurrent with Record) are the domain of
-/// TSan (CGKGR_SANITIZE=thread), which is the dynamic complement to the
-/// compile-time annotations; see docs/static_analysis.md.
-class LatencyHistogram {
- public:
-  static constexpr int kNumBuckets = 32;
+/// The serving latency histogram is the general obs::Histogram recorded in
+/// microseconds: bucket b counts samples in [2^b, 2^(b+1)) us (bucket 0
+/// additionally absorbs sub-1us samples), so 32 buckets span sub-microsecond
+/// to ~71 minutes. Percentiles read the upper bound of the bucket holding
+/// the requested rank — a <=2x overestimate, the usual tradeoff for O(1)
+/// atomic recording on the request path. The old read-vs-reset race is gone:
+/// Reset()/SnapshotAndZero() swap each bucket atomically, so a concurrent
+/// Record lands in exactly one snapshot.
+using LatencyHistogram = obs::Histogram;
 
-  /// Records one sample; safe to call from any thread.
-  void Record(double micros);
-
-  /// Upper bound (in microseconds) of the bucket holding the p-quantile
-  /// sample, p in [0, 1]. Returns 0 when empty.
-  double PercentileMicros(double p) const;
-
-  /// Samples recorded.
-  int64_t count() const { return count_.load(std::memory_order_relaxed); }
-
-  /// Zeroes all buckets (not atomic with respect to concurrent Record; call
-  /// from a quiesced engine).
-  void Reset();
-
- private:
-  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
-  std::atomic<int64_t> count_{0};
-};
-
-/// A point-in-time copy of an Engine's counters.
+/// A point-in-time copy of an Engine's counters. The live values are
+/// obs::MetricsRegistry::Default() instruments labeled
+/// {engine="<id>"}; this struct is the stable per-engine read API on top.
 struct EngineStats {
   int64_t requests = 0;
   int64_t cache_hits = 0;

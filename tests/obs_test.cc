@@ -1,0 +1,330 @@
+// Tests for src/obs/: metrics registry (instrument semantics, concurrency,
+// exposition formats), trace collector (JSON well-formedness, span nesting),
+// JSONL sink, and the log-capture/Kv logging extensions.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cgkgr {
+namespace obs {
+namespace {
+
+// --- Instruments ---
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(3.0);
+  gauge.Add(0.5);
+  gauge.Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+}
+
+TEST(HistogramTest, BucketBoundariesMatchOldLatencyHistogram) {
+  Histogram h;
+  h.Record(0.5);   // bucket 0
+  h.Record(1.0);   // bucket 0: [1, 2)
+  h.Record(2.0);   // bucket 1: [2, 4)
+  h.Record(1000);  // bucket 9: [512, 1024)
+  EXPECT_EQ(h.count(), 4);
+  const HistogramSnapshot snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.buckets[0], 2);
+  EXPECT_EQ(snapshot.buckets[1], 1);
+  EXPECT_EQ(snapshot.buckets[9], 1);
+  // Percentile reads the bucket upper bound.
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1024.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.25), 2.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 0.0);
+}
+
+TEST(HistogramTest, SnapshotAndZeroDrainsExactly) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(static_cast<double>(i));
+  const HistogramSnapshot first = h.SnapshotAndZero();
+  EXPECT_EQ(first.count, 100);
+  EXPECT_EQ(h.count(), 0);
+  const HistogramSnapshot second = h.SnapshotAndZero();
+  EXPECT_EQ(second.count, 0);
+}
+
+TEST(HistogramTest, ConcurrentRecordVsSnapshotAndZeroLosesNothing) {
+  // The satellite fix: snapshot-and-zero swaps each bucket atomically, so
+  // samples recorded concurrently with resets land in exactly one snapshot.
+  Histogram h;
+  constexpr int64_t kPerLane = 20000;
+  constexpr int64_t kLanes = 4;
+  ThreadPool pool(kLanes + 1);
+  int64_t drained = 0;
+  pool.ParallelForEach(0, kLanes + 1, 1, [&](int64_t lane) {
+    if (lane == kLanes) {
+      // One lane keeps draining while the others record.
+      for (int i = 0; i < 50; ++i) drained += h.SnapshotAndZero().count;
+      return;
+    }
+    for (int64_t i = 0; i < kPerLane; ++i) h.Record(7.0);
+  });
+  drained += h.SnapshotAndZero().count;
+  EXPECT_EQ(drained, kLanes * kPerLane);
+}
+
+// --- Registry ---
+
+TEST(MetricsRegistryTest, SameIdentitySamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total", {{"k", "v"}});
+  Counter* b = registry.GetCounter("x_total", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  // Label order is canonicalized.
+  Counter* c =
+      registry.GetCounter("y_total", {{"a", "1"}, {"b", "2"}});
+  Counter* d =
+      registry.GetCounter("y_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(c, d);
+  EXPECT_NE(registry.GetCounter("x_total"), a);
+  EXPECT_EQ(registry.NumInstruments(), 3);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHammerFromThreadPoolExactTotals) {
+  MetricsRegistry registry;
+  constexpr int64_t kLanes = 8;
+  constexpr int64_t kIncrements = 25000;
+  ThreadPool pool(kLanes);
+  pool.ParallelForEach(0, kLanes, 1, [&](int64_t lane) {
+    // Half the lanes fetch the instrument fresh each time (exercises the
+    // registry lock), half reuse the pointer (the intended hot path).
+    Counter* counter = registry.GetCounter("hammer_total");
+    Histogram* histogram = registry.GetHistogram("hammer_micros");
+    for (int64_t i = 0; i < kIncrements; ++i) {
+      if (lane % 2 == 0) {
+        registry.GetCounter("hammer_total")->Increment();
+      } else {
+        counter->Increment();
+      }
+      histogram->Record(static_cast<double>(i % 1024));
+    }
+  });
+  EXPECT_EQ(registry.GetCounter("hammer_total")->value(),
+            kLanes * kIncrements);
+  EXPECT_EQ(registry.GetHistogram("hammer_micros")->count(),
+            kLanes * kIncrements);
+}
+
+TEST(MetricsRegistryTest, ExpositionFormatGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("req_total", {{"engine", "0"}})->Increment(3);
+  registry.GetGauge("depth")->Set(2.5);
+  Histogram* h = registry.GetHistogram("lat_micros");
+  h->Record(1.5);  // bucket 0 -> le="2"
+  h->Record(3.0);  // bucket 1 -> le="4"
+  const std::string expected =
+      "# TYPE depth gauge\n"
+      "depth 2.5\n"
+      "# TYPE lat_micros histogram\n"
+      "lat_micros_bucket{le=\"2\"} 1\n"
+      "lat_micros_bucket{le=\"4\"} 2\n"
+      "lat_micros_bucket{le=\"+Inf\"} 2\n"
+      "lat_micros_sum 4.5\n"
+      "lat_micros_count 2\n"
+      "# TYPE req_total counter\n"
+      "req_total{engine=\"0\"} 3\n";
+  EXPECT_EQ(registry.Dump(), expected);
+}
+
+TEST(MetricsRegistryTest, DumpJsonParsesAsJson) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total")->Increment();
+  registry.GetGauge("b", {{"k", "v"}})->Set(1.25);
+  registry.GetHistogram("c_micros")->Record(10.0);
+  const std::string json = registry.DumpJson();
+  // Structural sanity (no JSON parser in-tree): balanced brackets, one
+  // object per instrument, quoted keys.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"instrument\": \"a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\": \"k=\\\"v\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ToTableListsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("rows_total")->Increment(7);
+  registry.GetHistogram("t_micros")->Record(100.0);
+  const std::string table = registry.ToTable();
+  EXPECT_NE(table.find("rows_total"), std::string::npos);
+  EXPECT_NE(table.find("t_micros"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+}
+
+TEST(MetricsRegistryDeathTest, TypeConflictIsFatal) {
+  MetricsRegistry registry;
+  registry.GetCounter("conflict");
+  EXPECT_DEATH((void)registry.GetGauge("conflict"), "two instrument types");
+}
+
+// --- Tracing ---
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  TraceCollector::Default().Disable();
+  (void)TraceCollector::Default().DrainEvents();  // discard prior state
+  { ScopedSpan span("obs_test/ignored"); }
+  EXPECT_TRUE(TraceCollector::Default().DrainEvents().empty());
+}
+
+TEST(TraceTest, SpansNestByTimeContainment) {
+  TraceCollector::Default().Enable("");
+  (void)TraceCollector::Default().DrainEvents();
+  {
+    ScopedSpan outer("obs_test/outer");
+    {
+      ScopedSpan inner("obs_test/inner");
+    }
+  }
+  TraceCollector::Default().Disable();
+  const auto events = TraceCollector::Default().DrainEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: outer opens first, and the inner span's
+  // [ts, ts+dur) interval sits inside the outer's (Chrome "X" events nest
+  // by time containment).
+  EXPECT_EQ(events[0].name, "obs_test/outer");
+  EXPECT_EQ(events[1].name, "obs_test/inner");
+  EXPECT_GE(events[1].ts_us, events[0].ts_us);
+  EXPECT_LE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST(TraceTest, DrainJsonIsChromeTraceShaped) {
+  TraceCollector::Default().Enable("");
+  (void)TraceCollector::Default().DrainEvents();
+  { ScopedSpan span("obs_test/json"); }
+  TraceCollector::Default().Disable();
+  const std::string json = TraceCollector::Default().DrainJson();
+  EXPECT_EQ(json.find("{\"traceEvents\": ["), 0u);
+  EXPECT_NE(json.find("\"name\": \"obs_test/json\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  // Draining consumed the buffer.
+  EXPECT_TRUE(TraceCollector::Default().DrainEvents().empty());
+}
+
+TEST(TraceTest, SpansFromWorkerThreadsAreAllCollected) {
+  TraceCollector::Default().Enable("");
+  (void)TraceCollector::Default().DrainEvents();
+  {
+    ThreadPool pool(3);
+    pool.ParallelForEach(0, 64, 1, [&](int64_t) {
+      ScopedSpan span("obs_test/worker");
+    });
+  }
+  TraceCollector::Default().Disable();
+  const auto events = TraceCollector::Default().DrainEvents();
+  EXPECT_EQ(events.size(), 64u);
+  for (const auto& event : events) {
+    EXPECT_EQ(event.name, "obs_test/worker");
+  }
+}
+
+// --- JSONL ---
+
+TEST(JsonlTest, RowRendersTypes) {
+  const std::string json = JsonlRow()
+                               .Add("s", "va\"lue")
+                               .Add("d", 0.5)
+                               .Add("i", int64_t{42})
+                               .ToJson();
+  EXPECT_EQ(json, "{\"s\": \"va\\\"lue\", \"d\": 0.5, \"i\": 42}");
+}
+
+TEST(JsonlTest, SinkAppendsLines) {
+  const std::string path = ::testing::TempDir() + "/obs_test_rows.jsonl";
+  std::remove(path.c_str());
+  {
+    JsonlSink sink(path);
+    ASSERT_TRUE(sink.status().ok());
+    sink.Write(JsonlRow().Add("epoch", int64_t{1}));
+    sink.Write(JsonlRow().Add("epoch", int64_t{2}));
+  }
+  {
+    // Append mode: a second sink continues the same file.
+    JsonlSink sink(path);
+    sink.Write(JsonlRow().Add("epoch", int64_t{3}));
+  }
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"epoch\": 1}");
+  EXPECT_EQ(lines[2], "{\"epoch\": 3}");
+  std::remove(path.c_str());
+}
+
+TEST(JsonlTest, BadPathIsStickyNotFatal) {
+  JsonlSink sink("/nonexistent-dir/x.jsonl");
+  EXPECT_FALSE(sink.status().ok());
+  sink.Write(JsonlRow().Add("k", int64_t{1}));  // no-op, no crash
+  EXPECT_FALSE(sink.status().ok());
+}
+
+// --- Logging extensions ---
+
+TEST(LoggingTest, KvStreamsAsSpaceSeparatedPairs) {
+  std::ostringstream os;
+  os << "train" << Kv("epoch", 3) << Kv("loss", 0.25);
+  EXPECT_EQ(os.str(), "train epoch=3 loss=0.25");
+}
+
+TEST(LoggingTest, LogCaptureDivertsFromStderr) {
+  LogCapture capture;
+  CGKGR_LOG(Info) << "captured" << Kv("k", 1);
+  ASSERT_EQ(capture.entries().size(), 1u);
+  EXPECT_TRUE(capture.Contains("captured k=1"));
+  EXPECT_FALSE(capture.Contains("absent"));
+}
+
+TEST(LoggingTest, LogCapturesNestInnermostWins) {
+  LogCapture outer;
+  {
+    LogCapture inner;
+    CGKGR_LOG(Info) << "inner line";
+    EXPECT_TRUE(inner.Contains("inner line"));
+  }
+  CGKGR_LOG(Info) << "outer line";
+  EXPECT_FALSE(outer.Contains("inner line"));
+  EXPECT_TRUE(outer.Contains("outer line"));
+}
+
+TEST(LoggingTest, CaptureRespectsThreshold) {
+  LogCapture capture;
+  CGKGR_LOG(Debug) << "below threshold";
+  EXPECT_TRUE(capture.entries().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cgkgr

@@ -4,9 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "common/logging.h"
 #include "data/synthetic.h"
 #include "models/registry.h"
 #include "models/trainer_util.h"
@@ -139,6 +144,54 @@ TEST(TrainingLoopTest, LossCurveLengthMatchesEpochsRun) {
   ASSERT_TRUE(model->Fit(d, options).ok());
   EXPECT_EQ(static_cast<int64_t>(model->train_stats().epoch_losses.size()),
             model->train_stats().epochs_run);
+}
+
+TEST(TrainingLoopTest, VerboseLogsStructuredKvLines) {
+  // Log assertions go through LogCapture, not stderr scraping.
+  const data::Dataset d = SmallDataset();
+  data::PresetHyperParams hparams;
+  hparams.embedding_dim = 8;
+  auto model = CreateModel("BPRMF", hparams);
+  TrainOptions options;
+  options.max_epochs = 2;
+  options.patience = 2;
+  options.batch_size = 32;
+  options.verbose = true;
+  options.run_label = "bprmf-test";
+  LogCapture capture;
+  ASSERT_TRUE(model->Fit(d, options).ok());
+  EXPECT_TRUE(capture.Contains("dataset=trainer-test"));
+  EXPECT_TRUE(capture.Contains("model=bprmf-test"));
+  EXPECT_TRUE(capture.Contains("epoch=1"));
+  EXPECT_TRUE(capture.Contains(" loss="));
+  EXPECT_TRUE(capture.Contains(" eval_metric="));
+}
+
+TEST(TrainingLoopTest, MetricsJsonlWritesOneRowPerEpoch) {
+  const std::string path = ::testing::TempDir() + "/trainer_epochs.jsonl";
+  std::remove(path.c_str());
+  const data::Dataset d = SmallDataset();
+  data::PresetHyperParams hparams;
+  hparams.embedding_dim = 8;
+  auto model = CreateModel("BPRMF", hparams);
+  TrainOptions options;
+  options.max_epochs = 3;
+  options.patience = 3;
+  options.batch_size = 32;
+  options.metrics_jsonl = path;
+  options.run_label = "bprmf";
+  ASSERT_TRUE(model->Fit(d, options).ok());
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(static_cast<int64_t>(lines.size()),
+            model->train_stats().epochs_run);
+  EXPECT_NE(lines[0].find("\"dataset\": \"trainer-test\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"model\": \"bprmf\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"epoch\": 1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"samples_per_sec\""), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

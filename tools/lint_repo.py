@@ -23,6 +23,15 @@ Enforced rules (each finding prints as ``path:line: [rule] message``):
   printf-family      printf/fprintf/... in src/. Output goes through
                      CGKGR_LOG, TablePrinter, or StrFormat; the handful of
                      sanctioned sinks carry an explicit allow marker.
+  adhoc-timing       Direct std::chrono / steady_clock / system_clock use in
+                     src/ outside the sanctioned timing substrate (src/obs/
+                     and common/timer.h). Timing goes through WallTimer and
+                     the obs instruments so every measurement is visible in
+                     the metrics registry / trace.
+  raw-histogram      A class/struct named *Histogram declared outside
+                     src/obs/. Histograms live in the metrics registry
+                     (obs::Histogram); hand-rolled ones fragment telemetry
+                     the way the old serve::LatencyHistogram did.
 
 Suppressions:
   line level:  trailing ``NOLINT`` or ``NOLINT(rule)`` comment
@@ -56,7 +65,16 @@ IWYU_MAP = [
      "common/mutex.h"),
     (re.compile(r"\bThreadPool\b"), "common/thread_pool.h"),
     (re.compile(r"\bWallTimer\b"), "common/timer.h"),
+    (re.compile(r"\bMetricsRegistry\b"), "obs/metrics.h"),
+    (re.compile(r"\b(?:ScopedSpan|TraceCollector)\b"), "obs/trace.h"),
+    (re.compile(r"\bJsonl(?:Sink|Row)\b"), "obs/jsonl.h"),
 ]
+
+# Files allowed to touch std::chrono directly: the timing substrate itself.
+ADHOC_TIMING_ALLOWLIST = ("src/common/timer.h",)
+ADHOC_TIMING_RE = re.compile(
+    r"\bstd::chrono\b|\b(?:steady_clock|high_resolution_clock|system_clock)\b")
+RAW_HISTOGRAM_RE = re.compile(r"\b(?:class|struct)\s+\w*Histogram\b")
 
 PRINTF_RE = re.compile(
     r"\b(?:v?f?printf|v?s?n?printf|puts|fputs|putchar|fputc)\s*\(")
@@ -195,6 +213,16 @@ class Linter:
                       "raw std synchronization type in an annotated dir; use "
                       "the capability-annotated cgkgr::Mutex/SharedMutex/"
                       "CondVar (common/mutex.h)")
+            if (rel.startswith("src/") and not rel.startswith("src/obs/")
+                    and rel not in ADHOC_TIMING_ALLOWLIST):
+                check("adhoc-timing", ADHOC_TIMING_RE,
+                      "ad-hoc std::chrono timing; use WallTimer "
+                      "(common/timer.h) and record into the obs metrics "
+                      "registry / trace spans")
+            if rel.startswith("src/") and not rel.startswith("src/obs/"):
+                check("raw-histogram", RAW_HISTOGRAM_RE,
+                      "hand-rolled histogram type outside src/obs/; use "
+                      "obs::Histogram via the MetricsRegistry")
 
         if rel.startswith("src/") and "iwyu-project" not in file_allows:
             blob = "\n".join(code_blob_lines)
