@@ -1,0 +1,153 @@
+// Training throughput of the data-parallel epoch driver: samples/sec over
+// a thread-count sweep, with a built-in check that every configuration
+// reproduces the serial loss curve bit-for-bit (the ParallelTrainer
+// determinism contract).
+//
+//   ./build/bench/bench_train_parallel
+//   ./build/bench/bench_train_parallel --model KGCN --threads 1,2,4 \
+//       --epochs 3 --json /tmp/train.json
+//
+// Per-epoch evaluation (AUC on the eval split) runs single-threaded inside
+// Fit, so the reported speedup understates the speedup of the train phase
+// alone; --epochs 1 maximizes that dilution, more epochs shrink it. On a
+// single-core host the sweep still runs but shows no speedup — see
+// docs/parallel_training.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+
+namespace cgkgr {
+namespace bench {
+namespace {
+
+struct RunResult {
+  int64_t threads = 0;
+  int64_t epochs = 0;
+  int64_t samples = 0;
+  double seconds = 0.0;
+  double samples_per_sec = 0.0;
+  double final_loss = 0.0;
+  bool bit_identical = true;  // loss curve matches the threads=1 run
+};
+
+std::string ToJson(const std::vector<RunResult>& runs,
+                   const std::string& model, const std::string& dataset) {
+  std::string json = "{\n";
+  json += StrFormat("  \"bench\": \"train_parallel\",\n");
+  json += StrFormat("  \"model\": \"%s\",\n", model.c_str());
+  json += StrFormat("  \"dataset\": \"%s\",\n", dataset.c_str());
+  json += "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    json += StrFormat(
+        "    {\"threads\": %lld, \"epochs\": %lld, \"samples\": %lld, "
+        "\"seconds\": %.6f, \"samples_per_sec\": %.1f, "
+        "\"final_loss\": %.10f, \"bit_identical\": %s}%s\n",
+        (long long)r.threads, (long long)r.epochs, (long long)r.samples,
+        r.seconds, r.samples_per_sec, r.final_loss,
+        r.bit_identical ? "true" : "false",
+        i + 1 == runs.size() ? "" : ",");
+  }
+  json += "  ],\n";
+  // Registry snapshot at the end of the sweep: train counters/gauges, the
+  // shard-imbalance histogram, and the {pool=train} instruments.
+  json += "  \"metrics\": " + bench::MetricsJson() + "\n}\n";
+  return json;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineString("model", "CG-KGR", "registry model to train");
+  flags.DefineString("dataset", "music", "dataset preset");
+  flags.DefineDouble("scale", 4.0, "dataset scale factor");
+  flags.DefineInt64("epochs", 2, "epochs per configuration");
+  flags.DefineInt64("seed", 17, "random seed (shared by every run)");
+  flags.DefineString("threads", "1,2,4,8", "num_threads values to sweep");
+  flags.DefineString("json", "bench_train_parallel.json",
+                     "JSON summary output path (empty = skip)");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  const std::string model_name = flags.GetString("model");
+  const data::Preset preset =
+      data::GetPreset(flags.GetString("dataset"), flags.GetDouble("scale"));
+  const data::Dataset dataset = data::GenerateSyntheticDataset(
+      preset.data, static_cast<uint64_t>(flags.GetInt64("seed")));
+  const int64_t epochs = flags.GetInt64("epochs");
+  std::printf("training %s on %s: %lld users, %lld items, %lld train rows\n",
+              model_name.c_str(), dataset.name.c_str(),
+              (long long)dataset.num_users, (long long)dataset.num_items,
+              (long long)dataset.train.size());
+
+  std::vector<RunResult> runs;
+  std::vector<double> serial_losses;
+  TablePrinter table({"Threads", "Samples/s", "Speedup", "Epoch sec",
+                      "Final loss", "Bit-identical"});
+  double base_rate = 0.0;
+  for (const std::string& lanes : SplitList(flags.GetString("threads"))) {
+    char* end = nullptr;
+    const int64_t threads = std::strtoll(lanes.c_str(), &end, 10);
+    if (end == lanes.c_str() || *end != '\0' || threads < 1) {
+      std::fprintf(stderr,
+                   "invalid --threads entry \"%s\" (want positive integers)\n",
+                   lanes.c_str());
+      return 1;
+    }
+    auto model = models::CreateModel(model_name, preset.hparams);
+    models::TrainOptions train;
+    train.max_epochs = epochs;
+    train.patience = 1000;  // never early-stop: every run sees every epoch
+    train.batch_size = preset.hparams.batch_size;
+    train.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+    train.num_threads = threads;
+    WallTimer timer;
+    CGKGR_CHECK(model->Fit(dataset, train).ok());
+    const double seconds = timer.ElapsedSeconds();
+
+    RunResult run;
+    run.threads = threads;
+    run.epochs = model->train_stats().epochs_run;
+    run.samples = static_cast<int64_t>(dataset.train.size()) * run.epochs;
+    run.seconds = seconds;
+    run.samples_per_sec = static_cast<double>(run.samples) / seconds;
+    run.final_loss = model->train_stats().epoch_losses.back();
+    if (runs.empty()) {
+      serial_losses = model->train_stats().epoch_losses;
+      base_rate = run.samples_per_sec;
+    } else {
+      run.bit_identical = model->train_stats().epoch_losses == serial_losses;
+    }
+    runs.push_back(run);
+    table.AddRow({StrFormat("%lld", (long long)threads),
+                  StrFormat("%.0f", run.samples_per_sec),
+                  StrFormat("%.2fx", run.samples_per_sec / base_rate),
+                  StrFormat("%.2f", run.seconds / (double)run.epochs),
+                  StrFormat("%.6f", run.final_loss),
+                  run.bit_identical ? "yes" : "NO"});
+  }
+  table.Print();
+
+  bool all_identical = true;
+  for (const RunResult& r : runs) all_identical &= r.bit_identical;
+  std::printf("determinism: loss curves %s across the sweep\n",
+              all_identical ? "bit-identical" : "DIVERGED");
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << ToJson(runs, model_name, dataset.name);
+    std::printf("JSON summary written to %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cgkgr
+
+int main(int argc, char** argv) { return cgkgr::bench::Main(argc, argv); }

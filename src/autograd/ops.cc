@@ -12,11 +12,12 @@ namespace autograd {
 
 namespace {
 
-/// Accumulates `src` into the grad of `input` if that input requires grad.
+/// Accumulates `src` into the grad sink of `input` if that input requires
+/// grad. Like every backward function here, the write goes through
+/// GradAccumulator so per-shard sinks (GradSinkGuard) are honored.
 void AccumulateInto(const NodePtr& input, const float* src, int64_t n) {
   if (!input->requires_grad) return;
-  input->EnsureGrad();
-  tensor::Axpy(n, 1.0f, src, input->grad.data());
+  tensor::Axpy(n, 1.0f, src, GradAccumulator(input.get()).data());
 }
 
 }  // namespace
@@ -44,9 +45,8 @@ Variable Gather(const Variable& table, std::vector<int64_t> indices) {
       "Gather", std::move(out), {table}, [idx, d](Node* node) {
         const NodePtr& table_node = node->inputs[0];
         if (!table_node->requires_grad) return;
-        table_node->EnsureGrad();
         const float* g = node->grad.data();
-        float* tg = table_node->grad.data();
+        float* tg = GradAccumulator(table_node.get()).data();
         const int64_t n = static_cast<int64_t>(idx->size());
         for (int64_t i = 0; i < n; ++i) {
           tensor::Axpy(d, 1.0f, g + i * d,
@@ -70,9 +70,8 @@ Variable RowRepeat(const Variable& x, int64_t times) {
       "RowRepeat", std::move(out), {x}, [n, d, times](Node* node) {
         const NodePtr& input = node->inputs[0];
         if (!input->requires_grad) return;
-        input->EnsureGrad();
         const float* g = node->grad.data();
-        float* xg = input->grad.data();
+        float* xg = GradAccumulator(input.get()).data();
         for (int64_t i = 0; i < n; ++i) {
           for (int64_t j = 0; j < times; ++j) {
             tensor::Axpy(d, 1.0f, g + (i * times + j) * d, xg + i * d);
@@ -99,16 +98,14 @@ Variable MatMul(const Variable& a, const Variable& b) {
         const NodePtr& nb = node->inputs[1];
         const float* g = node->grad.data();
         if (na->requires_grad) {
-          na->EnsureGrad();
           // dA += G * B^T : (m,n) x (n,k)
           tensor::Gemm(false, true, m, k, n, 1.0f, g, nb->value.data(), 1.0f,
-                       na->grad.data());
+                       GradAccumulator(na.get()).data());
         }
         if (nb->requires_grad) {
-          nb->EnsureGrad();
           // dB += A^T * G : (k,m) x (m,n)
           tensor::Gemm(true, false, k, n, m, 1.0f, na->value.data(), g, 1.0f,
-                       nb->grad.data());
+                       GradAccumulator(nb.get()).data());
         }
       });
 }
@@ -133,8 +130,8 @@ Variable Sub(const Variable& a, const Variable& b) {
     AccumulateInto(node->inputs[0], node->grad.data(), n);
     const NodePtr& nb = node->inputs[1];
     if (nb->requires_grad) {
-      nb->EnsureGrad();
-      tensor::Axpy(n, -1.0f, node->grad.data(), nb->grad.data());
+      tensor::Axpy(n, -1.0f, node->grad.data(),
+                   GradAccumulator(nb.get()).data());
     }
   });
 }
@@ -149,15 +146,13 @@ Variable Mul(const Variable& a, const Variable& b) {
     const NodePtr& nb = node->inputs[1];
     const float* g = node->grad.data();
     if (na->requires_grad) {
-      na->EnsureGrad();
       const float* bv = nb->value.data();
-      float* ag = na->grad.data();
+      float* ag = GradAccumulator(na.get()).data();
       for (int64_t i = 0; i < n; ++i) ag[i] += g[i] * bv[i];
     }
     if (nb->requires_grad) {
-      nb->EnsureGrad();
       const float* av = na->value.data();
-      float* bg = nb->grad.data();
+      float* bg = GradAccumulator(nb.get()).data();
       for (int64_t i = 0; i < n; ++i) bg[i] += g[i] * av[i];
     }
   });
@@ -176,9 +171,8 @@ Variable AddRowBias(const Variable& x, const Variable& b) {
         AccumulateInto(node->inputs[0], node->grad.data(), rows * cols);
         const NodePtr& nb = node->inputs[1];
         if (nb->requires_grad) {
-          nb->EnsureGrad();
           const float* g = node->grad.data();
-          float* bg = nb->grad.data();
+          float* bg = GradAccumulator(nb.get()).data();
           for (int64_t r = 0; r < rows; ++r) {
             tensor::Axpy(cols, 1.0f, g + r * cols, bg);
           }
@@ -199,17 +193,17 @@ Variable RowDot(const Variable& a, const Variable& b) {
         const NodePtr& nb = node->inputs[1];
         const float* g = node->grad.data();
         if (na->requires_grad) {
-          na->EnsureGrad();
+          float* ag = GradAccumulator(na.get()).data();
           for (int64_t r = 0; r < rows; ++r) {
             tensor::Axpy(cols, g[r], nb->value.data() + r * cols,
-                         na->grad.data() + r * cols);
+                         ag + r * cols);
           }
         }
         if (nb->requires_grad) {
-          nb->EnsureGrad();
+          float* bg = GradAccumulator(nb.get()).data();
           for (int64_t r = 0; r < rows; ++r) {
             tensor::Axpy(cols, g[r], na->value.data() + r * cols,
-                         nb->grad.data() + r * cols);
+                         bg + r * cols);
           }
         }
       });
@@ -229,17 +223,15 @@ Variable RowScale(const Variable& x, const Variable& s) {
         const NodePtr& ns = node->inputs[1];
         const float* g = node->grad.data();
         if (nx->requires_grad) {
-          nx->EnsureGrad();
           const float* sv = ns->value.data();
+          float* xg = GradAccumulator(nx.get()).data();
           for (int64_t r = 0; r < rows; ++r) {
-            tensor::Axpy(cols, sv[r], g + r * cols,
-                         nx->grad.data() + r * cols);
+            tensor::Axpy(cols, sv[r], g + r * cols, xg + r * cols);
           }
         }
         if (ns->requires_grad) {
-          ns->EnsureGrad();
           const float* xv = nx->value.data();
-          float* sg = ns->grad.data();
+          float* sg = GradAccumulator(ns.get()).data();
           for (int64_t r = 0; r < rows; ++r) {
             sg[r] += tensor::Dot(cols, g + r * cols, xv + r * cols);
           }
@@ -265,16 +257,15 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
         const NodePtr& nb = node->inputs[1];
         const float* g = node->grad.data();
         if (na->requires_grad) {
-          na->EnsureGrad();
+          float* ag = GradAccumulator(na.get()).data();
           for (int64_t r = 0; r < rows; ++r) {
-            tensor::Axpy(d1, 1.0f, g + r * (d1 + d2), na->grad.data() + r * d1);
+            tensor::Axpy(d1, 1.0f, g + r * (d1 + d2), ag + r * d1);
           }
         }
         if (nb->requires_grad) {
-          nb->EnsureGrad();
+          float* bg = GradAccumulator(nb.get()).data();
           for (int64_t r = 0; r < rows; ++r) {
-            tensor::Axpy(d2, 1.0f, g + r * (d1 + d2) + d1,
-                         nb->grad.data() + r * d2);
+            tensor::Axpy(d2, 1.0f, g + r * (d1 + d2) + d1, bg + r * d2);
           }
         }
       });
@@ -294,10 +285,9 @@ Variable SegmentSoftmax(const Variable& x, int64_t segment_size) {
       [segments, segment_size, y](Node* node) {
         const NodePtr& nx = node->inputs[0];
         if (!nx->requires_grad) return;
-        nx->EnsureGrad();
         const float* g = node->grad.data();
         const float* yv = y.data();
-        float* xg = nx->grad.data();
+        float* xg = GradAccumulator(nx.get()).data();
         for (int64_t s = 0; s < segments; ++s) {
           const int64_t base = s * segment_size;
           const float inner =
@@ -332,19 +322,18 @@ Variable SegmentWeightedSum(const Variable& values, const Variable& weights,
         const NodePtr& nw = node->inputs[1];
         const float* g = node->grad.data();
         if (nv->requires_grad) {
-          nv->EnsureGrad();
           const float* wv = nw->value.data();
+          float* vg = GradAccumulator(nv.get()).data();
           for (int64_t s = 0; s < segments; ++s) {
             for (int64_t i = 0; i < segment_size; ++i) {
               const int64_t row = s * segment_size + i;
-              tensor::Axpy(d, wv[row], g + s * d, nv->grad.data() + row * d);
+              tensor::Axpy(d, wv[row], g + s * d, vg + row * d);
             }
           }
         }
         if (nw->requires_grad) {
-          nw->EnsureGrad();
           const float* vv = nv->value.data();
-          float* wg = nw->grad.data();
+          float* wg = GradAccumulator(nw.get()).data();
           for (int64_t s = 0; s < segments; ++s) {
             for (int64_t i = 0; i < segment_size; ++i) {
               const int64_t row = s * segment_size + i;
@@ -371,10 +360,9 @@ Variable UnaryFromOutput(const char* op_name, const Variable& x, Forward fwd,
   return MakeOpResult(op_name, std::move(out), {x}, [n, y, dydx](Node* node) {
     const NodePtr& nx = node->inputs[0];
     if (!nx->requires_grad) return;
-    nx->EnsureGrad();
     const float* g = node->grad.data();
     const float* yv = y.data();
-    float* xg = nx->grad.data();
+    float* xg = GradAccumulator(nx.get()).data();
     for (int64_t i = 0; i < n; ++i) xg[i] += g[i] * dydx(yv[i]);
   });
 }
@@ -425,15 +413,13 @@ Variable PairwiseMax(const Variable& a, const Variable& b) {
     const float* av = na->value.data();
     const float* bv = nb->value.data();
     if (na->requires_grad) {
-      na->EnsureGrad();
-      float* ag = na->grad.data();
+      float* ag = GradAccumulator(na.get()).data();
       for (int64_t i = 0; i < n; ++i) {
         if (av[i] >= bv[i]) ag[i] += g[i];
       }
     }
     if (nb->requires_grad) {
-      nb->EnsureGrad();
-      float* bg = nb->grad.data();
+      float* bg = GradAccumulator(nb.get()).data();
       for (int64_t i = 0; i < n; ++i) {
         if (av[i] < bv[i]) bg[i] += g[i];
       }
@@ -450,8 +436,8 @@ Variable Scale(const Variable& x, float c) {
   return MakeOpResult("Scale", std::move(out), {x}, [n, c](Node* node) {
     const NodePtr& nx = node->inputs[0];
     if (!nx->requires_grad) return;
-    nx->EnsureGrad();
-    tensor::Axpy(n, c, node->grad.data(), nx->grad.data());
+    tensor::Axpy(n, c, node->grad.data(),
+                 GradAccumulator(nx.get()).data());
   });
 }
 
@@ -463,9 +449,8 @@ Variable Mean(const Variable& x) {
   return MakeOpResult("Mean", std::move(out), {x}, [n](Node* node) {
     const NodePtr& nx = node->inputs[0];
     if (!nx->requires_grad) return;
-    nx->EnsureGrad();
     const float g = node->grad[0] / static_cast<float>(n);
-    float* xg = nx->grad.data();
+    float* xg = GradAccumulator(nx.get()).data();
     for (int64_t i = 0; i < n; ++i) xg[i] += g;
   });
 }
@@ -476,9 +461,8 @@ Variable SumAll(const Variable& x) {
   return MakeOpResult("SumAll", std::move(out), {x}, [n](Node* node) {
     const NodePtr& nx = node->inputs[0];
     if (!nx->requires_grad) return;
-    nx->EnsureGrad();
     const float g = node->grad[0];
-    float* xg = nx->grad.data();
+    float* xg = GradAccumulator(nx.get()).data();
     for (int64_t i = 0; i < n; ++i) xg[i] += g;
   });
 }
@@ -516,22 +500,21 @@ Variable RelationMatMul(const Variable& x, std::vector<int64_t> relations,
         const NodePtr& nm = node->inputs[1];
         const float* g = node->grad.data();
         if (nx->requires_grad) {
-          nx->EnsureGrad();
+          float* xg = GradAccumulator(nx.get()).data();
           for (int64_t r = 0; r < n; ++r) {
             const int64_t rel = (*rels)[static_cast<size_t>(r)];
             // dx_row += g_row * M[rel]^T.
             tensor::Gemm(false, true, 1, d, d, 1.0f, g + r * d,
-                         nm->value.data() + rel * d * d, 1.0f,
-                         nx->grad.data() + r * d);
+                         nm->value.data() + rel * d * d, 1.0f, xg + r * d);
           }
         }
         if (nm->requires_grad) {
-          nm->EnsureGrad();
           const float* xv = nx->value.data();
+          float* matrices_grad = GradAccumulator(nm.get()).data();
           for (int64_t r = 0; r < n; ++r) {
             const int64_t rel = (*rels)[static_cast<size_t>(r)];
             // dM[rel] += outer(x_row, g_row).
-            float* mg = nm->grad.data() + rel * d * d;
+            float* mg = matrices_grad + rel * d * d;
             const float* xr = xv + r * d;
             const float* gr = g + r * d;
             for (int64_t i = 0; i < d; ++i) {
@@ -569,10 +552,9 @@ Variable BCEWithLogits(const Variable& logits, std::vector<float> labels) {
                       [y, n](Node* node) {
     const NodePtr& nl = node->inputs[0];
     if (!nl->requires_grad) return;
-    nl->EnsureGrad();
     const float g = node->grad[0] / static_cast<float>(n);
     const float* x = nl->value.data();
-    float* lg = nl->grad.data();
+    float* lg = GradAccumulator(nl.get()).data();
     for (int64_t i = 0; i < n; ++i) {
       lg[i] += g * (tensor::Sigmoid(x[i]) - (*y)[static_cast<size_t>(i)]);
     }
@@ -599,17 +581,15 @@ Variable BPRLoss(const Variable& positive_scores,
         const NodePtr& np = node->inputs[0];
         const NodePtr& nn = node->inputs[1];
         const float g = node->grad[0] / static_cast<float>(n);
+        float* pg =
+            np->requires_grad ? GradAccumulator(np.get()).data() : nullptr;
+        float* ng =
+            nn->requires_grad ? GradAccumulator(nn.get()).data() : nullptr;
         for (int64_t i = 0; i < n; ++i) {
           const float d =
               g * tensor::Sigmoid(nn->value[i] - np->value[i]);
-          if (np->requires_grad) {
-            np->EnsureGrad();
-            np->grad[i] -= d;
-          }
-          if (nn->requires_grad) {
-            nn->EnsureGrad();
-            nn->grad[i] += d;
-          }
+          if (pg != nullptr) pg[i] -= d;
+          if (ng != nullptr) ng[i] += d;
         }
       });
 }

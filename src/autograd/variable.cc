@@ -11,6 +11,11 @@ namespace {
 // Per-thread so a NoGradGuard on one thread (e.g. a thread-pool worker
 // doing inference) cannot flip tape recording under a concurrent caller.
 thread_local bool g_grad_mode = true;
+
+// Active gradient-sink override table for this thread (null = accumulate
+// into Node::grad as usual). Per-thread for the same reason as g_grad_mode:
+// each training shard installs its own table on whichever lane runs it.
+thread_local const GradSinkGuard::OverrideMap* g_grad_sink = nullptr;
 }  // namespace
 
 void Node::EnsureGrad() {
@@ -123,6 +128,22 @@ Variable MakeOpResult(const char* op_name, tensor::Tensor value,
 }
 
 bool GradModeEnabled() { return g_grad_mode; }
+
+GradSinkGuard::GradSinkGuard(const OverrideMap* overrides)
+    : previous_(g_grad_sink) {
+  g_grad_sink = overrides;
+}
+
+GradSinkGuard::~GradSinkGuard() { g_grad_sink = previous_; }
+
+tensor::Tensor& GradAccumulator(Node* node) {
+  if (g_grad_sink != nullptr) {
+    auto it = g_grad_sink->find(node);
+    if (it != g_grad_sink->end()) return *it->second;
+  }
+  node->EnsureGrad();
+  return node->grad;
+}
 
 NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
 

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -101,6 +102,39 @@ Variable MakeOpResult(const char* op_name, tensor::Tensor value,
 /// True when ops should record the tape (default true; single-threaded
 /// global, like torch.is_grad_enabled()).
 bool GradModeEnabled();
+
+/// Per-thread redirection of leaf-gradient accumulation, the mechanism
+/// behind data-parallel training (models::ParallelTrainer): each training
+/// shard runs its backward pass with a GradSinkGuard mapping every shared
+/// parameter Node to a shard-private buffer, so concurrent backwards never
+/// write the same memory. Tape-interior nodes are shard-private already and
+/// keep accumulating into their own Node::grad.
+///
+/// Buffers must be pre-allocated to the node's value shape (and zeroed by
+/// the owner between uses); the guard only redirects, it never allocates.
+class GradSinkGuard {
+ public:
+  /// Maps a Node to the buffer its gradient accumulates into while the
+  /// guard is active on this thread.
+  using OverrideMap = std::unordered_map<const Node*, tensor::Tensor*>;
+
+  /// Installs `overrides` as this thread's active sink. The map must
+  /// outlive the guard and is read-only while installed (shareable across
+  /// guards on different threads).
+  explicit GradSinkGuard(const OverrideMap* overrides);
+  ~GradSinkGuard();
+  GradSinkGuard(const GradSinkGuard&) = delete;
+  GradSinkGuard& operator=(const GradSinkGuard&) = delete;
+
+ private:
+  const OverrideMap* previous_;
+};
+
+/// The buffer gradients for `node` accumulate into on this thread: the
+/// override registered by the innermost active GradSinkGuard when present,
+/// else node->grad (allocated on demand). Every backward function routes
+/// its writes through this.
+tensor::Tensor& GradAccumulator(Node* node);
 
 /// RAII guard that disables tape recording for its scope (inference mode).
 class NoGradGuard {

@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "common/macros.h"
+#include "models/parallel_trainer.h"
 #include "models/trainer_util.h"
 #include "nn/adam.h"
 #include "tensor/tensor_ops.h"
@@ -28,23 +29,17 @@ Status BprMf::Fit(const data::Dataset& dataset,
   const auto all_positives = dataset.BuildAllPositives();
   fitted_ = true;
 
+  models::ParallelTrainer trainer(options, &store_, &optimizer);
+  auto loss_fn = [&](const models::TrainBatch& batch, Rng* /*rng*/) {
+    autograd::Variable vu = user_table_->Lookup(batch.users);
+    autograd::Variable vpos = item_table_->Lookup(batch.positive_items);
+    autograd::Variable vneg = item_table_->Lookup(batch.negative_items);
+    return autograd::BPRLoss(autograd::RowDot(vu, vpos),
+                             autograd::RowDot(vu, vneg));
+  };
   auto run_epoch = [&](Rng* rng) {
-    double total_loss = 0.0;
-    int64_t batches = 0;
-    models::ForEachTrainBatch(
-        dataset.train, all_positives, dataset.num_items, options.batch_size,
-        rng, [&](const models::TrainBatch& batch) {
-          autograd::Variable vu = user_table_->Lookup(batch.users);
-          autograd::Variable vpos = item_table_->Lookup(batch.positive_items);
-          autograd::Variable vneg = item_table_->Lookup(batch.negative_items);
-          autograd::Variable loss = autograd::BPRLoss(
-              autograd::RowDot(vu, vpos), autograd::RowDot(vu, vneg));
-          models::LintAndBackward(loss, store_, options);
-          optimizer.Step();
-          total_loss += loss.value()[0];
-          ++batches;
-        });
-    return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+    return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
+                            rng, loss_fn);
   };
 
   return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,

@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "common/macros.h"
+#include "models/parallel_trainer.h"
 #include "models/trainer_util.h"
 #include "nn/adam.h"
 
@@ -45,29 +46,23 @@ Status Ckan::Fit(const data::Dataset& dataset,
   fitted_ = true;
   eval_rng_ = Rng(options.seed ^ 0x636B616E0000EEEEULL);
 
+  models::ParallelTrainer trainer(options, &store_, &optimizer);
+  auto loss_fn = [&](const models::TrainBatch& batch, Rng* rng) {
+    std::vector<int64_t> users = batch.users;
+    users.insert(users.end(), batch.users.begin(), batch.users.end());
+    std::vector<int64_t> items = batch.positive_items;
+    items.insert(items.end(), batch.negative_items.begin(),
+                 batch.negative_items.end());
+    Variable scores = Forward(users, items, rng);
+    std::vector<float> labels(users.size(), 0.0f);
+    std::fill(labels.begin(),
+              labels.begin() + static_cast<int64_t>(batch.users.size()),
+              1.0f);
+    return autograd::BCEWithLogits(scores, std::move(labels));
+  };
   auto run_epoch = [&](Rng* rng) {
-    double total_loss = 0.0;
-    int64_t batches = 0;
-    models::ForEachTrainBatch(
-        dataset.train, all_positives, dataset.num_items, options.batch_size,
-        rng, [&](const models::TrainBatch& batch) {
-          std::vector<int64_t> users = batch.users;
-          users.insert(users.end(), batch.users.begin(), batch.users.end());
-          std::vector<int64_t> items = batch.positive_items;
-          items.insert(items.end(), batch.negative_items.begin(),
-                       batch.negative_items.end());
-          Variable scores = Forward(users, items, rng);
-          std::vector<float> labels(users.size(), 0.0f);
-          std::fill(labels.begin(),
-                    labels.begin() + static_cast<int64_t>(batch.users.size()),
-                    1.0f);
-          Variable loss = autograd::BCEWithLogits(scores, std::move(labels));
-          models::LintAndBackward(loss, store_, options);
-          optimizer.Step();
-          total_loss += loss.value()[0];
-          ++batches;
-        });
-    return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+    return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
+                            rng, loss_fn);
   };
 
   return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,

@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "common/macros.h"
+#include "models/parallel_trainer.h"
 #include "models/trainer_util.h"
 #include "nn/adam.h"
 
@@ -47,53 +48,46 @@ Status Cke::Fit(const data::Dataset& dataset,
   const auto all_positives = dataset.BuildAllPositives();
   fitted_ = true;
 
+  models::ParallelTrainer trainer(options, &store_, &optimizer);
+  auto loss_fn = [&](const models::TrainBatch& batch, Rng* rng) {
+    const size_t b = batch.users.size();
+    // Recommendation part: BCE over positives and negatives.
+    std::vector<int64_t> users = batch.users;
+    users.insert(users.end(), batch.users.begin(), batch.users.end());
+    std::vector<int64_t> items = batch.positive_items;
+    items.insert(items.end(), batch.negative_items.begin(),
+                 batch.negative_items.end());
+    Variable scores =
+        autograd::RowDot(user_table_->Lookup(users), ItemRepr(items));
+    std::vector<float> labels(users.size(), 0.0f);
+    std::fill(labels.begin(), labels.begin() + static_cast<int64_t>(b),
+              1.0f);
+    Variable loss = autograd::BCEWithLogits(scores, std::move(labels));
+
+    // TransR part on a same-size sample of triplets with corrupted
+    // tails as negatives.
+    std::vector<int64_t> heads;
+    std::vector<int64_t> rels;
+    std::vector<int64_t> tails;
+    std::vector<int64_t> corrupt_tails;
+    for (size_t i = 0; i < b; ++i) {
+      const graph::Triplet& t =
+          kg_triplets_[rng->UniformInt(kg_triplets_.size())];
+      heads.push_back(t.head);
+      rels.push_back(t.relation);
+      tails.push_back(t.tail);
+      corrupt_tails.push_back(static_cast<int64_t>(
+          rng->UniformInt(static_cast<uint64_t>(num_entities_))));
+    }
+    Variable pos_distance = TransRDistance(heads, rels, tails);
+    Variable neg_distance = TransRDistance(heads, rels, corrupt_tails);
+    // Margin-free soft ranking loss: softplus(d_pos - d_neg).
+    Variable kg_loss = autograd::BPRLoss(neg_distance, pos_distance);
+    return autograd::Add(loss, autograd::Scale(kg_loss, kKgLossWeight));
+  };
   auto run_epoch = [&](Rng* rng) {
-    double total_loss = 0.0;
-    int64_t batches = 0;
-    models::ForEachTrainBatch(
-        dataset.train, all_positives, dataset.num_items, options.batch_size,
-        rng, [&](const models::TrainBatch& batch) {
-          const size_t b = batch.users.size();
-          // Recommendation part: BCE over positives and negatives.
-          std::vector<int64_t> users = batch.users;
-          users.insert(users.end(), batch.users.begin(), batch.users.end());
-          std::vector<int64_t> items = batch.positive_items;
-          items.insert(items.end(), batch.negative_items.begin(),
-                       batch.negative_items.end());
-          Variable scores =
-              autograd::RowDot(user_table_->Lookup(users), ItemRepr(items));
-          std::vector<float> labels(users.size(), 0.0f);
-          std::fill(labels.begin(), labels.begin() + static_cast<int64_t>(b),
-                    1.0f);
-          Variable loss = autograd::BCEWithLogits(scores, std::move(labels));
-
-          // TransR part on a same-size sample of triplets with corrupted
-          // tails as negatives.
-          std::vector<int64_t> heads;
-          std::vector<int64_t> rels;
-          std::vector<int64_t> tails;
-          std::vector<int64_t> corrupt_tails;
-          for (size_t i = 0; i < b; ++i) {
-            const graph::Triplet& t =
-                kg_triplets_[rng->UniformInt(kg_triplets_.size())];
-            heads.push_back(t.head);
-            rels.push_back(t.relation);
-            tails.push_back(t.tail);
-            corrupt_tails.push_back(static_cast<int64_t>(
-                rng->UniformInt(static_cast<uint64_t>(num_entities_))));
-          }
-          Variable pos_distance = TransRDistance(heads, rels, tails);
-          Variable neg_distance = TransRDistance(heads, rels, corrupt_tails);
-          // Margin-free soft ranking loss: softplus(d_pos - d_neg).
-          Variable kg_loss = autograd::BPRLoss(neg_distance, pos_distance);
-          loss = autograd::Add(loss, autograd::Scale(kg_loss, kKgLossWeight));
-
-          models::LintAndBackward(loss, store_, options);
-          optimizer.Step();
-          total_loss += loss.value()[0];
-          ++batches;
-        });
-    return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+    return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
+                            rng, loss_fn);
   };
 
   return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,

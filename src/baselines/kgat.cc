@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "common/macros.h"
+#include "models/parallel_trainer.h"
 #include "models/trainer_util.h"
 #include "nn/adam.h"
 
@@ -68,63 +69,56 @@ Status Kgat::Fit(const data::Dataset& dataset,
   eval_rng_ = Rng(options.seed ^ 0x6B6761740000EEEEULL);
 
   int64_t epoch_index = 0;
+  bool pretrain = false;  // epoch 1: BPRMF-style warm start
+  models::ParallelTrainer trainer(options, &store_, &optimizer);
+  auto loss_fn = [&](const models::TrainBatch& batch, Rng* rng) {
+    const size_t b = batch.users.size();
+    std::vector<int64_t> user_nodes;
+    user_nodes.reserve(b);
+    for (int64_t u : batch.users) user_nodes.push_back(UserNode(u));
+
+    Variable vu;
+    Variable vpos;
+    Variable vneg;
+    if (pretrain) {
+      vu = node_table_->Lookup(user_nodes);
+      vpos = node_table_->Lookup(batch.positive_items);
+      vneg = node_table_->Lookup(batch.negative_items);
+    } else {
+      vu = Propagate(user_nodes, rng);
+      vpos = Propagate(batch.positive_items, rng);
+      vneg = Propagate(batch.negative_items, rng);
+    }
+    Variable loss = autograd::BPRLoss(autograd::RowDot(vu, vpos),
+                                      autograd::RowDot(vu, vneg));
+
+    // TransR loss over unified triplets with corrupted tails.
+    std::vector<int64_t> heads;
+    std::vector<int64_t> rels;
+    std::vector<int64_t> tails;
+    std::vector<int64_t> corrupt;
+    for (size_t i = 0; i < b; ++i) {
+      const graph::Triplet& t =
+          unified_triplets_[rng->UniformInt(unified_triplets_.size())];
+      heads.push_back(t.head);
+      rels.push_back(t.relation);
+      tails.push_back(t.tail);
+      corrupt.push_back(static_cast<int64_t>(rng->UniformInt(
+          static_cast<uint64_t>(num_entities_ + num_users_))));
+    }
+    Variable kg_loss = autograd::BPRLoss(TransRDistance(heads, rels, corrupt),
+                                         TransRDistance(heads, rels, tails));
+    return autograd::Add(loss, autograd::Scale(kg_loss, kKgLossWeight));
+  };
   auto run_epoch = [&](Rng* rng) {
     ++epoch_index;
-    const bool pretrain = epoch_index == 1;  // BPRMF-style warm start
-    double total_loss = 0.0;
-    int64_t batches = 0;
-    models::ForEachTrainBatch(
-        dataset.train, all_positives, dataset.num_items, options.batch_size,
-        rng, [&](const models::TrainBatch& batch) {
-          const size_t b = batch.users.size();
-          std::vector<int64_t> user_nodes;
-          user_nodes.reserve(b);
-          for (int64_t u : batch.users) user_nodes.push_back(UserNode(u));
-
-          Variable vu;
-          Variable vpos;
-          Variable vneg;
-          if (pretrain) {
-            vu = node_table_->Lookup(user_nodes);
-            vpos = node_table_->Lookup(batch.positive_items);
-            vneg = node_table_->Lookup(batch.negative_items);
-          } else {
-            vu = Propagate(user_nodes, rng);
-            vpos = Propagate(batch.positive_items, rng);
-            vneg = Propagate(batch.negative_items, rng);
-          }
-          Variable loss = autograd::BPRLoss(autograd::RowDot(vu, vpos),
-                                            autograd::RowDot(vu, vneg));
-
-          // TransR loss over unified triplets with corrupted tails.
-          std::vector<int64_t> heads;
-          std::vector<int64_t> rels;
-          std::vector<int64_t> tails;
-          std::vector<int64_t> corrupt;
-          for (size_t i = 0; i < b; ++i) {
-            const graph::Triplet& t =
-                unified_triplets_[rng->UniformInt(unified_triplets_.size())];
-            heads.push_back(t.head);
-            rels.push_back(t.relation);
-            tails.push_back(t.tail);
-            corrupt.push_back(static_cast<int64_t>(rng->UniformInt(
-                static_cast<uint64_t>(num_entities_ + num_users_))));
-          }
-          Variable kg_loss = autograd::BPRLoss(
-              TransRDistance(heads, rels, corrupt),
-              TransRDistance(heads, rels, tails));
-          loss = autograd::Add(loss, autograd::Scale(kg_loss, kKgLossWeight));
-
-          // The warm-up epoch intentionally bypasses Propagate, so the
-          // bi-interaction layers are declared frozen for lint purposes.
-          analysis::TapeLintOptions lint_options;
-          if (pretrain) lint_options.expected_frozen = {"bi_add/", "bi_mul/"};
-          models::LintAndBackward(loss, store_, options, lint_options);
-          optimizer.Step();
-          total_loss += loss.value()[0];
-          ++batches;
-        });
-    return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+    pretrain = epoch_index == 1;
+    // The warm-up epoch intentionally bypasses Propagate, so the
+    // bi-interaction layers are declared frozen for lint purposes.
+    analysis::TapeLintOptions lint_options;
+    if (pretrain) lint_options.expected_frozen = {"bi_add/", "bi_mul/"};
+    return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
+                            rng, loss_fn, lint_options);
   };
 
   return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,

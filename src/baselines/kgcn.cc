@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "common/macros.h"
+#include "models/parallel_trainer.h"
 #include "models/trainer_util.h"
 #include "nn/adam.h"
 
@@ -51,19 +52,15 @@ Status Kgcn::Fit(const data::Dataset& dataset,
   fitted_ = true;
   eval_rng_ = Rng(options.seed ^ 0x6B67636E0000EEEEULL);
 
+  models::ParallelTrainer trainer(options, &store_, &optimizer);
+  // ComputeBatchLoss is virtual: KGNN-LS rides this same loop with its
+  // label-smoothness term added.
+  auto loss_fn = [&](const models::TrainBatch& batch, Rng* rng) {
+    return ComputeBatchLoss(batch, rng);
+  };
   auto run_epoch = [&](Rng* rng) {
-    double total_loss = 0.0;
-    int64_t batches = 0;
-    models::ForEachTrainBatch(
-        dataset.train, all_positives, dataset.num_items, options.batch_size,
-        rng, [&](const models::TrainBatch& batch) {
-          Variable loss = ComputeBatchLoss(batch, rng);
-          models::LintAndBackward(loss, store_, options);
-          optimizer.Step();
-          total_loss += loss.value()[0];
-          ++batches;
-        });
-    return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+    return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
+                            rng, loss_fn);
   };
 
   return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,

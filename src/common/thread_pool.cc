@@ -12,42 +12,28 @@
 
 namespace cgkgr {
 
-namespace {
-
-/// Pool instruments, shared across pools (fetched once; relaxed-atomic
-/// updates after that). The inline single-lane path stays unmetered so
-/// ThreadPool(1) remains an exact no-op.
-struct PoolMetrics {
-  obs::Gauge* queue_depth;
-  obs::Histogram* task_micros;
-  obs::Counter* tasks_total;
-  obs::Counter* busy_micros_total;
-};
-
-const PoolMetrics& Metrics() {
-  static const PoolMetrics metrics{
-      obs::MetricsRegistry::Default().GetGauge("threadpool_queue_depth"),
-      obs::MetricsRegistry::Default().GetHistogram("threadpool_task_micros"),
-      obs::MetricsRegistry::Default().GetCounter("threadpool_tasks_total"),
-      obs::MetricsRegistry::Default().GetCounter(
-          "threadpool_busy_micros_total")};
-  return metrics;
-}
-
-/// Runs one dequeued task, recording latency/utilization instruments.
-void RunMetered(const std::function<void()>& task) {
+void ThreadPool::RunMetered(const std::function<void()>& task) {
   WallTimer timer;
   task();
   const double micros = timer.ElapsedMillis() * 1e3;
-  const PoolMetrics& metrics = Metrics();
-  metrics.task_micros->Record(micros);
-  metrics.tasks_total->Increment();
-  metrics.busy_micros_total->Increment(static_cast<int64_t>(micros));
+  task_micros_->Record(micros);
+  tasks_total_->Increment();
+  busy_micros_total_->Increment(static_cast<int64_t>(micros));
 }
 
-}  // namespace
-
-ThreadPool::ThreadPool(int64_t num_threads) {
+ThreadPool::ThreadPool(int64_t num_threads, const std::string& name) {
+  // Instruments resolve before any worker spawns; the registry hands back
+  // the same objects for the same (name, labels) pair, so pools sharing a
+  // name (or all unnamed pools) share instruments. The inline single-lane
+  // path stays unmetered so ThreadPool(1) remains an exact no-op.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  const obs::Labels labels =
+      name.empty() ? obs::Labels{} : obs::Labels{{"pool", name}};
+  queue_depth_ = registry.GetGauge("threadpool_queue_depth", labels);
+  task_micros_ = registry.GetHistogram("threadpool_task_micros", labels);
+  tasks_total_ = registry.GetCounter("threadpool_tasks_total", labels);
+  busy_micros_total_ =
+      registry.GetCounter("threadpool_busy_micros_total", labels);
   const int64_t lanes = std::max<int64_t>(1, num_threads);
   workers_.reserve(static_cast<size_t>(lanes - 1));
   for (int64_t i = 0; i + 1 < lanes; ++i) {
@@ -80,7 +66,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    Metrics().queue_depth->Add(-1.0);
+    queue_depth_->Add(-1.0);
     RunMetered(task);
     {
       MutexLock lock(&mu_);
@@ -101,7 +87,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     CGKGR_CHECK_MSG(!stop_, "Submit after ~ThreadPool began");
     queue_.push_back(std::move(task));
   }
-  Metrics().queue_depth->Add(1.0);
+  queue_depth_->Add(1.0);
   work_cv_.notify_one();
 }
 
@@ -119,7 +105,7 @@ bool ThreadPool::TryRunQueuedTask() {
     queue_.pop_front();
     ++in_flight_;
   }
-  Metrics().queue_depth->Add(-1.0);
+  queue_depth_->Add(-1.0);
   RunMetered(task);
   {
     MutexLock lock(&mu_);

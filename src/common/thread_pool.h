@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -11,6 +12,12 @@
 #include "common/mutex.h"
 
 namespace cgkgr {
+
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
 
 /// A fixed-size worker pool with a shared FIFO task queue, used by the
 /// serving engine (src/serve/) and available to future training/eval
@@ -28,8 +35,11 @@ namespace cgkgr {
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` lanes (spawns num_threads - 1
-  /// workers). Values < 1 are clamped to 1.
-  explicit ThreadPool(int64_t num_threads);
+  /// workers). Values < 1 are clamped to 1. A non-empty `name` labels the
+  /// pool's registry instruments with {pool=<name>}, so e.g. the serving
+  /// and training pools report separate queue depths; an empty name uses
+  /// the unlabeled process-wide instruments.
+  explicit ThreadPool(int64_t num_threads, const std::string& name = "");
 
   /// Drains all queued tasks, then joins the workers.
   ~ThreadPool();
@@ -69,6 +79,9 @@ class ThreadPool {
  private:
   void WorkerLoop() CGKGR_EXCLUDES(mu_);
 
+  /// Runs one dequeued task, recording latency/utilization instruments.
+  void RunMetered(const std::function<void()>& task);
+
   /// Pops and runs one queued task if any is pending; returns whether a
   /// task ran. Used by ParallelFor's completion wait so a lane blocked on
   /// its helpers keeps the queue moving (makes nested ParallelFor
@@ -77,6 +90,11 @@ class ThreadPool {
   bool TryRunQueuedTask() CGKGR_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
+  /// Registry instruments (labeled by pool name when one was given).
+  obs::Gauge* queue_depth_;
+  obs::Histogram* task_micros_;
+  obs::Counter* tasks_total_;
+  obs::Counter* busy_micros_total_;
   Mutex mu_;
   CondVar work_cv_;  // queue became non-empty / stopping
   CondVar idle_cv_;  // a task finished (for WaitIdle)

@@ -4,6 +4,7 @@
 
 #include "autograd/ops.h"
 #include "common/macros.h"
+#include "models/parallel_trainer.h"
 #include "models/trainer_util.h"
 #include "common/logging.h"
 #include "obs/trace.h"
@@ -112,40 +113,33 @@ Status CgKgrModel::Fit(const data::Dataset& dataset,
   nn::AdamOptimizer optimizer(store_.parameters(), adam);
 
   const auto all_positives = dataset.BuildAllPositives();
+  models::ParallelTrainer trainer(options, &store_, &optimizer);
 
+  // Per-shard loss; runs concurrently, reads only shared model state and
+  // draws all randomness from the shard-private rng.
+  auto loss_fn = [&](const models::TrainBatch& batch, Rng* rng) {
+    // One forward over positives and negatives together (Eq. 22 with
+    // |Y+| = |Y-| and labels 1/0).
+    std::vector<int64_t> users = batch.users;
+    users.insert(users.end(), batch.users.begin(), batch.users.end());
+    std::vector<int64_t> items = batch.positive_items;
+    items.insert(items.end(), batch.negative_items.begin(),
+                 batch.negative_items.end());
+    BatchGraph bg = [&] {
+      obs::ScopedSpan sample_span("train/sample");
+      return SampleBatch(users, items, rng);
+    }();
+    obs::ScopedSpan forward_span("train/forward");
+    Variable scores = Forward(bg, nullptr);
+    std::vector<float> labels(users.size(), 0.0f);
+    std::fill(labels.begin(),
+              labels.begin() + static_cast<int64_t>(batch.users.size()),
+              1.0f);
+    return autograd::BCEWithLogits(scores, std::move(labels));
+  };
   auto run_epoch = [&](Rng* rng) {
-    double total_loss = 0.0;
-    int64_t batches = 0;
-    models::ForEachTrainBatch(
-        dataset.train, all_positives, dataset.num_items, options.batch_size,
-        rng, [&](const models::TrainBatch& batch) {
-          // One forward over positives and negatives together (Eq. 22 with
-          // |Y+| = |Y-| and labels 1/0).
-          std::vector<int64_t> users = batch.users;
-          users.insert(users.end(), batch.users.begin(), batch.users.end());
-          std::vector<int64_t> items = batch.positive_items;
-          items.insert(items.end(), batch.negative_items.begin(),
-                       batch.negative_items.end());
-          BatchGraph bg = [&] {
-            obs::ScopedSpan sample_span("train/sample");
-            return SampleBatch(users, items, rng);
-          }();
-          Variable loss = [&] {
-            obs::ScopedSpan forward_span("train/forward");
-            Variable scores = Forward(bg, nullptr);
-            std::vector<float> labels(users.size(), 0.0f);
-            std::fill(
-                labels.begin(),
-                labels.begin() + static_cast<int64_t>(batch.users.size()),
-                1.0f);
-            return autograd::BCEWithLogits(scores, std::move(labels));
-          }();
-          models::LintAndBackward(loss, store_, options);
-          optimizer.Step();
-          total_loss += loss.value()[0];
-          ++batches;
-        });
-    return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+    return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
+                            rng, loss_fn);
   };
 
   return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,

@@ -55,6 +55,26 @@ std::vector<std::vector<int64_t>> Dataset::BuildTrainPositives() const {
   return BuildPositives(train, num_users);
 }
 
+namespace {
+
+/// Picks the (k+1)-th smallest item NOT in `positives` (sorted, possibly
+/// with duplicates) by walking the gaps between consecutive positives.
+/// Requires k < num_items - |unique positives|.
+int64_t KthComplementItem(const std::vector<int64_t>& positives, int64_t k) {
+  int64_t prev = -1;
+  int64_t remaining = k;
+  for (const int64_t p : positives) {
+    if (p == prev) continue;  // splits can repeat a (user, item) pair
+    const int64_t gap = p - prev - 1;
+    if (remaining < gap) return prev + 1 + remaining;
+    remaining -= gap;
+    prev = p;
+  }
+  return prev + 1 + remaining;
+}
+
+}  // namespace
+
 int64_t SampleNegativeItem(
     const std::vector<std::vector<int64_t>>& all_positives, int64_t user,
     int64_t num_items, Rng* rng) {
@@ -64,13 +84,41 @@ int64_t SampleNegativeItem(
     return static_cast<int64_t>(rng->UniformInt(
         static_cast<uint64_t>(num_items)));
   }
-  for (;;) {
+  // Rejection sampling succeeds with probability >= num_negatives/num_items
+  // per draw, so a small multiple of the expected draw count covers all but
+  // a vanishing fraction of calls. The cap keeps heavily saturated users
+  // (positives covering nearly every item) from spinning for thousands of
+  // draws — or forever, when duplicates across splits push positives.size()
+  // below num_items while the unique positives cover every item.
+  const int64_t num_negatives_bound =
+      num_items - static_cast<int64_t>(positives.size());
+  const int64_t max_draws = 4 * (num_items / num_negatives_bound) + 8;
+  for (int64_t draw = 0; draw < max_draws; ++draw) {
     const int64_t item = static_cast<int64_t>(
         rng->UniformInt(static_cast<uint64_t>(num_items)));
     if (!std::binary_search(positives.begin(), positives.end(), item)) {
       return item;
     }
   }
+  // Deterministic fallback: sample an index into the complement and find it
+  // with one linear walk over the positives. Unlike the bound above, the
+  // complement size here must count unique positives only.
+  int64_t unique = 0;
+  int64_t prev = -1;
+  for (const int64_t p : positives) {
+    if (p != prev) ++unique;
+    prev = p;
+  }
+  const int64_t num_negatives = num_items - unique;
+  if (num_negatives <= 0) {
+    // Every item is positive; any answer is wrong, mirror the saturated
+    // branch above and return a uniform item.
+    return static_cast<int64_t>(rng->UniformInt(
+        static_cast<uint64_t>(num_items)));
+  }
+  const int64_t k = static_cast<int64_t>(
+      rng->UniformInt(static_cast<uint64_t>(num_negatives)));
+  return KthComplementItem(positives, k);
 }
 
 std::vector<CtrExample> MakeCtrExamples(

@@ -12,21 +12,26 @@ namespace {
 
 /// Draws one neighbor index with probability proportional to
 /// 1 + log2(1 + degree(entity)) via rejection sampling against the max
-/// weight in the candidate span. Candidate spans are small (node degrees),
-/// so the scan + a few rejections are cheap.
+/// weight in the candidate span.
+///
+/// Weights are computed once per call into a per-thread scratch buffer
+/// (rejection iterations previously re-evaluated log2-over-degree-lookup
+/// per probed candidate). The scratch is thread_local so concurrent
+/// training shards each get their own; the RNG draw sequence — and thus
+/// every pick for a fixed seed — is unchanged.
 size_t DegreeBiasedPick(const KnowledgeGraph& kg,
                         std::span<const KgNeighbor> neighbors, Rng* rng) {
-  auto weight = [&](size_t j) {
-    return 1.0f + std::log2(1.0f + static_cast<float>(
-                                       kg.Degree(neighbors[j].entity)));
-  };
-  float max_weight = weight(0);
-  for (size_t j = 1; j < neighbors.size(); ++j) {
-    max_weight = std::max(max_weight, weight(j));
+  thread_local std::vector<float> weights;
+  weights.resize(neighbors.size());
+  float max_weight = 0.0f;
+  for (size_t j = 0; j < neighbors.size(); ++j) {
+    weights[j] = 1.0f + std::log2(1.0f + static_cast<float>(
+                                             kg.Degree(neighbors[j].entity)));
+    max_weight = std::max(max_weight, weights[j]);
   }
   for (;;) {
     const size_t j = static_cast<size_t>(rng->UniformInt(neighbors.size()));
-    if (rng->UniformFloat() * max_weight <= weight(j)) return j;
+    if (rng->UniformFloat() * max_weight <= weights[j]) return j;
   }
 }
 

@@ -1,0 +1,209 @@
+#include "models/parallel_trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/timer.h"
+#include "data/dataset.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/tensor_ops.h"
+
+namespace cgkgr {
+namespace models {
+
+namespace {
+
+/// Rows per shard. Deliberately a constant rather than batch_size /
+/// num_threads: the shard plan (and with it every RNG stream and the
+/// reduction tree) must not depend on the lane count, or bit-identity
+/// across num_threads settings would be lost. 16 rows keeps per-shard
+/// forward tapes large enough to amortize dispatch while giving a
+/// 128-row batch 8 shards to spread over lanes.
+constexpr int64_t kShardRows = 16;
+
+/// Sample the parameter-gradient norm gauge on every Nth batch, after the
+/// reduction (per-shard backwards see only partial gradients).
+constexpr int64_t kGradNormSampleEvery = 16;
+
+}  // namespace
+
+ParallelTrainer::ParallelTrainer(const TrainOptions& options,
+                                 nn::ParameterStore* store,
+                                 nn::AdamOptimizer* optimizer)
+    : options_(options),
+      store_(store),
+      optimizer_(optimizer),
+      pool_(options.num_threads, "train"),
+      params_(store->parameters()) {
+  CGKGR_CHECK(store != nullptr && optimizer != nullptr);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  batches_total_ = registry.GetCounter("train_batches_total");
+  samples_total_ = registry.GetCounter("train_samples_total");
+  threads_gauge_ = registry.GetGauge("train_threads");
+  grad_norm_gauge_ = registry.GetGauge("train_grad_norm");
+  imbalance_micros_ = registry.GetHistogram("train_shard_imbalance_micros");
+  threads_gauge_->Set(static_cast<double>(pool_.num_threads()));
+}
+
+void ParallelTrainer::EnsureSlots(int64_t count) {
+  while (static_cast<int64_t>(slots_.size()) < count) {
+    ShardSlot slot;
+    slot.grads.reserve(params_.size());
+    for (const autograd::Variable& param : params_) {
+      slot.grads.emplace_back(param.value().shape());
+    }
+    slots_.push_back(std::move(slot));
+    ShardSlot& stored = slots_.back();
+    for (size_t p = 0; p < params_.size(); ++p) {
+      stored.overrides[params_[p].node().get()] = &stored.grads[p];
+    }
+  }
+}
+
+void ParallelTrainer::ReduceShardGrads(int64_t num_shards,
+                                       int64_t batch_rows) {
+  // Each parameter reduces independently, so fanning out over parameters
+  // changes nothing about the result. Within one parameter the shards are
+  // combined pairwise in index order — a fixed association that holds for
+  // any lane count because the shard plan itself is lane-independent.
+  pool_.ParallelForEach(
+      0, static_cast<int64_t>(params_.size()), 1, [&](int64_t p) {
+        const int64_t n = params_[static_cast<size_t>(p)].value().size();
+        for (int64_t s = 0; s < num_shards; ++s) {
+          ShardSlot& slot = slots_[static_cast<size_t>(s)];
+          const float w = static_cast<float>(slot.rows) /
+                          static_cast<float>(batch_rows);
+          tensor::ScaleInPlace(n, w,
+                               slot.grads[static_cast<size_t>(p)].data());
+        }
+        for (int64_t stride = 1; stride < num_shards; stride *= 2) {
+          for (int64_t s = 0; s + stride < num_shards; s += 2 * stride) {
+            tensor::Axpy(
+                n, 1.0f,
+                slots_[static_cast<size_t>(s + stride)]
+                    .grads[static_cast<size_t>(p)]
+                    .data(),
+                slots_[static_cast<size_t>(s)]
+                    .grads[static_cast<size_t>(p)]
+                    .data());
+          }
+        }
+        tensor::Axpy(n, 1.0f,
+                     slots_[0].grads[static_cast<size_t>(p)].data(),
+                     params_[static_cast<size_t>(p)].grad().data());
+      });
+}
+
+double ParallelTrainer::RunEpoch(
+    const std::vector<graph::Interaction>& train,
+    const std::vector<std::vector<int64_t>>& all_positives, int64_t num_items,
+    Rng* epoch_rng, const LossFn& loss_fn,
+    const analysis::TapeLintOptions& lint_options) {
+  CGKGR_CHECK(options_.batch_size > 0 && epoch_rng != nullptr);
+  const bool lint = TapeLintEnabled(options_);
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  epoch_rng->Shuffle(&order);
+
+  double total_loss = 0.0;
+  int64_t batches = 0;
+  const int64_t batch_size = options_.batch_size;
+  for (int64_t begin = 0; begin < static_cast<int64_t>(order.size());
+       begin += batch_size) {
+    const int64_t end = std::min(static_cast<int64_t>(order.size()),
+                                 begin + batch_size);
+    const int64_t batch_rows = end - begin;
+    const int64_t num_shards = (batch_rows + kShardRows - 1) / kShardRows;
+    EnsureSlots(num_shards);
+    // Shard streams fork from a per-batch fork of the epoch stream, in
+    // shard-index order — keyed on batch position, never on which lane ends
+    // up running the shard.
+    Rng batch_rng = epoch_rng->Fork();
+    for (int64_t s = 0; s < num_shards; ++s) {
+      slots_[static_cast<size_t>(s)].rng = batch_rng.Fork();
+    }
+
+    obs::ScopedSpan batch_span("train/batch");
+    pool_.ParallelForEach(0, num_shards, 1, [&](int64_t s) {
+      obs::ScopedSpan shard_span("train/shard");
+      WallTimer shard_timer;
+      ShardSlot& slot = slots_[static_cast<size_t>(s)];
+      const int64_t shard_begin = begin + s * kShardRows;
+      const int64_t shard_end = std::min(end, shard_begin + kShardRows);
+      slot.rows = shard_end - shard_begin;
+
+      TrainBatch shard;
+      shard.users.reserve(static_cast<size_t>(slot.rows));
+      shard.positive_items.reserve(static_cast<size_t>(slot.rows));
+      shard.negative_items.reserve(static_cast<size_t>(slot.rows));
+      {
+        obs::ScopedSpan negatives_span("train/negatives");
+        for (int64_t i = shard_begin; i < shard_end; ++i) {
+          const graph::Interaction& x =
+              train[order[static_cast<size_t>(i)]];
+          shard.users.push_back(x.user);
+          shard.positive_items.push_back(x.item);
+          shard.negative_items.push_back(data::SampleNegativeItem(
+              all_positives, x.user, num_items, &slot.rng));
+        }
+      }
+
+      autograd::Variable loss = loss_fn(shard, &slot.rng);
+      if (lint) {
+        analysis::TapeLintReport report;
+        const Status status = analysis::LintTape(
+            loss, *store_, &report, lint_options);
+        if (!status.ok()) {
+          CGKGR_LOG(Error) << "autograd tape lint failed:\n"
+                           << report.ToTable();
+          CGKGR_CHECK_MSG(false, "%s", status.ToString().c_str());
+        }
+      }
+      for (tensor::Tensor& g : slot.grads) g.Zero();
+      {
+        autograd::GradSinkGuard sink(&slot.overrides);
+        obs::ScopedSpan backward_span("train/backward");
+        loss.Backward();
+      }
+      slot.loss = loss.value()[0];
+      slot.micros = shard_timer.ElapsedMillis() * 1e3;
+    });
+
+    // Batch loss = shard-row-weighted sum of shard (per-row mean) losses,
+    // accumulated in shard-index order.
+    double batch_loss = 0.0;
+    double min_micros = slots_[0].micros;
+    double max_micros = slots_[0].micros;
+    for (int64_t s = 0; s < num_shards; ++s) {
+      const ShardSlot& slot = slots_[static_cast<size_t>(s)];
+      batch_loss += slot.loss * static_cast<double>(slot.rows) /
+                    static_cast<double>(batch_rows);
+      min_micros = std::min(min_micros, slot.micros);
+      max_micros = std::max(max_micros, slot.micros);
+    }
+    if (num_shards > 1) {
+      imbalance_micros_->Record(max_micros - min_micros);
+    }
+    {
+      obs::ScopedSpan reduce_span("train/reduce");
+      ReduceShardGrads(num_shards, batch_rows);
+    }
+    if (batch_counter_++ % kGradNormSampleEvery == 0) {
+      grad_norm_gauge_->Set(GradientNorm(*store_));
+    }
+    {
+      obs::ScopedSpan adam_span("train/adam");
+      optimizer_->Step(&pool_);
+    }
+    batches_total_->Increment();
+    samples_total_->Increment(batch_rows);
+    total_loss += batch_loss;
+    ++batches;
+  }
+  return batches > 0 ? total_loss / static_cast<double>(batches) : 0.0;
+}
+
+}  // namespace models
+}  // namespace cgkgr

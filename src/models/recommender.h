@@ -22,6 +22,12 @@ struct TrainOptions {
   /// (the paper uses 10 on full-size datasets; presets use less).
   int64_t patience = 3;
   int64_t batch_size = 128;
+  /// Lanes for the data-parallel trainer (models::ParallelTrainer): shards
+  /// of each mini-batch run forward/backward concurrently, with a
+  /// deterministic fixed-order gradient reduction before the Adam step.
+  /// Results are bit-identical for any value given the same seed; 1 runs
+  /// fully inline. See docs/parallel_training.md.
+  int64_t num_threads = 1;
   uint64_t seed = 1;
   EarlyStopMetric early_stop_metric = EarlyStopMetric::kAuc;
   /// Cap on eval-split CTR examples used for per-epoch early stopping.

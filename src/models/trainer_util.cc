@@ -24,7 +24,16 @@ namespace {
 /// enough to leave on, frequent enough to catch explosions.
 constexpr int64_t kGradNormSampleEvery = 16;
 
-/// L2 norm across every parameter gradient in the store.
+/// Resolves the per-epoch JSONL path: the per-run TrainOptions field wins,
+/// the CGKGR_METRICS_JSONL environment variable is the process default.
+std::string MetricsJsonlPath(const TrainOptions& options) {
+  if (!options.metrics_jsonl.empty()) return options.metrics_jsonl;
+  const char* env = std::getenv("CGKGR_METRICS_JSONL");
+  return env != nullptr ? env : "";
+}
+
+}  // namespace
+
 double GradientNorm(const nn::ParameterStore& store) {
   double sum_sq = 0.0;
   for (autograd::Variable parameter : store.parameters()) {
@@ -36,16 +45,6 @@ double GradientNorm(const nn::ParameterStore& store) {
   }
   return std::sqrt(sum_sq);
 }
-
-/// Resolves the per-epoch JSONL path: the per-run TrainOptions field wins,
-/// the CGKGR_METRICS_JSONL environment variable is the process default.
-std::string MetricsJsonlPath(const TrainOptions& options) {
-  if (!options.metrics_jsonl.empty()) return options.metrics_jsonl;
-  const char* env = std::getenv("CGKGR_METRICS_JSONL");
-  return env != nullptr ? env : "";
-}
-
-}  // namespace
 
 bool TapeLintEnabled(const TrainOptions& options) {
   static const bool env_enabled = std::getenv("CGKGR_LINT_TAPE") != nullptr;

@@ -22,6 +22,10 @@ struct TrainBatch {
   std::vector<int64_t> negative_items;
 };
 
+/// L2 norm across every parameter gradient in `store` (the train_grad_norm
+/// gauge's source; sampled by the batch drivers after gradients are final).
+double GradientNorm(const nn::ParameterStore& store);
+
 /// True when tape linting is on for this run: either the per-run
 /// TrainOptions::lint_tape debug flag or the CGKGR_LINT_TAPE environment
 /// variable (checked once per process).

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 
 namespace cgkgr {
 namespace nn {
@@ -19,7 +20,9 @@ AdamOptimizer::AdamOptimizer(std::vector<autograd::Variable> parameters,
   }
 }
 
-void AdamOptimizer::Step() {
+void AdamOptimizer::Step() { Step(nullptr); }
+
+void AdamOptimizer::Step(ThreadPool* pool) {
   ++step_count_;
   const float bias1 =
       1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
@@ -34,16 +37,27 @@ void AdamOptimizer::Step() {
     float* m = m_[p].data();
     float* v = v_[p].data();
     const int64_t n = value.size();
-    for (int64_t i = 0; i < n; ++i) {
-      const float gi = g[i] + options_.l2 * w[i];
-      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * gi;
-      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * gi * gi;
-      const float m_hat = m[i] / bias1;
-      const float v_hat = v[i] / bias2;
-      w[i] -= options_.learning_rate * m_hat /
-              (std::sqrt(v_hat) + options_.epsilon);
+    // Per-element updates touch disjoint memory and never reassociate, so
+    // any chunking of [0, n) produces the same bits as the serial loop.
+    // Grads are zeroed in-pass: the per-chunk write replaces grad.Zero().
+    const auto update = [&](int64_t chunk_begin, int64_t chunk_end) {
+      for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+        const float gi = g[i] + options_.l2 * w[i];
+        m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * gi;
+        v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * gi * gi;
+        const float m_hat = m[i] / bias1;
+        const float v_hat = v[i] / bias2;
+        w[i] -= options_.learning_rate * m_hat /
+                (std::sqrt(v_hat) + options_.epsilon);
+        g[i] = 0.0f;
+      }
+    };
+    constexpr int64_t kStepGrain = 8192;
+    if (pool != nullptr && pool->num_threads() > 1 && n > kStepGrain) {
+      pool->ParallelFor(0, n, kStepGrain, update);
+    } else {
+      update(0, n);
     }
-    grad.Zero();
   }
 }
 

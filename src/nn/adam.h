@@ -6,6 +6,9 @@
 #include "autograd/variable.h"
 
 namespace cgkgr {
+
+class ThreadPool;
+
 namespace nn {
 
 /// Hyper-parameters for AdamOptimizer.
@@ -31,6 +34,12 @@ class AdamOptimizer {
   /// Applies one update using the currently accumulated gradients, then
   /// zeroes them.
   void Step();
+
+  /// Same update, parallelized over element ranges of each parameter on
+  /// `pool` (nullptr falls back to the serial Step). Bit-identical to the
+  /// serial path for any lane count: the Adam update is elementwise
+  /// independent, so chunking introduces no reassociation.
+  void Step(ThreadPool* pool);
 
   /// Zeroes gradients without updating (e.g. after a skipped batch).
   void ZeroGrads();

@@ -84,21 +84,37 @@ void SegmentSoftmax(int64_t segments, int64_t segment, const float* x,
     for (int64_t i = 1; i < segment; ++i) {
       if (in[i] > max_value) max_value = in[i];
     }
-    float total = 0.0f;
+    // Double accumulator: the normalizer is a sum of up-to-segment many
+    // exponentials and single-precision serial addition drifts for wide
+    // segments (and loses bits even for narrow ones).
+    double total = 0.0;
     for (int64_t i = 0; i < segment; ++i) {
       o[i] = std::exp(in[i] - max_value);
       total += o[i];
     }
-    const float inv = 1.0f / total;
+    const float inv = 1.0f / static_cast<float>(total);
     for (int64_t i = 0; i < segment; ++i) o[i] *= inv;
   }
 }
 
-float Sum(int64_t n, const float* x) {
-  float total = 0.0f;
-  for (int64_t i = 0; i < n; ++i) total += x[i];
-  return total;
+namespace {
+
+// Recursive pairwise (cascade) summation: error grows O(log n) instead of
+// the O(n) of a serial float accumulator. The base case is small enough
+// that the recursion cost is negligible next to the loads.
+float PairwiseSum(int64_t n, const float* x) {
+  if (n <= 8) {
+    float total = 0.0f;
+    for (int64_t i = 0; i < n; ++i) total += x[i];
+    return total;
+  }
+  const int64_t half = n / 2;
+  return PairwiseSum(half, x) + PairwiseSum(n - half, x + half);
 }
+
+}  // namespace
+
+float Sum(int64_t n, const float* x) { return PairwiseSum(n, x); }
 
 float Dot(int64_t n, const float* a, const float* b) {
   float total = 0.0f;

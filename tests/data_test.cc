@@ -88,6 +88,35 @@ TEST(DatasetTest, SampleNegativeDegenerateUser) {
   EXPECT_LT(item, 3);
 }
 
+TEST(DatasetTest, SampleNegativeSaturatedUserIsBoundedAndExact) {
+  // Regression: a user with 999 of 1000 items positive made the unbounded
+  // rejection loop draw ~1000 times per call. The loop is now capped and
+  // falls back to a complement scan, which must still return the single
+  // true negative every time.
+  std::vector<int64_t> user_positives;
+  for (int64_t i = 0; i < 1000; ++i) {
+    if (i != 617) user_positives.push_back(i);
+  }
+  std::vector<std::vector<int64_t>> positives = {std::move(user_positives)};
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    EXPECT_EQ(SampleNegativeItem(positives, 0, 1000, &rng), 617);
+  }
+}
+
+TEST(DatasetTest, SampleNegativeHandlesDuplicatePositives) {
+  // Duplicates in the positives list (the same (user, item) pair recorded
+  // by multiple splits) inflate positives.size(); the complement-scan
+  // fallback must count *unique* positives and skip duplicates during its
+  // gap walk, or it could return a positive. Negatives here are {1, 4}.
+  std::vector<std::vector<int64_t>> positives = {{0, 0, 2, 3}};
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t item = SampleNegativeItem(positives, 0, 5, &rng);
+    EXPECT_TRUE(item == 1 || item == 4) << item;
+  }
+}
+
 TEST(DatasetTest, CtrExamplesBalanced) {
   Dataset dataset;
   dataset.num_users = 4;

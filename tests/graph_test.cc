@@ -219,6 +219,32 @@ TEST(SamplerTest, DegreeBiasedStillSamplesValidNeighbors) {
   }
 }
 
+TEST(SamplerTest, DegreeBiasedPickSequenceDeterministicAcrossScratchReuse) {
+  // Candidate weights are precomputed once per pick into a thread_local
+  // scratch buffer; interleaving flows over graphs with very different
+  // neighbor-list sizes resizes and overwrites that scratch. The RNG draw
+  // sequence — and therefore every pick — must depend only on the seed.
+  std::vector<Triplet> hub_triplets = {{0, 0, 1}, {0, 0, 2}};
+  for (int64_t i = 3; i < 40; ++i) hub_triplets.push_back({1, 0, i});
+  const KnowledgeGraph hub(40, 1, std::move(hub_triplets));
+  const KnowledgeGraph tiny(6, 2, {{0, 0, 3}, {0, 1, 4}, {3, 0, 5}});
+  auto run = [&] {
+    Rng rng(29);
+    std::vector<std::vector<int64_t>> picks;
+    for (const NodeFlow& flow :
+         {NeighborSampler::SampleNodeFlow(hub, {0}, 2, 4, &rng,
+                                          SamplingStrategy::kDegreeBiased),
+          NeighborSampler::SampleNodeFlow(tiny, {0}, 1, 2, &rng,
+                                          SamplingStrategy::kDegreeBiased),
+          NeighborSampler::SampleNodeFlow(hub, {1}, 2, 3, &rng,
+                                          SamplingStrategy::kDegreeBiased)}) {
+      picks.insert(picks.end(), flow.entities.begin(), flow.entities.end());
+    }
+    return picks;
+  };
+  EXPECT_EQ(run(), run());
+}
+
 TEST(SamplerTest, DepthZeroFlowIsJustSeeds) {
   KnowledgeGraph kg(5, 1, {{0, 0, 1}});
   Rng rng(53);

@@ -219,6 +219,43 @@ TEST(KernelTest, SumDotSquaredNorm) {
   EXPECT_FLOAT_EQ(Dot(3, x.data(), y.data()), 2.0f);
 }
 
+TEST(KernelTest, SumPairwiseAccurateOnLargeArrays) {
+  // Pairwise (cascade) summation keeps rounding error O(log n) instead of
+  // the naive loop's O(n). One million uniform values drift the naive float
+  // sum by hundreds of ulps; the pairwise result must stay within a tight
+  // relative bound of the double-accumulated reference.
+  const int64_t n = 1 << 20;
+  std::vector<float> x(static_cast<size_t>(n));
+  Rng rng(13);
+  double reference = 0.0;
+  float naive = 0.0f;
+  for (auto& v : x) {
+    v = rng.UniformFloat();
+    reference += static_cast<double>(v);
+    naive += v;
+  }
+  const float pairwise = Sum(n, x.data());
+  const double pairwise_err =
+      std::abs(static_cast<double>(pairwise) - reference);
+  const double naive_err = std::abs(static_cast<double>(naive) - reference);
+  EXPECT_LT(pairwise_err, reference * 1e-6);
+  EXPECT_LE(pairwise_err, naive_err);
+}
+
+TEST(KernelTest, SumExactForOddAndTinySizes) {
+  // The pairwise recursion splits on arbitrary boundaries; integer-valued
+  // floats must still sum exactly at every size crossing the base case.
+  for (int64_t n = 1; n <= 33; ++n) {
+    std::vector<float> x(static_cast<size_t>(n));
+    float expected = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      x[static_cast<size_t>(i)] = static_cast<float>(i + 1);
+      expected += static_cast<float>(i + 1);
+    }
+    EXPECT_FLOAT_EQ(Sum(n, x.data()), expected) << "n=" << n;
+  }
+}
+
 // --- initializers ---
 
 TEST(InitTest, XavierUniformBounds) {

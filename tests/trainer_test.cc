@@ -11,10 +11,15 @@
 #include <string>
 #include <vector>
 
+#include "autograd/ops.h"
 #include "common/logging.h"
 #include "data/synthetic.h"
+#include "models/parallel_trainer.h"
 #include "models/registry.h"
 #include "models/trainer_util.h"
+#include "nn/adam.h"
+#include "nn/embedding.h"
+#include "nn/parameter.h"
 
 namespace cgkgr {
 namespace models {
@@ -192,6 +197,105 @@ TEST(TrainingLoopTest, MetricsJsonlWritesOneRowPerEpoch) {
   EXPECT_NE(lines[0].find("\"epoch\": 1"), std::string::npos);
   EXPECT_NE(lines[0].find("\"samples_per_sec\""), std::string::npos);
   std::remove(path.c_str());
+}
+
+// --- parallel trainer ---
+
+TEST(ParallelTrainerTest, BitIdenticalAcrossThreadCountsForModelZoo) {
+  // The determinism contract (parallel_trainer.h): for a fixed seed, the
+  // loss curve and the trained parameters are bit-identical for every
+  // num_threads. Exact equality on doubles/floats is intentional.
+  const data::Dataset d = SmallDataset();
+  data::PresetHyperParams hparams;
+  hparams.embedding_dim = 8;
+  hparams.depth = 2;
+  hparams.user_sample_size = 4;
+  hparams.item_sample_size = 3;
+  hparams.kg_sample_size = 3;
+  hparams.num_heads = 2;
+  for (const auto& name : AllModelNames()) {
+    std::vector<double> serial_losses;
+    std::vector<float> serial_scores;
+    for (const int64_t threads : {1, 2, 4}) {
+      auto model = CreateModel(name, hparams);
+      TrainOptions options;
+      options.max_epochs = 2;
+      options.patience = 2;
+      options.batch_size = 48;  // 3 shards per full batch at 16 rows/shard
+      options.seed = 17;
+      options.num_threads = threads;
+      ASSERT_TRUE(model->Fit(d, options).ok()) << name;
+      std::vector<float> scores;
+      model->ScorePairs({0, 1, 2, 3}, {5, 6, 7, 8}, &scores);
+      if (threads == 1) {
+        serial_losses = model->train_stats().epoch_losses;
+        serial_scores = scores;
+        continue;
+      }
+      EXPECT_EQ(model->train_stats().epoch_losses, serial_losses)
+          << name << " threads=" << threads;
+      ASSERT_EQ(scores.size(), serial_scores.size());
+      for (size_t i = 0; i < scores.size(); ++i) {
+        EXPECT_EQ(scores[i], serial_scores[i])
+            << name << " threads=" << threads << " score " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelTrainerTest, GradReductionMatchesSerialUnderHammer) {
+  // Direct harness over ParallelTrainer: a BPR matrix-factorization loss,
+  // eight epochs, six shards per batch on up to four lanes. Every parameter
+  // element must match the serial run exactly. Under TSan (tools/check.sh
+  // with CGKGR_CHECK_TSAN=1) this doubles as the concurrency hammer for
+  // GradSinkGuard, the shard tasks, and the tree reduction.
+  const auto train = MakeTrain(32, 12);
+  const auto positives = data::Dataset::BuildPositives(train, 32);
+
+  auto run = [&](int64_t threads) {
+    TrainOptions options;
+    options.batch_size = 96;  // 6 shards per batch
+    options.seed = 7;
+    options.num_threads = threads;
+    nn::ParameterStore store;
+    Rng init_rng(11);
+    nn::EmbeddingTable users(&store, "u", 32, 16, &init_rng);
+    nn::EmbeddingTable items(&store, "i", 50, 16, &init_rng);
+    nn::AdamOptimizer optimizer(store.parameters(), nn::AdamOptions());
+    ParallelTrainer trainer(options, &store, &optimizer);
+    EXPECT_EQ(trainer.num_threads(), threads);
+    auto loss_fn = [&](const TrainBatch& batch, Rng* /*rng*/) {
+      autograd::Variable u = users.Lookup(batch.users);
+      autograd::Variable p = items.Lookup(batch.positive_items);
+      autograd::Variable n = items.Lookup(batch.negative_items);
+      return autograd::BPRLoss(autograd::RowDot(u, p),
+                               autograd::RowDot(u, n));
+    };
+    Rng epoch_rng(options.seed);
+    std::vector<double> losses;
+    for (int epoch = 0; epoch < 8; ++epoch) {
+      losses.push_back(
+          trainer.RunEpoch(train, positives, 50, &epoch_rng, loss_fn));
+    }
+    std::vector<float> flat;
+    for (const auto& param : store.parameters()) {
+      const tensor::Tensor& v = param.value();
+      flat.insert(flat.end(), v.data(), v.data() + v.size());
+    }
+    return std::make_pair(losses, flat);
+  };
+
+  const auto serial = run(1);
+  EXPECT_GT(serial.first.front(), serial.first.back());  // it learns
+  for (const int64_t threads : {2, 4}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(parallel.first, serial.first) << "threads=" << threads;
+    ASSERT_EQ(parallel.second.size(), serial.second.size());
+    for (size_t i = 0; i < serial.second.size(); ++i) {
+      ASSERT_EQ(parallel.second[i], serial.second[i])
+          << "threads=" << threads << " param element " << i;
+    }
+  }
 }
 
 }  // namespace

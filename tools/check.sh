@@ -10,6 +10,11 @@
 #      Skipped with a notice when clang++ is not installed (under GCC the
 #      CGKGR_* annotation macros compile away, so there is nothing to
 #      check locally — CI images with clang get the full analysis).
+#   3. ThreadSanitizer run of the concurrency-heavy tests (thread_pool_test,
+#      trainer_test — the latter hammers the parallel training engine's
+#      GradSinkGuard/reduction path). Opt-in via CGKGR_CHECK_TSAN=1: the
+#      TSan configure+build takes minutes, so it is not part of the ctest
+#      repo_lint gate.
 #
 # Exit status: 0 iff every available check passed.
 set -u
@@ -41,6 +46,25 @@ if command -v clang++ >/dev/null 2>&1; then
 else
   echo "== clang -Wthread-safety: SKIPPED (clang++ not installed;" \
        "annotations compile away under GCC) =="
+fi
+
+if [ "${CGKGR_CHECK_TSAN:-0}" = "1" ]; then
+  echo "== ThreadSanitizer (thread_pool_test, trainer_test) =="
+  tsan_dir="build-tsan"
+  cmake -B "$tsan_dir" -S . -DCGKGR_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null || fail=1
+  if [ "$fail" -eq 0 ]; then
+    cmake --build "$tsan_dir" -j"$(nproc)" \
+      --target thread_pool_test trainer_test > /dev/null || fail=1
+  fi
+  if [ "$fail" -eq 0 ]; then
+    for t in thread_pool_test trainer_test; do
+      echo "  $t"
+      "$tsan_dir/tests/$t" > /dev/null || fail=1
+    done
+  fi
+else
+  echo "== ThreadSanitizer: SKIPPED (set CGKGR_CHECK_TSAN=1 to enable) =="
 fi
 
 if [ "$fail" -eq 0 ]; then

@@ -31,7 +31,13 @@ Enforced rules (each finding prints as ``path:line: [rule] message``):
   raw-histogram      A class/struct named *Histogram declared outside
                      src/obs/. Histograms live in the metrics registry
                      (obs::Histogram); hand-rolled ones fragment telemetry
-                     the way the old serve::LatencyHistogram did.
+                     the way the old serve::LatencyHistogram did. Bare
+                     forward declarations (``class Histogram;``) are fine.
+  raw-thread         std::thread used in src/ outside common/thread_pool.
+                     All concurrency goes through cgkgr::ThreadPool so lane
+                     accounting, pool metrics, and the num_threads=1 inline
+                     guarantee hold everywhere (notably in the deterministic
+                     training engine, models/parallel_trainer.cc).
 
 Suppressions:
   line level:  trailing ``NOLINT`` or ``NOLINT(rule)`` comment
@@ -74,7 +80,11 @@ IWYU_MAP = [
 ADHOC_TIMING_ALLOWLIST = ("src/common/timer.h",)
 ADHOC_TIMING_RE = re.compile(
     r"\bstd::chrono\b|\b(?:steady_clock|high_resolution_clock|system_clock)\b")
-RAW_HISTOGRAM_RE = re.compile(r"\b(?:class|struct)\s+\w*Histogram\b")
+RAW_HISTOGRAM_RE = re.compile(r"\b(?:class|struct)\s+\w*Histogram\b(?!\s*;)")
+
+# Files allowed to touch std::thread directly: the pool implementation.
+RAW_THREAD_ALLOWLIST = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
+RAW_THREAD_RE = re.compile(r"\bstd::thread\b")
 
 PRINTF_RE = re.compile(
     r"\b(?:v?f?printf|v?s?n?printf|puts|fputs|putchar|fputc)\s*\(")
@@ -223,6 +233,11 @@ class Linter:
                 check("raw-histogram", RAW_HISTOGRAM_RE,
                       "hand-rolled histogram type outside src/obs/; use "
                       "obs::Histogram via the MetricsRegistry")
+            if rel.startswith("src/") and rel not in RAW_THREAD_ALLOWLIST:
+                check("raw-thread", RAW_THREAD_RE,
+                      "raw std::thread outside common/thread_pool; use "
+                      "cgkgr::ThreadPool so lane accounting and pool "
+                      "metrics stay accurate")
 
         if rel.startswith("src/") and "iwyu-project" not in file_allows:
             blob = "\n".join(code_blob_lines)
@@ -231,6 +246,12 @@ class Linter:
                     continue
                 m = symbol_re.search(blob)
                 if m:
+                    # A forward declaration is the IWYU-sanctioned way to
+                    # name a type used only by pointer/reference.
+                    fwd = re.compile(r"\b(?:class|struct)\s+"
+                                     + re.escape(m.group(0)) + r"\s*;")
+                    if fwd.search(blob):
+                        continue
                     lineno = blob[:m.start()].count("\n") + 1
                     self.emit(path, lineno, "iwyu-project",
                               f"uses '{m.group(0)}' without directly "
