@@ -16,8 +16,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "common/flags.h"
@@ -138,10 +141,27 @@ int main(int argc, char** argv) {
               static_cast<double>(num_queries) / seconds,
               (long long)options.num_threads);
 
-  // 6. Serving counters.
+  // 6. Hot-reload: a trainer publishes numbered snapshots into a watched
+  // directory (atomic rename, so a reader never sees a torn file) and the
+  // engine picks up the newest valid one. A half-written file is skipped
+  // with a logged warning — corruption never takes the engine down.
+  const std::string watch_dir = path + ".d";
+  std::error_code ec;
+  std::filesystem::create_directories(watch_dir, ec);
+  st = serve::SaveSnapshot(snapshot, watch_dir + "/snap-000001.snap");
+  if (st.ok()) {
+    { std::ofstream torn(watch_dir + "/snap-000002.snap"); torn << "CGKG"; }
+    st = engine.ReloadFromDir(watch_dir);
+    std::printf("hot-reload from %s: %s (reloads=%lld)\n", watch_dir.c_str(),
+                st.ok() ? "picked newest valid snapshot"
+                        : st.ToString().c_str(),
+                (long long)engine.stats().snapshot_reloads);
+  }
+
+  // 7. Serving counters.
   std::printf("%s", engine.stats().ToTable().c_str());
 
-  // 7. Whole-process telemetry: every instrument (trainer, serve engine,
+  // 8. Whole-process telemetry: every instrument (trainer, serve engine,
   // LRU cache, thread pool) that accumulated during the run.
   if (flags.GetBool("metrics")) {
     std::printf("\n== metrics registry ==\n%s",

@@ -1,5 +1,6 @@
 #include "baselines/bprmf.h"
 
+#include "ckpt/checkpoint.h"
 #include "autograd/ops.h"
 #include "common/macros.h"
 #include "models/parallel_trainer.h"
@@ -37,13 +38,13 @@ Status BprMf::Fit(const data::Dataset& dataset,
     return autograd::BPRLoss(autograd::RowDot(vu, vpos),
                              autograd::RowDot(vu, vneg));
   };
-  auto run_epoch = [&](Rng* rng) {
+  auto run_epoch = [&](int64_t /*epoch*/, Rng* rng) {
     return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
                             rng, loss_fn);
   };
 
-  return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,
-                                 &stats_);
+  return models::RunTrainingLoop(this, &store_, &optimizer, dataset, options,
+                                 run_epoch, &stats_);
 }
 
 void BprMf::ScorePairs(const std::vector<int64_t>& users,
@@ -60,6 +61,23 @@ void BprMf::ScorePairs(const std::vector<int64_t>& users,
     (*out)[p] = tensor::Dot(d, u.data() + users[p] * d,
                             i.data() + items[p] * d);
   }
+}
+
+// Persistence: every parameter in creation order
+// under one named section (validated on load).
+void BprMf::SaveState(ckpt::Writer* writer) const {
+  CGKGR_CHECK_MSG(fitted_, "SaveState before Fit");
+  writer->BeginSection("model/" + name());
+  ckpt::WriteParameterStore(store_, writer);
+}
+
+Status BprMf::LoadState(ckpt::Reader* reader) {
+  if (!fitted_) {
+    return Status::InvalidArgument("LoadState before Fit/Prepare: " + name());
+  }
+  CGKGR_RETURN_NOT_OK(reader->ExpectSection("model/" + name()));
+  CGKGR_RETURN_NOT_OK(ckpt::ReadParameterStore(reader, &store_));
+  return Status::OK();
 }
 
 }  // namespace baselines

@@ -28,6 +28,10 @@ class BprMf : public models::RecommenderModel {
                   const std::vector<int64_t>& items,
                   std::vector<float>* out) override;
 
+  /// models::RecommenderModel persistence API (see docs/checkpointing.md).
+  void SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(ckpt::Reader* reader) override;
+
   /// Read-only access to the learned tables (KGAT pre-trains from these,
   /// as the paper recommends).
   const nn::EmbeddingTable& user_table() const { return *user_table_; }

@@ -1,5 +1,6 @@
 #include "baselines/ckan.h"
 
+#include "ckpt/checkpoint.h"
 #include "autograd/ops.h"
 #include "common/macros.h"
 #include "models/parallel_trainer.h"
@@ -60,13 +61,13 @@ Status Ckan::Fit(const data::Dataset& dataset,
               1.0f);
     return autograd::BCEWithLogits(scores, std::move(labels));
   };
-  auto run_epoch = [&](Rng* rng) {
+  auto run_epoch = [&](int64_t /*epoch*/, Rng* rng) {
     return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
                             rng, loss_fn);
   };
 
-  return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,
-                                 &stats_);
+  return models::RunTrainingLoop(this, &store_, &optimizer, dataset, options,
+                                 run_epoch, &stats_);
 }
 
 Variable Ckan::PropagateHops(const graph::NodeFlow& flow,
@@ -145,6 +146,25 @@ void Ckan::ScorePairs(const std::vector<int64_t>& users,
       (*out)[i] = scores.value()[static_cast<int64_t>(i - begin)];
     }
   }
+}
+
+// Persistence: every parameter in creation order, plus the eval RNG stream
+// under one named section (validated on load).
+void Ckan::SaveState(ckpt::Writer* writer) const {
+  CGKGR_CHECK_MSG(fitted_, "SaveState before Fit");
+  writer->BeginSection("model/" + name());
+  ckpt::WriteParameterStore(store_, writer);
+  ckpt::WriteRngState(eval_rng_, writer);
+}
+
+Status Ckan::LoadState(ckpt::Reader* reader) {
+  if (!fitted_) {
+    return Status::InvalidArgument("LoadState before Fit/Prepare: " + name());
+  }
+  CGKGR_RETURN_NOT_OK(reader->ExpectSection("model/" + name()));
+  CGKGR_RETURN_NOT_OK(ckpt::ReadParameterStore(reader, &store_));
+  CGKGR_RETURN_NOT_OK(ckpt::ReadRngState(reader, &eval_rng_));
+  return Status::OK();
 }
 
 }  // namespace baselines

@@ -1,5 +1,6 @@
 #include "baselines/cke.h"
 
+#include "ckpt/checkpoint.h"
 #include "autograd/ops.h"
 #include "common/macros.h"
 #include "models/parallel_trainer.h"
@@ -85,13 +86,13 @@ Status Cke::Fit(const data::Dataset& dataset,
     Variable kg_loss = autograd::BPRLoss(neg_distance, pos_distance);
     return autograd::Add(loss, autograd::Scale(kg_loss, kKgLossWeight));
   };
-  auto run_epoch = [&](Rng* rng) {
+  auto run_epoch = [&](int64_t /*epoch*/, Rng* rng) {
     return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
                             rng, loss_fn);
   };
 
-  return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,
-                                 &stats_);
+  return models::RunTrainingLoop(this, &store_, &optimizer, dataset, options,
+                                 run_epoch, &stats_);
 }
 
 Variable Cke::ItemRepr(const std::vector<int64_t>& items) {
@@ -122,6 +123,23 @@ void Cke::ScorePairs(const std::vector<int64_t>& users,
       autograd::RowDot(user_table_->Lookup(users), ItemRepr(items));
   out->assign(scores.value().data(),
               scores.value().data() + scores.value().size());
+}
+
+// Persistence: every parameter in creation order
+// under one named section (validated on load).
+void Cke::SaveState(ckpt::Writer* writer) const {
+  CGKGR_CHECK_MSG(fitted_, "SaveState before Fit");
+  writer->BeginSection("model/" + name());
+  ckpt::WriteParameterStore(store_, writer);
+}
+
+Status Cke::LoadState(ckpt::Reader* reader) {
+  if (!fitted_) {
+    return Status::InvalidArgument("LoadState before Fit/Prepare: " + name());
+  }
+  CGKGR_RETURN_NOT_OK(reader->ExpectSection("model/" + name()));
+  CGKGR_RETURN_NOT_OK(ckpt::ReadParameterStore(reader, &store_));
+  return Status::OK();
 }
 
 }  // namespace baselines

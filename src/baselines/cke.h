@@ -31,6 +31,10 @@ class Cke : public models::RecommenderModel {
                   const std::vector<int64_t>& items,
                   std::vector<float>* out) override;
 
+  /// models::RecommenderModel persistence API (see docs/checkpointing.md).
+  void SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(ckpt::Reader* reader) override;
+
  private:
   autograd::Variable ItemRepr(const std::vector<int64_t>& items);
 

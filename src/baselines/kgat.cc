@@ -1,5 +1,6 @@
 #include "baselines/kgat.h"
 
+#include "ckpt/checkpoint.h"
 #include "autograd/ops.h"
 #include "common/macros.h"
 #include "models/parallel_trainer.h"
@@ -68,7 +69,6 @@ Status Kgat::Fit(const data::Dataset& dataset,
   fitted_ = true;
   eval_rng_ = Rng(options.seed ^ 0x6B6761740000EEEEULL);
 
-  int64_t epoch_index = 0;
   bool pretrain = false;  // epoch 1: BPRMF-style warm start
   models::ParallelTrainer trainer(options, &store_, &optimizer);
   auto loss_fn = [&](const models::TrainBatch& batch, Rng* rng) {
@@ -110,9 +110,10 @@ Status Kgat::Fit(const data::Dataset& dataset,
                                          TransRDistance(heads, rels, tails));
     return autograd::Add(loss, autograd::Scale(kg_loss, kKgLossWeight));
   };
-  auto run_epoch = [&](Rng* rng) {
-    ++epoch_index;
-    pretrain = epoch_index == 1;
+  auto run_epoch = [&](int64_t epoch, Rng* rng) {
+    // Derived from the loop's true epoch number (not a captured counter) so
+    // the warm-up stage is not replayed after a checkpoint resume.
+    pretrain = epoch == 1;
     // The warm-up epoch intentionally bypasses Propagate, so the
     // bi-interaction layers are declared frozen for lint purposes.
     analysis::TapeLintOptions lint_options;
@@ -121,8 +122,8 @@ Status Kgat::Fit(const data::Dataset& dataset,
                             rng, loss_fn, lint_options);
   };
 
-  return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,
-                                 &stats_);
+  return models::RunTrainingLoop(this, &store_, &optimizer, dataset, options,
+                                 run_epoch, &stats_);
 }
 
 Variable Kgat::Propagate(const std::vector<int64_t>& nodes, Rng* rng) {
@@ -201,6 +202,25 @@ void Kgat::ScorePairs(const std::vector<int64_t>& users,
       (*out)[i] = scores.value()[static_cast<int64_t>(i - begin)];
     }
   }
+}
+
+// Persistence: every parameter in creation order, plus the eval RNG stream
+// under one named section (validated on load).
+void Kgat::SaveState(ckpt::Writer* writer) const {
+  CGKGR_CHECK_MSG(fitted_, "SaveState before Fit");
+  writer->BeginSection("model/" + name());
+  ckpt::WriteParameterStore(store_, writer);
+  ckpt::WriteRngState(eval_rng_, writer);
+}
+
+Status Kgat::LoadState(ckpt::Reader* reader) {
+  if (!fitted_) {
+    return Status::InvalidArgument("LoadState before Fit/Prepare: " + name());
+  }
+  CGKGR_RETURN_NOT_OK(reader->ExpectSection("model/" + name()));
+  CGKGR_RETURN_NOT_OK(ckpt::ReadParameterStore(reader, &store_));
+  CGKGR_RETURN_NOT_OK(ckpt::ReadRngState(reader, &eval_rng_));
+  return Status::OK();
 }
 
 }  // namespace baselines

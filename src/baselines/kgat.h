@@ -40,6 +40,10 @@ class Kgat : public models::RecommenderModel {
                   const std::vector<int64_t>& items,
                   std::vector<float>* out) override;
 
+  /// models::RecommenderModel persistence API (see docs/checkpointing.md).
+  void SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(ckpt::Reader* reader) override;
+
  private:
   /// Node id of a user in the unified graph (entities come first).
   int64_t UserNode(int64_t user) const { return num_entities_ + user; }

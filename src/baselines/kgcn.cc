@@ -1,5 +1,6 @@
 #include "baselines/kgcn.h"
 
+#include "ckpt/checkpoint.h"
 #include "autograd/ops.h"
 #include "common/macros.h"
 #include "models/parallel_trainer.h"
@@ -58,13 +59,13 @@ Status Kgcn::Fit(const data::Dataset& dataset,
   auto loss_fn = [&](const models::TrainBatch& batch, Rng* rng) {
     return ComputeBatchLoss(batch, rng);
   };
-  auto run_epoch = [&](Rng* rng) {
+  auto run_epoch = [&](int64_t /*epoch*/, Rng* rng) {
     return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
                             rng, loss_fn);
   };
 
-  return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,
-                                 &stats_);
+  return models::RunTrainingLoop(this, &store_, &optimizer, dataset, options,
+                                 run_epoch, &stats_);
 }
 
 Variable Kgcn::ComputeBatchLoss(const models::TrainBatch& batch, Rng* rng) {
@@ -202,6 +203,25 @@ void Kgcn::ScorePairs(const std::vector<int64_t>& users,
       (*out)[i] = scores.value()[static_cast<int64_t>(i - begin)];
     }
   }
+}
+
+// Persistence: every parameter in creation order, plus the eval RNG stream
+// under one named section (validated on load).
+void Kgcn::SaveState(ckpt::Writer* writer) const {
+  CGKGR_CHECK_MSG(fitted_, "SaveState before Fit");
+  writer->BeginSection("model/" + name());
+  ckpt::WriteParameterStore(store_, writer);
+  ckpt::WriteRngState(eval_rng_, writer);
+}
+
+Status Kgcn::LoadState(ckpt::Reader* reader) {
+  if (!fitted_) {
+    return Status::InvalidArgument("LoadState before Fit/Prepare: " + name());
+  }
+  CGKGR_RETURN_NOT_OK(reader->ExpectSection("model/" + name()));
+  CGKGR_RETURN_NOT_OK(ckpt::ReadParameterStore(reader, &store_));
+  CGKGR_RETURN_NOT_OK(ckpt::ReadRngState(reader, &eval_rng_));
+  return Status::OK();
 }
 
 }  // namespace baselines

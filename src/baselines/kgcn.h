@@ -34,6 +34,10 @@ class Kgcn : public models::RecommenderModel {
                   const std::vector<int64_t>& items,
                   std::vector<float>* out) override;
 
+  /// models::RecommenderModel persistence API (see docs/checkpointing.md).
+  void SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(ckpt::Reader* reader) override;
+
  protected:
   /// Scores for a sampled batch. When `ls_prediction` is non-null (used by
   /// the KGNN-LS subclass), the label-propagation estimate of the seed

@@ -1,5 +1,6 @@
 #include "baselines/nfm.h"
 
+#include "ckpt/checkpoint.h"
 #include "autograd/ops.h"
 #include "common/macros.h"
 #include "models/parallel_trainer.h"
@@ -57,13 +58,13 @@ Status Nfm::Fit(const data::Dataset& dataset,
               1.0f);
     return autograd::BCEWithLogits(scores, std::move(labels));
   };
-  auto run_epoch = [&](Rng* rng) {
+  auto run_epoch = [&](int64_t /*epoch*/, Rng* rng) {
     return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
                             rng, loss_fn);
   };
 
-  return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,
-                                 &stats_);
+  return models::RunTrainingLoop(this, &store_, &optimizer, dataset, options,
+                                 run_epoch, &stats_);
 }
 
 Variable Nfm::Forward(const std::vector<int64_t>& users,
@@ -93,6 +94,23 @@ void Nfm::ScorePairs(const std::vector<int64_t>& users,
   Variable scores = Forward(users, items);
   out->assign(scores.value().data(),
               scores.value().data() + scores.value().size());
+}
+
+// Persistence: every parameter in creation order
+// under one named section (validated on load).
+void Nfm::SaveState(ckpt::Writer* writer) const {
+  CGKGR_CHECK_MSG(fitted_, "SaveState before Fit");
+  writer->BeginSection("model/" + name());
+  ckpt::WriteParameterStore(store_, writer);
+}
+
+Status Nfm::LoadState(ckpt::Reader* reader) {
+  if (!fitted_) {
+    return Status::InvalidArgument("LoadState before Fit/Prepare: " + name());
+  }
+  CGKGR_RETURN_NOT_OK(reader->ExpectSection("model/" + name()));
+  CGKGR_RETURN_NOT_OK(ckpt::ReadParameterStore(reader, &store_));
+  return Status::OK();
 }
 
 }  // namespace baselines

@@ -30,6 +30,10 @@ class Nfm : public models::RecommenderModel {
                   const std::vector<int64_t>& items,
                   std::vector<float>* out) override;
 
+  /// models::RecommenderModel persistence API (see docs/checkpointing.md).
+  void SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(ckpt::Reader* reader) override;
+
  private:
   autograd::Variable Forward(const std::vector<int64_t>& users,
                              const std::vector<int64_t>& items);

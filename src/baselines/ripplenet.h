@@ -31,6 +31,10 @@ class RippleNet : public models::RecommenderModel {
                   const std::vector<int64_t>& items,
                   std::vector<float>* out) override;
 
+  /// models::RecommenderModel persistence API (see docs/checkpointing.md).
+  void SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(ckpt::Reader* reader) override;
+
  private:
   /// Per-user, per-hop fixed-size triplet memory.
   struct RippleSet {

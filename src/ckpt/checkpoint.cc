@@ -1,0 +1,235 @@
+#include "ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace cgkgr {
+namespace ckpt {
+
+namespace {
+
+const char kManifestMagic[] = "cgkgr-manifest-v1";
+
+std::atomic<bool> g_shutdown_requested{false};
+
+void ShutdownSignalHandler(int /*signum*/) {
+  // Only an atomic store: async-signal-safe.
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Result<Manifest> ReadManifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestName;
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) {
+    return Status::NotFound("no manifest at " + path + ": " +
+                            contents.status().message());
+  }
+  const std::vector<std::string> lines = Split(contents.value(), '\n');
+  if (lines.empty() || lines[0] != kManifestMagic) {
+    return Status::InvalidArgument("bad manifest header in " + path);
+  }
+  Manifest manifest;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const std::vector<std::string> fields = Split(lines[i], ' ');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: malformed manifest row \"%s\"", path.c_str(),
+                    i + 1, lines[i].c_str()));
+    }
+    ManifestEntry entry;
+    entry.file = fields[0];
+    if (entry.file.empty() || entry.file.find('/') != std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: manifest file name \"%s\" must be a bare name",
+                    path.c_str(), i + 1, entry.file.c_str()));
+    }
+    char* end = nullptr;
+    entry.epoch = std::strtoll(fields[1].c_str(), &end, 10);
+    if (end != fields[1].c_str() + fields[1].size()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: malformed epoch \"%s\"", path.c_str(), i + 1,
+                    fields[1].c_str()));
+    }
+    // %a hex floats round-trip the metric exactly.
+    entry.metric = std::strtod(fields[2].c_str(), &end);
+    if (end != fields[2].c_str() + fields[2].size()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: malformed metric \"%s\"", path.c_str(), i + 1,
+                    fields[2].c_str()));
+    }
+    manifest.entries.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+Status WriteManifest(const std::string& dir, const Manifest& manifest) {
+  std::string contents = kManifestMagic;
+  contents += '\n';
+  for (const ManifestEntry& entry : manifest.entries) {
+    CGKGR_CHECK_MSG(entry.file.find('/') == std::string::npos,
+                    "manifest entry must be a bare file name: %s",
+                    entry.file.c_str());
+    contents += StrFormat("%s %lld %a\n", entry.file.c_str(),
+                          static_cast<long long>(entry.epoch), entry.metric);
+  }
+  return AtomicWriteFile(dir + "/" + kManifestName, contents);
+}
+
+Status ApplyRetention(const std::string& dir, Manifest* manifest,
+                      const RetentionOptions& options) {
+  CGKGR_CHECK(manifest != nullptr);
+  if (options.keep_last <= 0 ||
+      static_cast<int64_t>(manifest->entries.size()) <= options.keep_last) {
+    return Status::OK();
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < manifest->entries.size(); ++i) {
+    if (manifest->entries[i].metric > manifest->entries[best].metric) {
+      best = i;
+    }
+  }
+  const size_t first_kept =
+      manifest->entries.size() - static_cast<size_t>(options.keep_last);
+  std::vector<ManifestEntry> kept;
+  std::vector<std::string> dropped;
+  for (size_t i = 0; i < manifest->entries.size(); ++i) {
+    if (i >= first_kept || (options.keep_best && i == best)) {
+      kept.push_back(manifest->entries[i]);
+    } else {
+      dropped.push_back(manifest->entries[i].file);
+    }
+  }
+  manifest->entries = std::move(kept);
+  // Manifest first, files second: a crash between the two leaves orphan
+  // files (harmless, swept next time), never a manifest row with no file.
+  CGKGR_RETURN_NOT_OK(WriteManifest(dir, *manifest));
+  for (const std::string& file : dropped) {
+    if (std::remove((dir + "/" + file).c_str()) != 0) {
+      CGKGR_LOG(Warning) << "checkpoint retention could not remove "
+                         << dir << "/" << file;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Reader> OpenLatestValid(const std::string& dir, ManifestEntry* entry) {
+  static obs::Counter* invalid_skipped =
+      obs::MetricsRegistry::Default().GetCounter("ckpt_invalid_skipped_total");
+  Result<Manifest> manifest = ReadManifest(dir);
+  if (!manifest.ok()) return manifest.status();
+  const std::vector<ManifestEntry>& entries = manifest.value().entries;
+  for (size_t i = entries.size(); i > 0; --i) {
+    const ManifestEntry& candidate = entries[i - 1];
+    Result<Reader> reader = Reader::Open(dir + "/" + candidate.file);
+    if (reader.ok()) {
+      if (entry != nullptr) *entry = candidate;
+      return reader;
+    }
+    invalid_skipped->Increment();
+    CGKGR_LOG(Warning) << "skipping invalid checkpoint "
+                       << Kv("file", dir + "/" + candidate.file)
+                       << Kv("error", reader.status().ToString());
+  }
+  return Status::NotFound("no valid checkpoint in " + dir + " (" +
+                          std::to_string(entries.size()) +
+                          " manifest entries, all invalid)");
+}
+
+void WriteParameterStore(const nn::ParameterStore& store, Writer* writer) {
+  CGKGR_CHECK(writer != nullptr);
+  writer->BeginSection("params");
+  const std::vector<std::string> names = store.Names();
+  const std::vector<autograd::Variable>& parameters = store.parameters();
+  writer->WriteU64(parameters.size());
+  for (size_t p = 0; p < parameters.size(); ++p) {
+    writer->WriteString(names[p]);
+    writer->WriteTensor(parameters[p].value());
+  }
+}
+
+Status ReadParameterStore(Reader* reader, nn::ParameterStore* store) {
+  CGKGR_CHECK(reader != nullptr && store != nullptr);
+  CGKGR_RETURN_NOT_OK(reader->ExpectSection("params"));
+  uint64_t count = 0;
+  CGKGR_RETURN_NOT_OK(reader->ReadU64(&count));
+  if (count != store->parameters().size()) {
+    return Status::InvalidArgument(StrFormat(
+        "parameter count mismatch: checkpoint has %llu, store has %zu",
+        static_cast<unsigned long long>(count), store->parameters().size()));
+  }
+  const std::vector<std::string> names = store->Names();
+  for (uint64_t p = 0; p < count; ++p) {
+    std::string name;
+    CGKGR_RETURN_NOT_OK(reader->ReadString(&name));
+    if (name != names[static_cast<size_t>(p)]) {
+      return Status::InvalidArgument(StrFormat(
+          "parameter order mismatch at index %llu: checkpoint has \"%s\", "
+          "store has \"%s\"", static_cast<unsigned long long>(p),
+          name.c_str(), names[static_cast<size_t>(p)].c_str()));
+    }
+    tensor::Tensor value;
+    CGKGR_RETURN_NOT_OK(reader->ReadTensor(&value));
+    autograd::Variable param = store->Get(name);
+    if (value.shape() != param.value().shape()) {
+      return Status::InvalidArgument(
+          StrFormat("shape mismatch for \"%s\": checkpoint %s, store %s",
+                    name.c_str(), value.ShapeString().c_str(),
+                    param.value().ShapeString().c_str()));
+    }
+    tensor::Tensor& dst = *param.mutable_value();
+    std::copy(value.data(), value.data() + value.size(), dst.data());
+  }
+  return Status::OK();
+}
+
+void WriteRngState(const Rng& rng, Writer* writer) {
+  CGKGR_CHECK(writer != nullptr);
+  const RngState state = rng.SaveState();
+  for (const uint64_t word : state.words) writer->WriteU64(word);
+  writer->WriteBool(state.has_cached_normal);
+  writer->WriteF32(state.cached_normal);
+}
+
+Status ReadRngState(Reader* reader, Rng* rng) {
+  CGKGR_CHECK(reader != nullptr && rng != nullptr);
+  RngState state;
+  for (uint64_t& word : state.words) {
+    CGKGR_RETURN_NOT_OK(reader->ReadU64(&word));
+  }
+  CGKGR_RETURN_NOT_OK(reader->ReadBool(&state.has_cached_normal));
+  CGKGR_RETURN_NOT_OK(reader->ReadF32(&state.cached_normal));
+  rng->RestoreState(state);
+  return Status::OK();
+}
+
+void InstallShutdownHandler() {
+  std::signal(SIGINT, ShutdownSignalHandler);
+  std::signal(SIGTERM, ShutdownSignalHandler);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+void RequestShutdown() {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+void ClearShutdownRequest() {
+  g_shutdown_requested.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace ckpt
+}  // namespace cgkgr

@@ -1,0 +1,100 @@
+#ifndef CGKGR_CKPT_CHECKPOINT_H_
+#define CGKGR_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/io.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/parameter.h"
+
+namespace cgkgr {
+namespace ckpt {
+
+/// One published checkpoint as recorded in the directory MANIFEST.
+struct ManifestEntry {
+  /// File name within the checkpoint directory (no path separators).
+  std::string file;
+  /// 1-based training epoch the checkpoint captured.
+  int64_t epoch = 0;
+  /// Best eval metric observed up to that epoch (drives keep_best).
+  double metric = 0.0;
+};
+
+/// The MANIFEST of a checkpoint directory: an append-ordered list of the
+/// currently retained checkpoints, rewritten atomically after every
+/// publish. Readers trust only the manifest (a file present on disk but
+/// absent from the manifest is an unpublished orphan — e.g. the process
+/// died between the checkpoint rename and the manifest rename — and is
+/// ignored until retention sweeps it).
+struct Manifest {
+  std::vector<ManifestEntry> entries;
+};
+
+/// Name of the manifest file inside a checkpoint directory.
+inline constexpr char kManifestName[] = "MANIFEST";
+
+/// Parses `dir`/MANIFEST. NotFound when the directory has no manifest yet;
+/// InvalidArgument on a malformed one.
+Result<Manifest> ReadManifest(const std::string& dir);
+
+/// Atomically rewrites `dir`/MANIFEST.
+Status WriteManifest(const std::string& dir, const Manifest& manifest);
+
+/// Retention knobs for ApplyRetention.
+struct RetentionOptions {
+  /// Keep this many newest checkpoints (by manifest order). <= 0 keeps all.
+  int64_t keep_last = 3;
+  /// Additionally keep the entry with the best (highest) metric.
+  bool keep_best = true;
+};
+
+/// Drops manifest entries outside the retention window, rewrites the
+/// manifest, then unlinks the dropped files (in that order, so a crash
+/// mid-sweep never leaves the manifest pointing at a deleted file).
+Status ApplyRetention(const std::string& dir, Manifest* manifest,
+                      const RetentionOptions& options);
+
+/// Opens the newest manifest-listed checkpoint that validates, scanning
+/// backwards. Corrupt/missing entries (torn writes, stale manifest rows)
+/// are skipped with a logged warning and counted in the
+/// `ckpt_invalid_skipped_total` metric — corruption degrades to an older
+/// checkpoint, never a crash. NotFound when the directory has no manifest
+/// or no entry validates. On success `*entry` is the winning row.
+Result<Reader> OpenLatestValid(const std::string& dir, ManifestEntry* entry);
+
+/// Writes every parameter of `store` (count, then name/tensor pairs in
+/// creation order) as one "params" section.
+void WriteParameterStore(const nn::ParameterStore& store, Writer* writer);
+
+/// Restores a "params" section into `store`, validating parameter count,
+/// names, and shapes. The store must already be built identically (same
+/// model construction/Prepare path).
+Status ReadParameterStore(Reader* reader, nn::ParameterStore* store);
+
+/// Serializes an Rng's full state (xoshiro words + Box-Muller cache).
+void WriteRngState(const Rng& rng, Writer* writer);
+
+/// Restores state written by WriteRngState.
+Status ReadRngState(Reader* reader, Rng* rng);
+
+/// --- clean-shutdown signal -------------------------------------------
+///
+/// Training loops poll ShutdownRequested() at epoch boundaries: when set,
+/// they publish a final checkpoint and return cleanly (TrainStats::
+/// interrupted) instead of dying mid-epoch. InstallShutdownHandler routes
+/// SIGINT/SIGTERM into the flag (signal-safe: the handler only stores an
+/// atomic). Tests drive the flag directly via RequestShutdown/
+/// ClearShutdownRequest.
+
+void InstallShutdownHandler();
+bool ShutdownRequested();
+void RequestShutdown();
+void ClearShutdownRequest();
+
+}  // namespace ckpt
+}  // namespace cgkgr
+
+#endif  // CGKGR_CKPT_CHECKPOINT_H_

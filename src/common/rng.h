@@ -8,6 +8,16 @@
 
 namespace cgkgr {
 
+/// Complete serializable state of an Rng: the four xoshiro256** words plus
+/// the Box-Muller cached-normal slot. Restoring this state resumes the
+/// stream bit-exactly — the foundation of exact-resume checkpointing
+/// (ckpt::WriteRngState / ReadRngState).
+struct RngState {
+  uint64_t words[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  float cached_normal = 0.0f;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256** seeded via
 /// SplitMix64). One instance per logical stream; never shared across
 /// experiments so results reproduce bit-for-bit from a seed.
@@ -60,6 +70,13 @@ class Rng {
 
   /// Forks an independent stream (useful for per-worker determinism).
   Rng Fork();
+
+  /// Captures the full generator state for checkpointing.
+  RngState SaveState() const;
+
+  /// Restores state captured by SaveState(); the stream continues exactly
+  /// where the saved generator left off.
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

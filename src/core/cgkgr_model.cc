@@ -6,9 +6,10 @@
 #include "common/macros.h"
 #include "models/parallel_trainer.h"
 #include "models/trainer_util.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/io.h"
 #include "common/logging.h"
 #include "obs/trace.h"
-#include "nn/serialize.h"
 
 namespace cgkgr {
 namespace core {
@@ -89,18 +90,35 @@ Status CgKgrModel::Prepare(const data::Dataset& dataset, uint64_t seed) {
   return Status::OK();
 }
 
+// Persistence: every parameter in creation order under one named section
+// (validated on load). ScorePairs reseeds its sampling stream per call from
+// eval_seed_, so there is no stateful inference RNG to serialize.
+void CgKgrModel::SaveState(ckpt::Writer* writer) const {
+  CGKGR_CHECK_MSG(fitted_, "SaveState before Prepare/Fit");
+  writer->BeginSection("model/" + name());
+  ckpt::WriteParameterStore(store_, writer);
+}
+
+Status CgKgrModel::LoadState(ckpt::Reader* reader) {
+  if (!fitted_) {
+    return Status::InvalidArgument("LoadState before Prepare/Fit: " + name());
+  }
+  CGKGR_RETURN_NOT_OK(reader->ExpectSection("model/" + name()));
+  return ckpt::ReadParameterStore(reader, &store_);
+}
+
 Status CgKgrModel::SaveParameters(const std::string& path) const {
   if (!fitted_) {
     return Status::InvalidArgument("SaveParameters before Prepare/Fit");
   }
-  return nn::SaveParameters(store_, path);
+  return models::SaveModelState(*this, path);
 }
 
 Status CgKgrModel::LoadParameters(const std::string& path) {
   if (!fitted_) {
     return Status::InvalidArgument("LoadParameters before Prepare/Fit");
   }
-  return nn::LoadParameters(&store_, path);
+  return models::LoadModelState(this, path);
 }
 
 Status CgKgrModel::Fit(const data::Dataset& dataset,
@@ -137,13 +155,13 @@ Status CgKgrModel::Fit(const data::Dataset& dataset,
               1.0f);
     return autograd::BCEWithLogits(scores, std::move(labels));
   };
-  auto run_epoch = [&](Rng* rng) {
+  auto run_epoch = [&](int64_t /*epoch*/, Rng* rng) {
     return trainer.RunEpoch(dataset.train, all_positives, dataset.num_items,
                             rng, loss_fn);
   };
 
-  return models::RunTrainingLoop(this, &store_, dataset, options, run_epoch,
-                                 &stats_);
+  return models::RunTrainingLoop(this, &store_, &optimizer, dataset, options,
+                                 run_epoch, &stats_);
 }
 
 CgKgrModel::BatchGraph CgKgrModel::SampleBatch(

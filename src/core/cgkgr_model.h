@@ -45,16 +45,20 @@ class CgKgrModel : public models::RecommenderModel {
                   const std::vector<int64_t>& items,
                   std::vector<float>* out) override;
 
+  /// models::RecommenderModel persistence API (see docs/checkpointing.md).
+  void SaveState(ckpt::Writer* writer) const override;
+  Status LoadState(ckpt::Reader* reader) override;
+
   /// Builds graphs and (seed-initialized) parameters without training.
-  /// Fit() calls this internally; call it directly before LoadParameters()
-  /// to restore a previously trained model without retraining.
+  /// Fit() calls this internally; call it directly before LoadState() /
+  /// models::LoadModelState() to restore a previously trained model
+  /// without retraining.
   Status Prepare(const data::Dataset& dataset, uint64_t seed);
 
-  /// Persists all trained parameters (requires a prepared/fitted model).
+  /// Deprecated: thin wrapper over models::SaveModelState(*this, path).
   Status SaveParameters(const std::string& path) const;
 
-  /// Restores parameters written by SaveParameters() into a model prepared
-  /// with the same config and dataset dimensions.
+  /// Deprecated: thin wrapper over models::LoadModelState(this, path).
   Status LoadParameters(const std::string& path);
 
   /// The configuration this model was built with.

@@ -1,10 +1,35 @@
 #include "models/recommender.h"
 
+#include <utility>
+
+#include "ckpt/io.h"
+#include "common/macros.h"
+
 namespace cgkgr {
 namespace models {
 
 // RecommenderModel is an interface; the out-of-line key function anchors the
 // vtable in this translation unit.
+
+Status SaveModelState(const RecommenderModel& model, const std::string& path) {
+  ckpt::Writer writer;
+  model.SaveState(&writer);
+  return writer.Commit(path);
+}
+
+Status LoadModelState(RecommenderModel* model, const std::string& path) {
+  CGKGR_CHECK(model != nullptr);
+  Result<ckpt::Reader> reader = ckpt::Reader::Open(path);
+  if (!reader.ok()) return reader.status();
+  ckpt::Reader r = std::move(reader).value();
+  CGKGR_RETURN_NOT_OK(model->LoadState(&r));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        path + ": trailing records after model state — file was not written "
+               "by SaveModelState for this model");
+  }
+  return Status::OK();
+}
 
 }  // namespace models
 }  // namespace cgkgr

@@ -1,6 +1,7 @@
 #ifndef CGKGR_MODELS_RECOMMENDER_H_
 #define CGKGR_MODELS_RECOMMENDER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -9,11 +10,62 @@
 #include "eval/protocol.h"
 
 namespace cgkgr {
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 namespace models {
 
 /// Which eval-split metric drives early stopping. The paper tunes per
 /// task: ranking runs stop on Recall@20, CTR runs on AUC.
 enum class EarlyStopMetric { kAuc, kRecallAt20 };
+
+/// Crash-safe checkpointing knobs, nested in TrainOptions. When enabled()
+/// the training loop publishes an atomic, CRC-validated checkpoint of the
+/// full trainer state (parameters, Adam moments, RNG streams, epoch
+/// cursors, best-epoch snapshot) every `interval_epochs` epochs and on a
+/// clean-shutdown signal; `resume` continues a killed run bit-exactly.
+/// See docs/checkpointing.md.
+struct CheckpointOptions {
+  /// Checkpoint directory (must exist). Empty disables checkpointing; the
+  /// CGKGR_CKPT_DIR environment variable supplies a process-wide default
+  /// when this field is empty.
+  std::string directory;
+  /// Publish a checkpoint every this many epochs (>= 1).
+  int64_t interval_epochs = 1;
+  /// Retention: keep this many newest checkpoints (<= 0 keeps all) ...
+  int64_t keep_last = 3;
+  /// ... plus the checkpoint with the best eval metric.
+  bool keep_best = true;
+  /// Resume from the newest valid checkpoint in `directory` before
+  /// training (fresh start with a logged notice when none validates).
+  /// The CGKGR_CKPT_RESUME environment variable (any non-empty value)
+  /// supplies a process-wide default when this field is false.
+  bool resume = false;
+
+  /// True when a checkpoint directory is configured.
+  bool enabled() const { return !directory.empty(); }
+};
+
+/// Per-epoch observation handed to TrainOptions::epoch_callback after the
+/// epoch's eval (and after any checkpoint publish).
+struct EpochEvent {
+  /// 1-based epoch that just finished.
+  int64_t epoch = 0;
+  double loss = 0.0;
+  double eval_metric = 0.0;
+  double epoch_seconds = 0.0;
+  /// True when this epoch improved the early-stopping metric.
+  bool improved = false;
+  /// Path of the checkpoint published for this epoch (empty when none).
+  std::string checkpoint_file;
+};
+
+/// Return false to stop training cleanly after the current epoch (the
+/// best-epoch snapshot is still restored, stats are still finalized).
+using EpochCallback = std::function<bool(const EpochEvent&)>;
 
 /// Knobs shared by every model's training loop.
 struct TrainOptions {
@@ -49,6 +101,11 @@ struct TrainOptions {
   /// Model tag stamped into JSONL rows and metric labels ("cgkgr",
   /// "bprmf", ...); empty renders as "model".
   std::string run_label;
+  /// Crash-safe checkpointing + exact resume (see CheckpointOptions).
+  CheckpointOptions checkpoint;
+  /// Invoked after every epoch's eval; return false to stop training
+  /// cleanly. Empty = never called.
+  EpochCallback epoch_callback;
 };
 
 /// Outcome bookkeeping of a Fit() call (feeds the paper's Table VI).
@@ -62,6 +119,12 @@ struct TrainStats {
   /// whichever drove early stopping).
   double best_eval_metric = 0.0;
   std::vector<double> epoch_losses;
+  /// True when the run ended early on a clean-shutdown signal
+  /// (ckpt::ShutdownRequested) rather than max_epochs / early stopping.
+  bool interrupted = false;
+  /// Epochs replayed from a checkpoint rather than trained in this
+  /// process (0 for a fresh run).
+  int64_t resumed_epochs = 0;
 };
 
 /// Common interface for CG-KGR and all baselines: train on a dataset, then
@@ -78,12 +141,33 @@ class RecommenderModel : public eval::PairScorer {
   virtual Status Fit(const data::Dataset& dataset,
                      const TrainOptions& options) = 0;
 
+  /// Serializes the model's trained state (parameters plus any stateful
+  /// inference RNG) into `writer`. This is the single persistence surface
+  /// for every model — trainer checkpoints, standalone model files
+  /// (SaveModelState), and serve-side export all go through it. Requires a
+  /// fitted/prepared model.
+  virtual void SaveState(ckpt::Writer* writer) const = 0;
+
+  /// Restores state written by SaveState into a model that was
+  /// constructed/prepared identically (same hyper-parameters and dataset
+  /// dimensions; names and shapes are validated).
+  virtual Status LoadState(ckpt::Reader* reader) = 0;
+
   /// Training statistics of the last Fit().
   const TrainStats& train_stats() const { return stats_; }
 
  protected:
   TrainStats stats_;
 };
+
+/// Writes `model`'s SaveState output to `path` as a framed, CRC-validated
+/// checkpoint file (atomic publish). The standalone save/load entry points
+/// that replaced the ad-hoc nn::SaveParameters call sites.
+Status SaveModelState(const RecommenderModel& model, const std::string& path);
+
+/// Loads a file written by SaveModelState into `model` (which must be
+/// prepared identically first). All corruption surfaces as a Status.
+Status LoadModelState(RecommenderModel* model, const std::string& path);
 
 }  // namespace models
 }  // namespace cgkgr

@@ -12,6 +12,11 @@
 #include "nn/parameter.h"
 
 namespace cgkgr {
+
+namespace nn {
+class AdamOptimizer;
+}  // namespace nn
+
 namespace models {
 
 /// One shuffled mini-batch of training pairs with freshly resampled
@@ -53,19 +58,37 @@ void ForEachTrainBatch(
     int64_t batch_size, Rng* rng,
     const std::function<void(const TrainBatch&)>& fn);
 
+/// One training pass over the data: `run_epoch(epoch, epoch_rng)` is handed
+/// the 1-based epoch number (so staged schedules like KGAT's warm-up epoch
+/// stay correct across a checkpoint resume — a captured local counter would
+/// restart at zero) and a freshly forked epoch RNG, and returns the mean
+/// batch loss.
+using RunEpochFn = std::function<double(int64_t epoch, Rng* epoch_rng)>;
+
 /// Shared training-loop skeleton: runs `run_epoch` up to max_epochs times,
-/// evaluates eval-split CTR AUC after every epoch via `scorer`, keeps the
-/// best-epoch parameter snapshot of `store`, early-stops after `patience`
-/// non-improving epochs, restores the best snapshot, and fills `stats`
-/// (loss curve, time per epoch, best epoch).
+/// evaluates the eval split after every epoch via `model` (the scorer),
+/// keeps the best-epoch parameter snapshot of `store`, early-stops after
+/// `patience` non-improving epochs, restores the best snapshot, and fills
+/// `stats` (loss curve, time per epoch, best epoch).
 ///
-/// `run_epoch(epoch_rng)` performs one pass over the training data and
-/// returns the mean batch loss.
-Status RunTrainingLoop(eval::PairScorer* scorer, nn::ParameterStore* store,
+/// When `options.checkpoint` is enabled the loop publishes an atomic
+/// checkpoint of the full trainer state — `store` parameters (via
+/// model->SaveState), `optimizer` moments, the training RNG stream, epoch
+/// cursors, the loss curve, and the best-epoch snapshot — every
+/// `interval_epochs` epochs and on exit, maintains the directory MANIFEST
+/// with retention, and (with `resume`) continues from the newest valid
+/// checkpoint bit-exactly: a run SIGKILLed mid-training and resumed
+/// produces the same final parameters and loss curve as an uninterrupted
+/// one, at any num_threads. See docs/checkpointing.md.
+///
+/// A clean-shutdown signal (ckpt::ShutdownRequested) or an epoch_callback
+/// returning false ends the run after the current epoch with stats
+/// finalized (and `interrupted` set for the former).
+Status RunTrainingLoop(RecommenderModel* model, nn::ParameterStore* store,
+                       nn::AdamOptimizer* optimizer,
                        const data::Dataset& dataset,
                        const TrainOptions& options,
-                       const std::function<double(Rng*)>& run_epoch,
-                       TrainStats* stats);
+                       const RunEpochFn& run_epoch, TrainStats* stats);
 
 }  // namespace models
 }  // namespace cgkgr

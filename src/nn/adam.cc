@@ -1,8 +1,11 @@
 #include "nn/adam.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "ckpt/io.h"
 #include "common/macros.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 
 namespace cgkgr {
@@ -63,6 +66,51 @@ void AdamOptimizer::Step(ThreadPool* pool) {
 
 void AdamOptimizer::ZeroGrads() {
   for (auto& param : parameters_) param.ZeroGrad();
+}
+
+void AdamOptimizer::SaveState(ckpt::Writer* writer) const {
+  CGKGR_CHECK(writer != nullptr);
+  writer->BeginSection("adam");
+  writer->WriteI64(step_count_);
+  writer->WriteU64(parameters_.size());
+  for (size_t p = 0; p < parameters_.size(); ++p) {
+    writer->WriteTensor(m_[p]);
+    writer->WriteTensor(v_[p]);
+  }
+}
+
+Status AdamOptimizer::LoadState(ckpt::Reader* reader) {
+  CGKGR_CHECK(reader != nullptr);
+  CGKGR_RETURN_NOT_OK(reader->ExpectSection("adam"));
+  int64_t step_count = 0;
+  CGKGR_RETURN_NOT_OK(reader->ReadI64(&step_count));
+  if (step_count < 0) {
+    return Status::InvalidArgument("negative Adam step count in checkpoint");
+  }
+  uint64_t count = 0;
+  CGKGR_RETURN_NOT_OK(reader->ReadU64(&count));
+  if (count != parameters_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "Adam moment count mismatch: checkpoint has %llu, optimizer has %zu",
+        static_cast<unsigned long long>(count), parameters_.size()));
+  }
+  std::vector<tensor::Tensor> m(parameters_.size());
+  std::vector<tensor::Tensor> v(parameters_.size());
+  for (size_t p = 0; p < parameters_.size(); ++p) {
+    CGKGR_RETURN_NOT_OK(reader->ReadTensor(&m[p]));
+    CGKGR_RETURN_NOT_OK(reader->ReadTensor(&v[p]));
+    if (m[p].shape() != m_[p].shape() || v[p].shape() != v_[p].shape()) {
+      return Status::InvalidArgument(StrFormat(
+          "Adam moment shape mismatch at parameter %zu", p));
+    }
+  }
+  // All-or-nothing: only overwrite live state once every record validated.
+  step_count_ = step_count;
+  for (size_t p = 0; p < parameters_.size(); ++p) {
+    std::copy(m[p].data(), m[p].data() + m[p].size(), m_[p].data());
+    std::copy(v[p].data(), v[p].data() + v[p].size(), v_[p].data());
+  }
+  return Status::OK();
 }
 
 }  // namespace nn

@@ -4,10 +4,16 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "common/status.h"
 
 namespace cgkgr {
 
 class ThreadPool;
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
 
 namespace nn {
 
@@ -46,6 +52,15 @@ class AdamOptimizer {
 
   /// Mutable options (allows learning-rate schedules).
   AdamOptions* mutable_options() { return &options_; }
+
+  /// Serializes the optimizer state (step count + first/second moments)
+  /// into an "adam" checkpoint section. Together with the parameter values
+  /// and RNG streams this makes training resume bit-exact.
+  void SaveState(ckpt::Writer* writer) const;
+
+  /// Restores state written by SaveState. The optimizer must wrap the same
+  /// parameter list (count and shapes are validated).
+  Status LoadState(ckpt::Reader* reader);
 
  private:
   std::vector<autograd::Variable> parameters_;

@@ -1,88 +1,29 @@
 #include "nn/serialize.h"
 
-#include <cinttypes>
-#include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <utility>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/io.h"
 #include "common/macros.h"
-#include "common/string_util.h"
 
 namespace cgkgr {
 namespace nn {
 
-namespace {
-const char kMagic[] = "cgkgr-params-v1";
-}  // namespace
-
 Status SaveParameters(const ParameterStore& store, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  const auto names = store.Names();
-  const auto& parameters = store.parameters();
-  out << kMagic << '\n' << parameters.size() << '\n';
-  for (size_t p = 0; p < parameters.size(); ++p) {
-    const tensor::Tensor& value = parameters[p].value();
-    out << names[p] << '\n' << value.rank();
-    for (int d = 0; d < value.rank(); ++d) out << ' ' << value.dim(d);
-    out << '\n';
-    for (int64_t i = 0; i < value.size(); ++i) {
-      // %a hex floats round-trip exactly.
-      out << StrFormat("%a", static_cast<double>(value[i]));
-      out << (i + 1 == value.size() ? '\n' : ' ');
-    }
-    if (value.size() == 0) out << '\n';
-  }
-  return out ? Status::OK() : Status::IOError("write failed: " + path);
+  ckpt::Writer writer;
+  ckpt::WriteParameterStore(store, &writer);
+  return writer.Commit(path);
 }
 
 Status LoadParameters(ParameterStore* store, const std::string& path) {
   CGKGR_CHECK(store != nullptr);
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::string magic;
-  std::getline(in, magic);
-  if (magic != kMagic) {
-    return Status::InvalidArgument("bad parameter file header: " + magic);
-  }
-  size_t count = 0;
-  in >> count;
-  if (!in || count != store->parameters().size()) {
-    return Status::InvalidArgument(StrFormat(
-        "parameter count mismatch: file has %zu, store has %zu", count,
-        store->parameters().size()));
-  }
-  in.ignore();  // consume end of the count line
-  for (size_t p = 0; p < count; ++p) {
-    std::string name;
-    std::getline(in, name);
-    if (!store->Contains(name)) {
-      return Status::NotFound("parameter not in store: " + name);
-    }
-    autograd::Variable param = store->Get(name);
-    int rank = 0;
-    in >> rank;
-    std::vector<int64_t> shape(static_cast<size_t>(rank));
-    for (auto& d : shape) in >> d;
-    if (!in) return Status::IOError("truncated shape for " + name);
-    if (shape != param.value().shape()) {
-      return Status::InvalidArgument("shape mismatch for " + name);
-    }
-    tensor::Tensor& value = *param.mutable_value();
-    for (int64_t i = 0; i < value.size(); ++i) {
-      std::string token;
-      in >> token;
-      double parsed = 0.0;
-      // strtod understands the %a hex-float form.
-      char* end = nullptr;
-      parsed = std::strtod(token.c_str(), &end);
-      if (end != token.c_str() + token.size()) {
-        return Status::IOError("malformed value for " + name + ": " + token);
-      }
-      value[i] = static_cast<float>(parsed);
-    }
-    if (!in) return Status::IOError("truncated values for " + name);
-    in.ignore();
+  Result<ckpt::Reader> reader = ckpt::Reader::Open(path);
+  if (!reader.ok()) return reader.status();
+  ckpt::Reader r = std::move(reader).value();
+  CGKGR_RETURN_NOT_OK(ckpt::ReadParameterStore(&r, store));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        path + ": trailing records after parameter store");
   }
   return Status::OK();
 }

@@ -9,14 +9,19 @@
 namespace cgkgr {
 namespace nn {
 
-/// Writes every parameter of `store` (names, shapes, values) to `path` in a
-/// versioned text format. Float values use hexadecimal float literals, so
-/// the round-trip is bit-exact.
+/// Deprecated: thin wrapper over the ckpt subsystem (ckpt::Writer +
+/// ckpt::WriteParameterStore). Writes every parameter of `store` (names,
+/// shapes, values) to `path` as a framed, CRC-validated binary checkpoint
+/// with an atomic publish. Prefer models::SaveModelState, which also
+/// captures model-level state (e.g. stateful inference RNGs); see
+/// docs/checkpointing.md.
 Status SaveParameters(const ParameterStore& store, const std::string& path);
 
+/// Deprecated: thin wrapper over ckpt::Reader + ckpt::ReadParameterStore.
 /// Loads parameter values saved by SaveParameters into `store`. The store
 /// must already contain parameters with matching names and shapes (i.e.
-/// the model must be constructed/prepared identically first).
+/// the model must be constructed/prepared identically first). All
+/// corruption surfaces as a non-OK Status. Prefer models::LoadModelState.
 Status LoadParameters(ParameterStore* store, const std::string& path);
 
 }  // namespace nn

@@ -5,6 +5,8 @@
 #include <queue>
 #include <string>
 
+#include "ckpt/io.h"
+#include "common/logging.h"
 #include "common/macros.h"
 #include "common/mutex.h"
 #include "common/string_util.h"
@@ -100,6 +102,8 @@ Engine::Engine(std::shared_ptr<const Snapshot> snapshot, EngineOptions options)
       registry.GetCounter("serve_cache_evictions_total", labels);
   snapshot_reloads_ =
       registry.GetCounter("serve_snapshot_reloads_total", labels);
+  snapshot_reload_skipped_ =
+      registry.GetCounter("serve_snapshot_reload_skipped_total", labels);
   cache_size_ = registry.GetGauge("serve_cache_size", labels);
   latency_ = registry.GetHistogram("serve_request_micros", labels);
   if (options_.cache_capacity > 0) {
@@ -212,17 +216,54 @@ std::vector<std::vector<ScoredItem>> Engine::TopKBatch(
   return results;
 }
 
-void Engine::ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot) {
+void Engine::InstallSnapshot(std::shared_ptr<const Snapshot> snapshot,
+                             std::string file) {
   CGKGR_CHECK(snapshot != nullptr);
   {
     WriterMutexLock lock(&snapshot_mu_);
     snapshot_ = std::move(snapshot);
     ++generation_;
+    loaded_file_ = std::move(file);
   }
   // Explicit invalidation; the generation bump above already guarantees
   // in-flight queries against the old snapshot cannot serve future hits.
   if (cache_ != nullptr) cache_->Clear();
   snapshot_reloads_->Increment();
+}
+
+void Engine::ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot) {
+  InstallSnapshot(std::move(snapshot), "");
+}
+
+Status Engine::ReloadFromDir(const std::string& dir) {
+  Result<std::vector<std::string>> listed =
+      ckpt::ListFilesWithSuffix(dir, ".snap");
+  if (!listed.ok()) return listed.status();
+  std::string serving;
+  {
+    ReaderMutexLock lock(&snapshot_mu_);
+    serving = loaded_file_;
+  }
+  // Names ascend, so walk from the back: the first candidate that either is
+  // already serving or validates wins; everything older is ignored.
+  const std::vector<std::string>& names = listed.value();
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    if (!serving.empty() && *it == serving) return Status::OK();
+    Result<Snapshot> snapshot = LoadSnapshot(dir + "/" + *it);
+    if (!snapshot.ok()) {
+      // A corrupt (half-written, bit-flipped, truncated) snapshot must
+      // never take the engine down — log, count, try the next-newest.
+      CGKGR_LOG(Warning) << "ReloadFromDir: skipping invalid snapshot "
+                         << dir << "/" << *it << ": "
+                         << snapshot.status().ToString();
+      snapshot_reload_skipped_->Increment();
+      continue;
+    }
+    InstallSnapshot(
+        std::make_shared<const Snapshot>(std::move(snapshot).value()), *it);
+    return Status::OK();
+  }
+  return Status::NotFound("no valid *.snap snapshot in " + dir);
 }
 
 std::shared_ptr<const Snapshot> Engine::snapshot() const {

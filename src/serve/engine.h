@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/macros.h"
@@ -81,6 +82,15 @@ class Engine {
   void ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot)
       CGKGR_EXCLUDES(snapshot_mu_);
 
+  /// Hot-reloads from the newest valid `*.snap` snapshot in `dir`
+  /// (newest = greatest file name, matching the trainer's zero-padded
+  /// epoch naming). Corrupt or unreadable candidates are skipped with a
+  /// logged warning and a serve_snapshot_reload_skipped_total bump, never
+  /// an abort. Returns OK when a snapshot was installed or the newest
+  /// valid one is already serving (no-op), NotFound when the directory
+  /// holds no valid snapshot. Safe concurrent with serving.
+  Status ReloadFromDir(const std::string& dir) CGKGR_EXCLUDES(snapshot_mu_);
+
   /// The currently served snapshot.
   std::shared_ptr<const Snapshot> snapshot() const
       CGKGR_EXCLUDES(snapshot_mu_);
@@ -129,9 +139,19 @@ class Engine {
   const EngineOptions options_;
   ThreadPool pool_;
 
+  /// Swaps in `snapshot`, bumps the generation, records which directory
+  /// file it came from ("" for direct ReloadSnapshot calls), and clears
+  /// the cache.
+  void InstallSnapshot(std::shared_ptr<const Snapshot> snapshot,
+                       std::string file) CGKGR_EXCLUDES(snapshot_mu_);
+
   mutable SharedMutex snapshot_mu_;
   std::shared_ptr<const Snapshot> snapshot_ CGKGR_GUARDED_BY(snapshot_mu_);
   uint64_t generation_ CGKGR_GUARDED_BY(snapshot_mu_) = 0;
+  /// Directory file name the served snapshot was loaded from by
+  /// ReloadFromDir; empty when it came from the constructor or a direct
+  /// ReloadSnapshot call.
+  std::string loaded_file_ CGKGR_GUARDED_BY(snapshot_mu_);
 
   // Registry instruments, labeled {engine="<sequential id>"} so every
   // Engine's counts stay separable (and serve_test's exact per-engine
@@ -143,6 +163,7 @@ class Engine {
   obs::Counter* cache_misses_ = nullptr;
   obs::Counter* cache_evictions_ = nullptr;
   obs::Counter* snapshot_reloads_ = nullptr;
+  obs::Counter* snapshot_reload_skipped_ = nullptr;
   obs::Gauge* cache_size_ = nullptr;
   obs::Histogram* latency_ = nullptr;
 

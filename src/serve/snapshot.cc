@@ -1,9 +1,10 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
-#include <cstdlib>
-#include <fstream>
+#include <limits>
+#include <utility>
 
+#include "ckpt/io.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 
@@ -11,9 +12,8 @@ namespace cgkgr {
 namespace serve {
 
 namespace {
-/// Framing follows nn/serialize: a magic line, counts, then hex-float
-/// payload lines (bit-exact round-trips through strtod).
-const char kMagic[] = "cgkgr-snapshot-v1";
+/// Section name of the snapshot record stream inside the ckpt frame.
+const char kSnapshotSection[] = "serve-snapshot";
 }  // namespace
 
 Snapshot BuildSnapshot(models::RecommenderModel* model,
@@ -61,70 +61,70 @@ Status SaveSnapshot(const Snapshot& snapshot, const std::string& path) {
               static_cast<size_t>(snapshot.num_users * snapshot.num_items));
   CGKGR_CHECK(snapshot.seen.size() ==
               static_cast<size_t>(snapshot.num_users));
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out << kMagic << '\n'
-      << snapshot.model_name << '\n'
-      << snapshot.dataset_name << '\n'
-      << snapshot.num_users << ' ' << snapshot.num_items << '\n';
-  for (int64_t u = 0; u < snapshot.num_users; ++u) {
-    const float* row = snapshot.UserScores(u);
-    for (int64_t i = 0; i < snapshot.num_items; ++i) {
-      // %a hex floats round-trip exactly.
-      out << StrFormat("%a", static_cast<double>(row[i]));
-      out << (i + 1 == snapshot.num_items ? '\n' : ' ');
-    }
-    if (snapshot.num_items == 0) out << '\n';
-  }
-  for (int64_t u = 0; u < snapshot.num_users; ++u) {
-    const auto& items = snapshot.seen[static_cast<size_t>(u)];
-    out << items.size();
-    for (int64_t item : items) out << ' ' << item;
-    out << '\n';
-  }
-  return out ? Status::OK() : Status::IOError("write failed: " + path);
+  ckpt::Writer writer;
+  writer.BeginSection(kSnapshotSection);
+  writer.WriteString(snapshot.model_name);
+  writer.WriteString(snapshot.dataset_name);
+  writer.WriteI64(snapshot.num_users);
+  writer.WriteI64(snapshot.num_items);
+  writer.WriteFloats(snapshot.scores.data(),
+                     static_cast<int64_t>(snapshot.scores.size()));
+  for (const auto& items : snapshot.seen) writer.WriteI64s(items);
+  return writer.Commit(path);
 }
 
 Result<Snapshot> LoadSnapshot(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::string magic;
-  std::getline(in, magic);
-  if (magic != kMagic) {
-    return Status::InvalidArgument("bad snapshot header: " + magic);
-  }
+  Result<ckpt::Reader> opened = ckpt::Reader::Open(path);
+  if (!opened.ok()) return opened.status();
+  ckpt::Reader reader = std::move(opened).value();
+  CGKGR_RETURN_NOT_OK(reader.ExpectSection(kSnapshotSection));
+
   Snapshot snapshot;
-  std::getline(in, snapshot.model_name);
-  std::getline(in, snapshot.dataset_name);
-  in >> snapshot.num_users >> snapshot.num_items;
-  if (!in || snapshot.num_users < 0 || snapshot.num_items < 0) {
-    return Status::IOError("truncated snapshot dimensions");
+  CGKGR_RETURN_NOT_OK(reader.ReadString(&snapshot.model_name));
+  CGKGR_RETURN_NOT_OK(reader.ReadString(&snapshot.dataset_name));
+  CGKGR_RETURN_NOT_OK(reader.ReadI64(&snapshot.num_users));
+  CGKGR_RETURN_NOT_OK(reader.ReadI64(&snapshot.num_items));
+  if (snapshot.num_users < 0 || snapshot.num_items < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: negative snapshot dimensions (%lld x %lld)", path.c_str(),
+        static_cast<long long>(snapshot.num_users),
+        static_cast<long long>(snapshot.num_items)));
   }
-  snapshot.scores.resize(
-      static_cast<size_t>(snapshot.num_users * snapshot.num_items));
-  for (size_t i = 0; i < snapshot.scores.size(); ++i) {
-    std::string token;
-    in >> token;
-    char* token_end = nullptr;
-    const double parsed = std::strtod(token.c_str(), &token_end);
-    if (!in || token_end != token.c_str() + token.size()) {
-      return Status::IOError("malformed score value: " + token);
-    }
-    snapshot.scores[i] = static_cast<float>(parsed);
+  if (snapshot.num_items != 0 &&
+      snapshot.num_users >
+          std::numeric_limits<int64_t>::max() / snapshot.num_items) {
+    return Status::InvalidArgument(
+        path + ": snapshot dimensions overflow the score matrix size");
+  }
+  const int64_t expected = snapshot.num_users * snapshot.num_items;
+  CGKGR_RETURN_NOT_OK(reader.ReadFloats(&snapshot.scores));
+  if (snapshot.scores.size() != static_cast<size_t>(expected)) {
+    // The dimensions and the score payload disagree: the file was truncated
+    // or padded after framing, or written by a buggy producer. Reject with
+    // the exact arithmetic rather than serving a misaligned matrix.
+    return Status::InvalidArgument(StrFormat(
+        "%s: score payload has %zu values, dimensions %lld x %lld require "
+        "%lld — truncated or oversized snapshot",
+        path.c_str(), snapshot.scores.size(),
+        static_cast<long long>(snapshot.num_users),
+        static_cast<long long>(snapshot.num_items),
+        static_cast<long long>(expected)));
   }
   snapshot.seen.resize(static_cast<size_t>(snapshot.num_users));
-  for (int64_t u = 0; u < snapshot.num_users; ++u) {
-    size_t count = 0;
-    in >> count;
-    if (!in) return Status::IOError("truncated seen list");
-    auto& items = snapshot.seen[static_cast<size_t>(u)];
-    items.resize(count);
-    for (size_t i = 0; i < count; ++i) {
-      in >> items[i];
-      if (!in || items[i] < 0 || items[i] >= snapshot.num_items) {
-        return Status::IOError("seen item out of range");
+  for (auto& items : snapshot.seen) {
+    CGKGR_RETURN_NOT_OK(reader.ReadI64s(&items));
+    for (int64_t item : items) {
+      if (item < 0 || item >= snapshot.num_items) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: seen item %lld out of range [0, %lld)", path.c_str(),
+            static_cast<long long>(item),
+            static_cast<long long>(snapshot.num_items)));
       }
     }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        path + ": trailing records after snapshot — oversized payload");
   }
   return snapshot;
 }

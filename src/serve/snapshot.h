@@ -54,12 +54,15 @@ Snapshot BuildSnapshot(models::RecommenderModel* model,
                        const data::Dataset& dataset,
                        const BuildSnapshotOptions& options = {});
 
-/// Writes `snapshot` to `path` in a versioned text format. Scores use
-/// hexadecimal float literals (the nn/serialize convention), so the
-/// round-trip is bit-exact.
+/// Writes `snapshot` to `path` as a framed, CRC-validated binary checkpoint
+/// (the ckpt format — see docs/checkpointing.md) with an atomic publish.
+/// Scores are stored as raw IEEE floats, so the round-trip is bit-exact.
 Status SaveSnapshot(const Snapshot& snapshot, const std::string& path);
 
-/// Loads a snapshot previously written by SaveSnapshot.
+/// Loads a snapshot previously written by SaveSnapshot. Every corruption
+/// mode — flipped bits (CRC), truncated or oversized payloads, dimension /
+/// score-count mismatches, out-of-range seen items — surfaces as a
+/// descriptive non-OK Status, never a crash or a misaligned matrix.
 Result<Snapshot> LoadSnapshot(const std::string& path);
 
 }  // namespace serve

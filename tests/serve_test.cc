@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -115,6 +117,50 @@ TEST(SnapshotTest, LoadRejectsMissingAndCorruptFiles) {
     out << "not-a-snapshot\n";
   }
   EXPECT_FALSE(LoadSnapshot(path).ok());
+}
+
+/// A tiny, fully populated snapshot for corruption tests.
+Snapshot TinySnapshot() {
+  Snapshot snapshot;
+  snapshot.model_name = "tiny-model";
+  snapshot.dataset_name = "tiny";
+  snapshot.num_users = 2;
+  snapshot.num_items = 3;
+  snapshot.scores = {0.5f, -1.0f, 2.0f, 3.0f, -4.0f, 5.0f};
+  snapshot.seen = {{0}, {1, 2}};
+  return snapshot;
+}
+
+// Regression test for the truncated/oversized-payload bug: a byte-chopped
+// snapshot at ANY length, and any trailing garbage, must surface a Status
+// from LoadSnapshot — never a crash, resize explosion, or a silently
+// misaligned score matrix.
+TEST(SnapshotTest, LoadRejectsByteChoppedAndOversizedSnapshots) {
+  const std::string path = "/tmp/cgkgr_serve_test_chop.snapshot";
+  ASSERT_TRUE(SaveSnapshot(TinySnapshot(), path).ok());
+  std::string image;
+  {
+    std::ifstream in(path, std::ios::binary);
+    image.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(image.size(), 0u);
+  const std::string chopped_path = path + ".chopped";
+  for (size_t length = 0; length < image.size(); ++length) {
+    std::ofstream out(chopped_path, std::ios::binary | std::ios::trunc);
+    out << image.substr(0, length);
+    out.close();
+    EXPECT_FALSE(LoadSnapshot(chopped_path).ok())
+        << "chopped to " << length << " of " << image.size() << " bytes";
+  }
+  // Oversized: appended garbage after the frame tail.
+  {
+    std::ofstream out(chopped_path, std::ios::binary | std::ios::trunc);
+    out << image << "extra";
+  }
+  EXPECT_FALSE(LoadSnapshot(chopped_path).ok());
+  // The pristine image still loads (the harness itself is sound).
+  EXPECT_TRUE(LoadSnapshot(path).ok());
 }
 
 TEST(SnapshotTest, BuildSnapshotMatchesModelScores) {
@@ -292,6 +338,61 @@ TEST(EngineTest, CacheHitsAndInvalidationOnReload) {
   EXPECT_EQ(stats.snapshot_reloads, 1);
   EXPECT_EQ(stats.cache_misses, 2);  // post-reload query recomputed
   EXPECT_EQ(stats.cache_hits, 1);
+}
+
+TEST(EngineTest, ReloadFromDirServesNewestValidSnapshot) {
+  const std::string dir = ::testing::TempDir() + "/serve-reload-dir";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  auto publish = [&](const std::string& file, const std::string& tag) {
+    Snapshot snapshot = TinySnapshot();
+    snapshot.model_name = tag;
+    ASSERT_TRUE(SaveSnapshot(snapshot, dir + "/" + file).ok()) << file;
+  };
+  publish("snap-001.snap", "first");
+  publish("snap-002.snap", "second");
+  // The newest file is corrupt (torn write): it must be skipped with a
+  // warning, falling back to snap-002.
+  {
+    std::ofstream out(dir + "/snap-003.snap", std::ios::binary);
+    out << "torn write, not a valid frame";
+  }
+
+  Engine engine(std::make_shared<const Snapshot>(TinySnapshot()),
+                EngineOptions{});
+  ASSERT_TRUE(engine.ReloadFromDir(dir).ok());
+  EXPECT_EQ(engine.snapshot()->model_name, "second");
+  EXPECT_EQ(engine.stats().snapshot_reloads, 1);
+
+  // Steady-state watch: nothing newer and valid, so no reload happens.
+  ASSERT_TRUE(engine.ReloadFromDir(dir).ok());
+  EXPECT_EQ(engine.stats().snapshot_reloads, 1);
+
+  // A newer valid snapshot appears: picked up on the next poll.
+  publish("snap-004.snap", "fourth");
+  ASSERT_TRUE(engine.ReloadFromDir(dir).ok());
+  EXPECT_EQ(engine.snapshot()->model_name, "fourth");
+  EXPECT_EQ(engine.stats().snapshot_reloads, 2);
+}
+
+TEST(EngineTest, ReloadFromDirReportsNotFoundWhenNothingValidates) {
+  const std::string dir = ::testing::TempDir() + "/serve-reload-empty";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Engine engine(std::make_shared<const Snapshot>(TinySnapshot()),
+                EngineOptions{});
+  // Empty directory, then only-corrupt directory, then a missing one: the
+  // engine keeps serving its current snapshot through all three.
+  EXPECT_EQ(engine.ReloadFromDir(dir).code(), StatusCode::kNotFound);
+  {
+    std::ofstream out(dir + "/only.snap", std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_EQ(engine.ReloadFromDir(dir).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(engine.ReloadFromDir(dir + "/missing").ok());
+  EXPECT_EQ(engine.stats().snapshot_reloads, 0);
+  EXPECT_EQ(engine.snapshot()->model_name, "tiny-model");
 }
 
 TEST(EngineTest, StatsTableRendersCounters) {

@@ -199,6 +199,32 @@ TEST(TrainingLoopTest, MetricsJsonlWritesOneRowPerEpoch) {
   std::remove(path.c_str());
 }
 
+TEST(TrainingLoopTest, MetricsJsonlEnvVarSuppliesDefault) {
+  // The CGKGR_METRICS_JSONL environment variable is the process-wide
+  // default when TrainOptions::metrics_jsonl is empty; it must keep
+  // working alongside the TrainOptions redesign.
+  const std::string path = ::testing::TempDir() + "/trainer_env.jsonl";
+  std::remove(path.c_str());
+  ASSERT_EQ(setenv("CGKGR_METRICS_JSONL", path.c_str(), 1), 0);
+  const data::Dataset d = SmallDataset();
+  data::PresetHyperParams hparams;
+  hparams.embedding_dim = 8;
+  auto model = CreateModel("BPRMF", hparams);
+  TrainOptions options;
+  options.max_epochs = 2;
+  options.patience = 2;
+  options.batch_size = 32;
+  const Status status = model->Fit(d, options);
+  ASSERT_EQ(unsetenv("CGKGR_METRICS_JSONL"), 0);
+  ASSERT_TRUE(status.ok());
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  EXPECT_EQ(static_cast<int64_t>(lines.size()),
+            model->train_stats().epochs_run);
+  std::remove(path.c_str());
+}
+
 // --- parallel trainer ---
 
 TEST(ParallelTrainerTest, BitIdenticalAcrossThreadCountsForModelZoo) {

@@ -5,7 +5,8 @@
 #   1. tools/lint_repo.py — AST-free source linter (discarded Status,
 #      naked new, raw std::mutex in annotated dirs, project-header
 #      include-what-you-use, printf-family outside sanctioned sinks,
-#      ad-hoc std::chrono timing / raw histograms outside src/obs/).
+#      ad-hoc std::chrono timing / raw histograms outside src/obs/,
+#      raw std::ofstream state writes outside src/ckpt/).
 #   2. clang -Wthread-safety syntax-only pass over the annotated TUs.
 #      Skipped with a notice when clang++ is not installed (under GCC the
 #      CGKGR_* annotation macros compile away, so there is nothing to

@@ -33,6 +33,13 @@ Enforced rules (each finding prints as ``path:line: [rule] message``):
                      (obs::Histogram); hand-rolled ones fragment telemetry
                      the way the old serve::LatencyHistogram did. Bare
                      forward declarations (``class Histogram;``) are fine.
+  raw-ofstream       std::ofstream used in src/ outside the sanctioned
+                     writers (src/ckpt/, src/obs/, src/data/io.cc). Model
+                     and trainer state is persisted only through the ckpt
+                     subsystem (atomic publish, CRC framing); an ad-hoc
+                     ofstream dump has neither and resurrects the pre-ckpt
+                     half-written-file failure mode. See
+                     docs/checkpointing.md.
   raw-thread         std::thread used in src/ outside common/thread_pool.
                      All concurrency goes through cgkgr::ThreadPool so lane
                      accounting, pool metrics, and the num_threads=1 inline
@@ -85,6 +92,14 @@ RAW_HISTOGRAM_RE = re.compile(r"\b(?:class|struct)\s+\w*Histogram\b(?!\s*;)")
 # Files allowed to touch std::thread directly: the pool implementation.
 RAW_THREAD_ALLOWLIST = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
 RAW_THREAD_RE = re.compile(r"\bstd::thread\b")
+
+# Files/dirs allowed to open std::ofstream directly: the checkpoint
+# subsystem itself (which implements the atomic-publish protocol everyone
+# else must go through), the obs sinks (JSONL/trace are append-oriented
+# telemetry, not recoverable state), and the dataset exporter.
+RAW_OFSTREAM_ALLOWLIST_DIRS = ("src/ckpt/", "src/obs/")
+RAW_OFSTREAM_ALLOWLIST = ("src/data/io.cc",)
+RAW_OFSTREAM_RE = re.compile(r"\bstd::ofstream\b")
 
 PRINTF_RE = re.compile(
     r"\b(?:v?f?printf|v?s?n?printf|puts|fputs|putchar|fputc)\s*\(")
@@ -238,6 +253,13 @@ class Linter:
                       "raw std::thread outside common/thread_pool; use "
                       "cgkgr::ThreadPool so lane accounting and pool "
                       "metrics stay accurate")
+            if (rel.startswith("src/")
+                    and not rel.startswith(RAW_OFSTREAM_ALLOWLIST_DIRS)
+                    and rel not in RAW_OFSTREAM_ALLOWLIST):
+                check("raw-ofstream", RAW_OFSTREAM_RE,
+                      "raw std::ofstream state write outside src/ckpt/; "
+                      "persist through ckpt::Writer (atomic publish + CRC "
+                      "framing, docs/checkpointing.md)")
 
         if rel.startswith("src/") and "iwyu-project" not in file_allows:
             blob = "\n".join(code_blob_lines)
