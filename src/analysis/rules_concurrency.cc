@@ -1,0 +1,348 @@
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/source_packs.h"
+#include "common/string_util.h"
+
+namespace cgkgr {
+namespace analysis {
+namespace internal {
+
+/// \file
+/// Concurrency pack. mutex-annotation and raw-thread are direct ports of
+/// the retired regex rules; conc-lock-order and conc-guard-access are the
+/// cross-TU half of the thread-safety story: clang's -Wthread-safety
+/// checks each annotated TU in isolation, these rules assemble a
+/// repo-wide lock graph from CGKGR_GUARDED_BY / CGKGR_ACQUIRED_AFTER
+/// annotations plus observed MutexLock nesting and check it globally.
+
+namespace {
+
+bool IsStdQualified(const std::vector<Token>& toks, size_t i) {
+  return i >= 2 && toks[i - 1].text == "::" && TokIs(toks, i - 2, "std");
+}
+
+/// mutex-annotation: raw std synchronization types in the annotated
+/// directories (src/common, src/serve). Lock-protected state there must
+/// use the capability-annotated cgkgr wrappers so -Wthread-safety and the
+/// rules below can see it.
+void MutexAnnotationRule(const TranslationUnit& tu, Emitter* emitter) {
+  const std::string& path = tu.lex.path;
+  const bool annotated = PathStartsWith(path, "src/common/") ||
+                         PathStartsWith(path, "src/serve/");
+  if (!annotated || path == "src/common/mutex.h") return;
+  static const std::set<std::string> kRawSync = {
+      "mutex", "shared_mutex", "recursive_mutex", "condition_variable",
+      "condition_variable_any"};
+  const std::vector<Token>& toks = tu.lex.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent && kRawSync.count(toks[i].text) != 0 &&
+        IsStdQualified(toks, i)) {
+      emitter->Emit(tu.lex, toks[i].line, "mutex-annotation",
+                    "raw std synchronization type in an annotated dir; use "
+                    "the capability-annotated cgkgr::Mutex/SharedMutex/"
+                    "CondVar (common/mutex.h)");
+    }
+  }
+}
+
+/// raw-thread: std::thread outside the pool implementation.
+void RawThreadRule(const TranslationUnit& tu, Emitter* emitter) {
+  const std::string& path = tu.lex.path;
+  if (path == "src/common/thread_pool.h" ||
+      path == "src/common/thread_pool.cc") {
+    return;
+  }
+  const std::vector<Token>& toks = tu.lex.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent && toks[i].text == "thread" &&
+        IsStdQualified(toks, i)) {
+      emitter->Emit(tu.lex, toks[i].line, "raw-thread",
+                    "raw std::thread outside common/thread_pool; use "
+                    "cgkgr::ThreadPool so lane accounting and pool "
+                    "metrics stay accurate");
+    }
+  }
+}
+
+/// One RAII guard scope observed in a function body.
+struct GuardScope {
+  /// MutexLastComponent of the guard's mutex argument.
+  std::string lock;
+  /// Token span over which the guard is held: [begin, end).
+  size_t begin = 0;
+  size_t end = 0;
+  int line = 0;
+};
+
+/// Finds MutexLock/ReaderMutexLock/WriterMutexLock RAII scopes inside a
+/// function body span. A guard is held from its declaration to the end of
+/// its enclosing brace scope.
+std::vector<GuardScope> FindGuardScopes(const std::vector<Token>& toks,
+                                        const FunctionInfo& fn) {
+  std::vector<GuardScope> scopes;
+  for (size_t i = fn.body_begin + 1; i + 2 < fn.body_end; ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::kIdent ||
+        (tok.text != "MutexLock" && tok.text != "ReaderMutexLock" &&
+         tok.text != "WriterMutexLock")) {
+      continue;
+    }
+    if (toks[i + 1].kind != TokKind::kIdent) continue;  // guard variable name
+    if (toks[i + 2].text != "(" || toks[i + 2].match < 0) continue;
+    const size_t close = static_cast<size_t>(toks[i + 2].match);
+    GuardScope scope;
+    scope.lock = MutexLastComponent(NormalizeMutexExpr(toks, i + 3, close));
+    scope.begin = close + 1;
+    scope.line = tok.line;
+    // Enclosing scope end: the `}` that closes the block the guard lives
+    // in (bounded by the function body).
+    int depth = 0;
+    size_t j = close + 1;
+    for (; j < fn.body_end; ++j) {
+      if (toks[j].text == "{") {
+        ++depth;
+      } else if (toks[j].text == "}") {
+        if (depth == 0) break;
+        --depth;
+      }
+    }
+    scope.end = j;
+    scopes.push_back(std::move(scope));
+  }
+  return scopes;
+}
+
+/// Cross-TU name tables assembled from every class definition.
+struct LockWorld {
+  /// mutex last-component -> class names declaring a mutex of that name.
+  std::map<std::string, std::set<std::string>> mutex_owners;
+  /// class name -> guarded members.
+  std::map<std::string, std::vector<GuardedMember>> guarded;
+  /// (class name, method name) -> union of annotated declarations.
+  std::map<std::pair<std::string, std::string>, MethodDecl> decls;
+};
+
+LockWorld BuildLockWorld(const RepoModel& repo) {
+  LockWorld world;
+  for (const TranslationUnit& tu : repo.tus) {
+    for (const ClassInfo& cls : tu.classes) {
+      for (const std::string& mutex : cls.mutexes) {
+        world.mutex_owners[mutex].insert(cls.name);
+      }
+      for (const GuardedMember& member : cls.guarded) {
+        world.guarded[cls.name].push_back(member);
+      }
+    }
+    for (const MethodDecl& decl : tu.method_decls) {
+      MethodDecl& merged = world.decls[{decl.class_name, decl.name}];
+      merged.class_name = decl.class_name;
+      merged.name = decl.name;
+      merged.no_thread_safety_analysis |= decl.no_thread_safety_analysis;
+      for (const std::string& lock : decl.requires_locks) {
+        merged.requires_locks.push_back(lock);
+      }
+    }
+  }
+  return world;
+}
+
+/// Global lock identity: "Class::name" when the owning class is known
+/// (the function's own class first, then a unique global owner), else the
+/// bare name. Consistent naming is what lets edges from different TUs
+/// connect in the graph.
+std::string LockIdentity(const LockWorld& world, const std::string& own_class,
+                         const std::string& lock) {
+  if (!own_class.empty()) {
+    auto it = world.mutex_owners.find(lock);
+    if (it != world.mutex_owners.end() && it->second.count(own_class) != 0) {
+      return own_class + "::" + lock;
+    }
+  }
+  auto it = world.mutex_owners.find(lock);
+  if (it != world.mutex_owners.end() && it->second.size() == 1) {
+    return *it->second.begin() + "::" + lock;
+  }
+  return lock;
+}
+
+/// The class a function definition belongs to ("" for free functions).
+std::string FunctionClass(const TranslationUnit& tu, const FunctionInfo& fn) {
+  if (!fn.qualifier.empty()) return fn.qualifier;
+  if (fn.enclosing_class >= 0) {
+    return tu.classes[static_cast<size_t>(fn.enclosing_class)].name;
+  }
+  return "";
+}
+
+/// One acquired-before edge in the lock graph, with the site it was
+/// observed or declared at.
+struct LockEdge {
+  std::string from;  // acquired first
+  std::string to;    // acquired while `from` is held
+  const LexedFile* lex = nullptr;
+  int line = 0;
+};
+
+/// conc-lock-order: assemble the graph, then flag every edge that closes a
+/// cycle. Both sides of an inversion report at their own site, so the
+/// finding points at each conflicting acquisition.
+void LockOrderRule(const RepoModel& repo, const LockWorld& world,
+                   Emitter* emitter) {
+  std::vector<LockEdge> edges;
+  for (const TranslationUnit& tu : repo.tus) {
+    if (!InSrc(tu.lex.path)) continue;
+    for (const ClassInfo& cls : tu.classes) {
+      for (const DeclaredLockOrder& order : cls.declared_order) {
+        LockEdge edge;
+        edge.from = LockIdentity(world, cls.name, order.before);
+        edge.to = LockIdentity(world, cls.name, order.after);
+        edge.lex = &tu.lex;
+        edge.line = order.line;
+        if (edge.from != edge.to) edges.push_back(std::move(edge));
+      }
+    }
+    for (const FunctionInfo& fn : tu.functions) {
+      const std::string own_class = FunctionClass(tu, fn);
+      const std::vector<GuardScope> scopes =
+          FindGuardScopes(tu.lex.tokens, fn);
+      for (size_t outer = 0; outer < scopes.size(); ++outer) {
+        for (size_t inner = outer + 1; inner < scopes.size(); ++inner) {
+          if (scopes[inner].begin >= scopes[outer].end) continue;
+          LockEdge edge;
+          edge.from = LockIdentity(world, own_class, scopes[outer].lock);
+          edge.to = LockIdentity(world, own_class, scopes[inner].lock);
+          edge.lex = &tu.lex;
+          edge.line = scopes[inner].line;
+          if (edge.from != edge.to) edges.push_back(std::move(edge));
+        }
+      }
+    }
+  }
+
+  std::map<std::string, std::set<std::string>> adjacency;
+  for (const LockEdge& edge : edges) {
+    adjacency[edge.from].insert(edge.to);
+  }
+  // Edge (u -> v) closes a cycle iff u is reachable from v.
+  auto reaches = [&adjacency](const std::string& from,
+                              const std::string& target) {
+    std::set<std::string> visited;
+    std::vector<std::string> stack = {from};
+    while (!stack.empty()) {
+      const std::string node = stack.back();
+      stack.pop_back();
+      if (node == target) return true;
+      if (!visited.insert(node).second) continue;
+      auto it = adjacency.find(node);
+      if (it == adjacency.end()) continue;
+      for (const std::string& next : it->second) stack.push_back(next);
+    }
+    return false;
+  };
+  for (const LockEdge& edge : edges) {
+    if (!reaches(edge.to, edge.from)) continue;
+    emitter->Emit(
+        *edge.lex, edge.line, "conc-lock-order",
+        StrFormat("lock-order inversion: '%s' is acquired/ordered before "
+                  "'%s' here, but the repo-wide lock graph also orders '%s' "
+                  "before '%s' — pick one order and declare it with "
+                  "CGKGR_ACQUIRED_AFTER",
+                  edge.from.c_str(), edge.to.c_str(), edge.to.c_str(),
+                  edge.from.c_str()));
+  }
+}
+
+/// conc-guard-access: a CGKGR_GUARDED_BY member accessed in a member
+/// function of its class that neither holds the guard's mutex (no
+/// enclosing MutexLock scope) nor declares CGKGR_REQUIRES on it. Works on
+/// out-of-line definitions in .cc files whose class lives in a header —
+/// the per-TU clang pass cannot see those annotations; this rule can.
+void GuardAccessRule(const RepoModel& repo, const LockWorld& world,
+                     Emitter* emitter) {
+  for (const TranslationUnit& tu : repo.tus) {
+    if (!InSrc(tu.lex.path)) continue;
+    const std::vector<Token>& toks = tu.lex.tokens;
+    for (const FunctionInfo& fn : tu.functions) {
+      if (fn.no_thread_safety_analysis || fn.is_ctor_or_dtor) continue;
+      const std::string own_class = FunctionClass(tu, fn);
+      if (own_class.empty()) continue;
+      auto guarded_it = world.guarded.find(own_class);
+      if (guarded_it == world.guarded.end()) continue;
+
+      std::set<std::string> held;
+      for (const std::string& lock : fn.requires_locks) held.insert(lock);
+      auto decl_it = world.decls.find({own_class, fn.name});
+      if (decl_it != world.decls.end()) {
+        if (decl_it->second.no_thread_safety_analysis) continue;
+        for (const std::string& lock : decl_it->second.requires_locks) {
+          held.insert(lock);
+        }
+      }
+      const std::vector<GuardScope> scopes = FindGuardScopes(toks, fn);
+
+      std::set<std::string> reported;
+      for (size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        if (toks[i].kind != TokKind::kIdent) continue;
+        const GuardedMember* member = nullptr;
+        for (const GuardedMember& candidate : guarded_it->second) {
+          if (candidate.name == toks[i].text) {
+            member = &candidate;
+            break;
+          }
+        }
+        if (member == nullptr || reported.count(member->name) != 0) continue;
+        // Only accesses to *our* member: bare or through `this->`.
+        if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+            !(i >= 2 && TokIs(toks, i - 2, "this"))) {
+          continue;
+        }
+        if (i > 0 && toks[i - 1].text == "::") continue;
+        const std::string lock = MutexLastComponent(member->mutex_expr);
+        if (held.count(lock) != 0) continue;
+        bool in_scope = false;
+        for (const GuardScope& scope : scopes) {
+          if (scope.lock == lock && i >= scope.begin && i < scope.end) {
+            in_scope = true;
+            break;
+          }
+        }
+        if (in_scope) continue;
+        reported.insert(member->name);
+        emitter->Emit(
+            tu.lex, toks[i].line, "conc-guard-access",
+            StrFormat("'%s::%s' is CGKGR_GUARDED_BY(%s) but accessed in "
+                      "%s() without holding it — take a MutexLock or "
+                      "annotate the function with CGKGR_REQUIRES(%s)",
+                      own_class.c_str(), member->name.c_str(),
+                      member->mutex_expr.c_str(), fn.name.c_str(),
+                      member->mutex_expr.c_str()));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RunConcurrencyPack(const RepoModel& repo, Emitter* emitter) {
+  for (const TranslationUnit& tu : repo.tus) {
+    if (!InSrc(tu.lex.path)) continue;
+    if (emitter->Enabled("mutex-annotation")) MutexAnnotationRule(tu, emitter);
+    if (emitter->Enabled("raw-thread")) RawThreadRule(tu, emitter);
+  }
+  const LockWorld world = BuildLockWorld(repo);
+  if (emitter->Enabled("conc-lock-order")) {
+    LockOrderRule(repo, world, emitter);
+  }
+  if (emitter->Enabled("conc-guard-access")) {
+    GuardAccessRule(repo, world, emitter);
+  }
+}
+
+}  // namespace internal
+}  // namespace analysis
+}  // namespace cgkgr

@@ -1,0 +1,267 @@
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/source_packs.h"
+#include "common/string_util.h"
+
+namespace cgkgr {
+namespace analysis {
+namespace internal {
+
+/// \file
+/// Determinism pack: the static side of the bit-identical-training
+/// contract (docs/parallel_training.md). Training results must not depend
+/// on hash-table iteration order, float-summation association, or ambient
+/// process state; these rules flag the three ways code drifts into that.
+
+namespace {
+
+/// Zero literals that start a classic serial accumulator.
+bool IsZeroLiteral(const Token& tok) {
+  if (tok.kind != TokKind::kNumber) return false;
+  const std::string& t = tok.text;
+  return t == "0" || t == "0.0" || t == "0." || t == "0.f" || t == "0.0f" ||
+         t == "0.F" || t == "0.0F";
+}
+
+/// Variables in this TU declared with an unordered container type (or an
+/// alias of one). Declaration shape: TypeName[<args>] [&|*|const] name.
+std::set<std::string> CollectUnorderedVars(const RepoModel& repo,
+                                           const TranslationUnit& tu) {
+  std::set<std::string> vars;
+  const std::vector<Token>& toks = tu.lex.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        repo.unordered_type_names.count(toks[i].text) == 0) {
+      continue;
+    }
+    size_t j = i + 1;
+    // Template argument list.
+    if (j < toks.size() && toks[j].text == "<") {
+      int depth = 0;
+      bool closed = false;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        else if (toks[j].text == ">") {
+          if (--depth == 0) { closed = true; ++j; break; }
+        } else if (toks[j].text == ">>") {
+          if ((depth -= 2) <= 0) { closed = true; ++j; break; }
+        } else if (toks[j].text == ";" || toks[j].text == "{") {
+          break;
+        }
+      }
+      if (!closed) continue;
+    }
+    // Nested-type usage (`unordered_map<...>::iterator`) is not a variable.
+    if (j < toks.size() && toks[j].text == "::") continue;
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            TokIs(toks, j, "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      vars.insert(toks[j].text);
+    }
+  }
+  return vars;
+}
+
+/// Token index just past a loop body: `{...}` block or single statement.
+size_t BodyEnd(const std::vector<Token>& toks, size_t body_begin) {
+  if (body_begin >= toks.size()) return body_begin;
+  if (toks[body_begin].text == "{" && toks[body_begin].match > 0) {
+    return static_cast<size_t>(toks[body_begin].match);
+  }
+  size_t j = body_begin;
+  while (j < toks.size() && toks[j].text != ";") ++j;
+  return j;
+}
+
+bool IsCompoundAssign(const Token& tok) {
+  const std::string& t = tok.text;
+  return t == "+=" || t == "-=" || t == "*=" || t == "/=" || t == "|=" ||
+         t == "&=" || t == "^=";
+}
+
+/// det-unordered-iter: range-for over an unordered container whose body
+/// feeds a reduction (compound assignment, accumulate) or ordered output
+/// (push_back/emplace_back, stream insertion).
+void UnorderedIterRule(const RepoModel& repo, const TranslationUnit& tu,
+                       Emitter* emitter) {
+  const std::vector<Token>& toks = tu.lex.tokens;
+  const std::set<std::string> unordered_vars = CollectUnorderedVars(repo, tu);
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!TokIs(toks, i, "for") || toks[i + 1].text != "(" ||
+        toks[i + 1].match < 0) {
+      continue;
+    }
+    const size_t open = i + 1;
+    const size_t close = static_cast<size_t>(toks[open].match);
+    // Range-for: a single `:` at the top paren level (skip `::`).
+    size_t colon = 0;
+    int depth = 0;
+    for (size_t j = open + 1; j < close; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      else if (t == ")" || t == "]" || t == "}") --depth;
+      else if (t == ":" && depth == 0) { colon = j; break; }
+      else if (t == ";" && depth == 0) break;  // classic for
+    }
+    if (colon == 0) continue;
+    // Does the range expression name an unordered container?
+    bool unordered = false;
+    std::string range_name;
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].kind != TokKind::kIdent) continue;
+      if (unordered_vars.count(toks[j].text) != 0 ||
+          repo.unordered_type_names.count(toks[j].text) != 0) {
+        unordered = true;
+        range_name = toks[j].text;
+        break;
+      }
+    }
+    if (!unordered) continue;
+    // Does the body feed a reduction or ordered output?
+    const size_t body_begin = close + 1;
+    const size_t body_end = BodyEnd(toks, body_begin);
+    const char* sink = nullptr;
+    size_t sink_at = 0;
+    for (size_t j = body_begin; j < body_end && sink == nullptr; ++j) {
+      if (IsCompoundAssign(toks[j])) {
+        sink = "a compound-assignment reduction";
+        sink_at = j;
+      } else if (toks[j].text == "<<") {
+        sink = "stream output";
+        sink_at = j;
+      } else if (toks[j].kind == TokKind::kIdent &&
+                 (toks[j].text == "push_back" ||
+                  toks[j].text == "emplace_back" ||
+                  toks[j].text == "accumulate")) {
+        sink = "ordered-output collection";
+        sink_at = j;
+      }
+    }
+    if (sink == nullptr) continue;
+    emitter->Emit(
+        tu.lex, toks[i].line, "det-unordered-iter",
+        StrFormat("iterating unordered container '%s' feeds %s (line %d); "
+                  "iteration order is unspecified and breaks the "
+                  "bit-identity contract — iterate a sorted copy or use an "
+                  "ordered container",
+                  range_name.c_str(), sink, toks[sink_at].line));
+  }
+}
+
+/// det-naive-float-sum, part 1: any std::accumulate call.
+void AccumulateRule(const TranslationUnit& tu, Emitter* emitter) {
+  const std::vector<Token>& toks = tu.lex.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent && toks[i].text == "accumulate" &&
+        toks[i + 1].text == "(" &&
+        (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->"))) {
+      emitter->Emit(tu.lex, toks[i].line, "det-naive-float-sum",
+                    "std::accumulate hides the association of a float "
+                    "reduction; sum through tensor::Sum (pairwise cascade) "
+                    "or an explicit double accumulator");
+    }
+  }
+}
+
+/// det-naive-float-sum, part 2: `float x = 0...;` followed in the same
+/// scope by a loop whose body does `x += ...`. The sanctioned forms are a
+/// double accumulator (SegmentSoftmax-style) or tensor::Sum's cascade.
+void NaiveFloatSumRule(const TranslationUnit& tu, Emitter* emitter) {
+  const std::vector<Token>& toks = tu.lex.tokens;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!TokIs(toks, i, "float")) continue;
+    if (toks[i + 1].kind != TokKind::kIdent || toks[i + 2].text != "=" ||
+        !IsZeroLiteral(toks[i + 3]) || !TokIs(toks, i + 4, ";")) {
+      continue;
+    }
+    const std::string name = toks[i + 1].text;
+    const int scope_depth = toks[i].brace_depth;
+    // Scan the rest of the declaring scope for loops accumulating into it.
+    for (size_t j = i + 5; j < toks.size(); ++j) {
+      if (toks[j].text == "}" && toks[j].brace_depth == scope_depth) break;
+      if (!TokIs(toks, j, "for") && !TokIs(toks, j, "while")) continue;
+      if (j + 1 >= toks.size() || toks[j + 1].text != "(" ||
+          toks[j + 1].match < 0) {
+        continue;
+      }
+      const size_t body_begin = static_cast<size_t>(toks[j + 1].match) + 1;
+      const size_t body_end = BodyEnd(toks, body_begin);
+      for (size_t k = body_begin; k + 1 < body_end; ++k) {
+        if (toks[k].kind == TokKind::kIdent && toks[k].text == name &&
+            toks[k + 1].text == "+=" &&
+            (k == 0 ||
+             (toks[k - 1].text != "." && toks[k - 1].text != "->"))) {
+          emitter->Emit(
+              tu.lex, toks[k].line, "det-naive-float-sum",
+              StrFormat("serial float accumulator '%s' (declared line %d): "
+                        "single-precision serial addition drifts with order "
+                        "and length; accumulate in double or use tensor::Sum",
+                        name.c_str(), toks[i].line));
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// det-ambient-rng: ambient randomness / wall-clock entropy outside the
+/// seeded RNG substrate (common/rng.*).
+void AmbientRngRule(const TranslationUnit& tu, Emitter* emitter) {
+  const std::string& path = tu.lex.path;
+  if (PathStartsWith(path, "src/common/rng")) return;
+  const std::vector<Token>& toks = tu.lex.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    const bool qualified_std =
+        i >= 2 && toks[i - 1].text == "::" && TokIs(toks, i - 2, "std");
+    const bool member_access =
+        i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if ((t == "random_device" || t == "mt19937" || t == "mt19937_64" ||
+         t == "default_random_engine" || t == "minstd_rand") &&
+        !member_access) {
+      emitter->Emit(tu.lex, toks[i].line, "det-ambient-rng",
+                    StrFormat("std::%s outside common/rng: unseeded entropy "
+                              "makes runs unreproducible; fork a cgkgr::Rng "
+                              "instead",
+                              t.c_str()));
+      continue;
+    }
+    if ((t == "rand" || t == "srand" || t == "time") && !member_access &&
+        !(i > 0 && toks[i - 1].text == "::" && !qualified_std) &&
+        TokIs(toks, i + 1, "(")) {
+      emitter->Emit(
+          tu.lex, toks[i].line, "det-ambient-rng",
+          StrFormat("%s() outside common/rng: ambient process state in a "
+                    "result path breaks replayability; use cgkgr::Rng / "
+                    "WallTimer",
+                    t.c_str()));
+    }
+  }
+}
+
+}  // namespace
+
+void RunDeterminismPack(const RepoModel& repo, Emitter* emitter) {
+  for (const TranslationUnit& tu : repo.tus) {
+    if (!InSrc(tu.lex.path)) continue;
+    if (emitter->Enabled("det-unordered-iter")) {
+      UnorderedIterRule(repo, tu, emitter);
+    }
+    if (emitter->Enabled("det-naive-float-sum")) {
+      AccumulateRule(tu, emitter);
+      NaiveFloatSumRule(tu, emitter);
+    }
+    if (emitter->Enabled("det-ambient-rng")) AmbientRngRule(tu, emitter);
+  }
+}
+
+}  // namespace internal
+}  // namespace analysis
+}  // namespace cgkgr

@@ -1,0 +1,374 @@
+#include "analysis/source_lexer.h"
+
+#include <cctype>
+#include <cstddef>
+#include <utility>
+
+namespace cgkgr {
+namespace analysis {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Cursor over the raw source that is transparent to line splices
+/// (backslash-newline), the first phase of C++ translation. Every Get()
+/// advance keeps the physical line counter honest, so tokens report the
+/// line their first character sits on even across spliced macro bodies.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) { SkipSplices(); }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  char PeekAt(size_t ahead) const {
+    // Splice-transparent lookahead: walk forward skipping backslash-newline.
+    size_t p = pos_;
+    size_t left = ahead;
+    while (p < text_.size()) {
+      if (text_[p] == '\\' && p + 1 < text_.size() && IsNewlineAt(p + 1)) {
+        p += SpliceLenAt(p);
+        continue;
+      }
+      if (left == 0) return text_[p];
+      --left;
+      ++p;
+    }
+    return '\0';
+  }
+
+  /// Consumes and returns the current character.
+  char Get() {
+    const char c = text_[pos_];
+    if (c == '\n') {
+      ++line_;
+      ++logical_line_;
+    }
+    ++pos_;
+    SkipSplices();
+    return c;
+  }
+
+  /// Consumes the current character without splice skipping (for raw
+  /// strings, where splices are literal content).
+  char GetRaw() {
+    const char c = text_[pos_];
+    if (c == '\n') {
+      ++line_;
+      ++logical_line_;
+    }
+    ++pos_;
+    return c;
+  }
+
+  int line() const { return line_; }
+  /// Advances only on *real* newlines, not splices: a spliced preprocessor
+  /// directive stays on one logical line.
+  int logical_line() const { return logical_line_; }
+
+ private:
+  bool IsNewlineAt(size_t p) const {
+    return text_[p] == '\n' ||
+           (text_[p] == '\r' && p + 1 < text_.size() && text_[p + 1] == '\n');
+  }
+  size_t SpliceLenAt(size_t p) const {
+    // p points at the backslash.
+    return text_[p + 1] == '\r' ? 3 : 2;
+  }
+  void SkipSplices() {
+    while (pos_ < text_.size() && text_[pos_] == '\\' &&
+           pos_ + 1 < text_.size() && IsNewlineAt(pos_ + 1)) {
+      const size_t len = SpliceLenAt(pos_);
+      pos_ += len;
+      ++line_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int logical_line_ = 1;
+};
+
+/// Multi-character punctuators, longest first within each leading char
+/// (maximal munch). Single characters fall through.
+const char* const kPuncts3[] = {"<<=", ">>=", "...", "->*", "<=>"};
+const char* const kPuncts2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
+                                ">=", "==", "!=", "&&", "||", "+=", "-=",
+                                "*=", "/=", "%=", "&=", "|=", "^=", "##"};
+
+/// Scans comment text for suppression markers and records them.
+void ScanCommentForMarkers(const std::string& comment, int line,
+                           LexedFile* out) {
+  // File-level: "lint-repo: allow=rule" (legacy) or
+  // "cgkgr-analyze: allow=rule".
+  for (const char* prefix : {"lint-repo: allow=", "cgkgr-analyze: allow="}) {
+    size_t at = 0;
+    while ((at = comment.find(prefix, at)) != std::string::npos) {
+      at += std::string_view(prefix).size();
+      std::string rule;
+      while (at < comment.size() &&
+             (IsIdentChar(comment[at]) || comment[at] == '-')) {
+        rule.push_back(comment[at++]);
+      }
+      if (!rule.empty()) out->file_allows.insert(rule);
+    }
+  }
+  // Line-level: NOLINT or NOLINT(rule-a,rule-b).
+  size_t at = 0;
+  while ((at = comment.find("NOLINT", at)) != std::string::npos) {
+    at += 6;
+    if (at < comment.size() && comment[at] == '(') {
+      ++at;
+      std::string rule;
+      while (at < comment.size() && comment[at] != ')') {
+        if (IsIdentChar(comment[at]) || comment[at] == '-') {
+          rule.push_back(comment[at]);
+        } else if (comment[at] == ',') {
+          if (!rule.empty()) out->line_allows[line].insert(rule);
+          rule.clear();
+        }
+        ++at;
+      }
+      if (!rule.empty()) out->line_allows[line].insert(rule);
+    } else {
+      out->line_allows[line].insert("*");
+    }
+  }
+}
+
+}  // namespace
+
+bool LexedFile::Suppressed(const std::string& rule, int line) const {
+  if (file_allows.count(rule) != 0) return true;
+  auto it = line_allows.find(line);
+  if (it == line_allows.end()) return false;
+  return it->second.count(rule) != 0 || it->second.count("*") != 0;
+}
+
+bool TokIs(const std::vector<Token>& toks, size_t i, std::string_view text) {
+  return i < toks.size() && toks[i].text == text;
+}
+
+LexedFile LexSource(std::string path, std::string_view source) {
+  LexedFile out;
+  out.path = std::move(path);
+  Cursor cur(source);
+  bool in_directive = false;
+  bool line_has_token = false;  // any token yet on the current logical line?
+  int last_logical_line = 1;
+
+  auto push = [&](TokKind kind, std::string text, int line) {
+    Token tok;
+    tok.kind = kind;
+    tok.text = std::move(text);
+    tok.line = line;
+    tok.preprocessor = in_directive;
+    out.tokens.push_back(std::move(tok));
+    line_has_token = true;
+  };
+
+  while (!cur.AtEnd()) {
+    // Track logical line ends: a real newline terminates a directive, a
+    // splice does not (the cursor consumes splices transparently but only
+    // counts real newlines in logical_line()).
+    if (cur.logical_line() != last_logical_line) {
+      last_logical_line = cur.logical_line();
+      in_directive = false;
+      line_has_token = false;
+    }
+    const char c = cur.Peek();
+    if (c == '\n' || c == '\r' || c == ' ' || c == '\t' || c == '\f' ||
+        c == '\v') {
+      cur.Get();
+      continue;
+    }
+    const int line = cur.line();
+    // Comments.
+    if (c == '/' && cur.PeekAt(1) == '/') {
+      std::string comment;
+      while (!cur.AtEnd() && cur.Peek() != '\n') comment.push_back(cur.Get());
+      ScanCommentForMarkers(comment, line, &out);
+      continue;
+    }
+    if (c == '/' && cur.PeekAt(1) == '*') {
+      cur.Get();
+      cur.Get();
+      std::string comment;
+      while (!cur.AtEnd()) {
+        if (cur.Peek() == '*' && cur.PeekAt(1) == '/') {
+          cur.Get();
+          cur.Get();
+          break;
+        }
+        comment.push_back(cur.Get());
+      }
+      // Markers in a block comment apply to the line the comment started on.
+      ScanCommentForMarkers(comment, line, &out);
+      continue;
+    }
+    // Preprocessor directive: '#' as the first token of a logical line.
+    if (c == '#' && !line_has_token) {
+      in_directive = true;
+      // fall through to punctuation handling below
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && cur.PeekAt(1) == '"') {
+      std::string text;
+      text.push_back(cur.Get());  // R
+      text.push_back(cur.Get());  // "
+      std::string delim;
+      while (!cur.AtEnd() && cur.Peek() != '(') delim.push_back(cur.Get());
+      if (!cur.AtEnd()) delim.push_back(cur.Get());  // (
+      text += delim;
+      const std::string closer = ")" + delim.substr(0, delim.size() - 1) + "\"";
+      std::string body;
+      while (!cur.AtEnd()) {
+        body.push_back(cur.GetRaw());
+        if (body.size() >= closer.size() &&
+            body.compare(body.size() - closer.size(), closer.size(), closer) ==
+                0) {
+          break;
+        }
+      }
+      push(TokKind::kString, text + body, line);
+      continue;
+    }
+    // String / char literal (with escape handling).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string text;
+      text.push_back(cur.Get());
+      while (!cur.AtEnd()) {
+        const char d = cur.Get();
+        text.push_back(d);
+        if (d == '\\' && !cur.AtEnd()) {
+          text.push_back(cur.Get());
+          continue;
+        }
+        if (d == quote) break;
+        if (d == '\n') break;  // unterminated; resynchronize at newline
+      }
+      push(quote == '"' ? TokKind::kString : TokKind::kChar, std::move(text),
+           line);
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (!cur.AtEnd() && IsIdentChar(cur.Peek())) text.push_back(cur.Get());
+      push(TokKind::kIdent, std::move(text), line);
+      continue;
+    }
+    // pp-number: starts with a digit, or '.' followed by a digit.
+    if (IsDigit(c) || (c == '.' && IsDigit(cur.PeekAt(1)))) {
+      std::string text;
+      text.push_back(cur.Get());
+      while (!cur.AtEnd()) {
+        const char d = cur.Peek();
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          text.push_back(cur.Get());
+          // Exponent signs: 1e+5, 0x1p-3.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+              (cur.Peek() == '+' || cur.Peek() == '-')) {
+            text.push_back(cur.Get());
+          }
+          continue;
+        }
+        break;
+      }
+      push(TokKind::kNumber, std::move(text), line);
+      continue;
+    }
+    // Punctuation, maximal munch.
+    {
+      std::string text;
+      bool matched = false;
+      for (const char* p : kPuncts3) {
+        if (c == p[0] && cur.PeekAt(1) == p[1] && cur.PeekAt(2) == p[2]) {
+          cur.Get();
+          cur.Get();
+          cur.Get();
+          text = p;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        for (const char* p : kPuncts2) {
+          if (c == p[0] && cur.PeekAt(1) == p[1]) {
+            cur.Get();
+            cur.Get();
+            text = p;
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (!matched) text.push_back(cur.Get());
+      push(TokKind::kPunct, std::move(text), line);
+      continue;
+    }
+  }
+  out.num_lines = cur.line();
+
+  // Bracket matching + brace depth. Angle brackets are not matched (template
+  // ambiguity); rules that need template arguments count nesting locally.
+  {
+    std::vector<size_t> stack;
+    int depth = 0;
+    for (size_t i = 0; i < out.tokens.size(); ++i) {
+      Token& tok = out.tokens[i];
+      tok.brace_depth = depth;
+      if (tok.kind != TokKind::kPunct) continue;
+      const std::string& t = tok.text;
+      if (t == "(" || t == "[" || t == "{") {
+        if (t == "{") {
+          ++depth;
+          tok.brace_depth = depth - 1;  // depth *before* the brace
+        }
+        stack.push_back(i);
+      } else if (t == ")" || t == "]" || t == "}") {
+        if (t == "}") {
+          depth = depth > 0 ? depth - 1 : 0;
+          tok.brace_depth = depth + 1;  // the '}' belongs to the open block
+        }
+        const char open = t == ")" ? '(' : (t == "]" ? '[' : '{');
+        // Pop to the nearest matching opener, tolerating imbalance.
+        while (!stack.empty() &&
+               out.tokens[stack.back()].text[0] != open) {
+          stack.pop_back();
+        }
+        if (!stack.empty()) {
+          out.tokens[stack.back()].match = static_cast<int>(i);
+          tok.match = static_cast<int>(stack.back());
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Quoted includes.
+  for (size_t i = 0; i + 2 < out.tokens.size(); ++i) {
+    if (out.tokens[i].preprocessor && out.tokens[i].text == "#" &&
+        TokIs(out.tokens, i + 1, "include") &&
+        out.tokens[i + 2].kind == TokKind::kString) {
+      const std::string& lit = out.tokens[i + 2].text;
+      if (lit.size() >= 2 && lit.front() == '"' && lit.back() == '"') {
+        out.includes.push_back(lit.substr(1, lit.size() - 2));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace cgkgr

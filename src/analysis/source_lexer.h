@@ -1,0 +1,92 @@
+#ifndef CGKGR_ANALYSIS_SOURCE_LEXER_H_
+#define CGKGR_ANALYSIS_SOURCE_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgkgr {
+namespace analysis {
+
+/// \file
+/// A lightweight C++ lexer for the repo's static analyzer (source_lint.h).
+/// It is not a compiler front end: it produces a flat token stream with
+/// physical line numbers, a matched-bracket tree, brace-nesting depths, and
+/// the preprocessor facts the rule packs need (quoted includes, line
+/// splices, directive membership). Comments are consumed — but scanned for
+/// suppression markers (`NOLINT(rule)` trailing a line, file-level
+/// `lint-repo: allow=rule` / `cgkgr-analyze: allow=rule`) which are
+/// recorded on the LexedFile so rules never see or match inside them.
+
+/// Lexical category of one token.
+enum class TokKind {
+  /// Identifier or keyword (`for`, `new`, `unordered_map`, `mu_`, ...).
+  kIdent = 0,
+  /// pp-number: integer / floating literal including suffixes.
+  kNumber,
+  /// String literal, text includes the quotes (raw strings supported).
+  kString,
+  /// Character literal, text includes the quotes.
+  kChar,
+  /// Operator or punctuator, maximal munch (`+=`, `::`, `->`, `<<=`, ...).
+  kPunct,
+};
+
+/// One lexed token. `text` owns its characters so a LexedFile outlives the
+/// source buffer it was lexed from.
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  /// 1-based physical line of the token's first character (after splices
+  /// the token is attributed to the line it starts on).
+  int line = 0;
+  /// For `(`/`)`/`[`/`]`/`{`/`}`: index of the matching bracket token, or
+  /// -1 when unbalanced. -1 for every other token.
+  int match = -1;
+  /// Brace-nesting depth *before* this token (the `}` closing a depth-d
+  /// block carries depth d).
+  int brace_depth = 0;
+  /// True when the token is part of a preprocessor directive line.
+  bool preprocessor = false;
+};
+
+/// A fully lexed source file plus the side tables rules consume.
+struct LexedFile {
+  /// Repo-relative path with forward slashes ("src/serve/engine.cc").
+  std::string path;
+  std::vector<Token> tokens;
+  /// Quoted `#include "..."` targets, in order of appearance.
+  std::vector<std::string> includes;
+  /// Rules allowed for the whole file via `lint-repo: allow=rule` or
+  /// `cgkgr-analyze: allow=rule` markers ("*" never appears here).
+  std::set<std::string> file_allows;
+  /// line -> rules suppressed on that line via `NOLINT` / `NOLINT(rule)`
+  /// comments; a bare `NOLINT` inserts "*".
+  std::map<int, std::set<std::string>> line_allows;
+  /// Number of physical lines in the source.
+  int num_lines = 0;
+
+  /// True when `rule` on `line` is suppressed by an inline marker.
+  bool Suppressed(const std::string& rule, int line) const;
+};
+
+/// Lexes `source` (the raw bytes of a C++ file). Never fails: unterminated
+/// constructs are closed at end of input, unbalanced brackets keep
+/// `match = -1`. `path` should be repo-relative; it is stored verbatim.
+LexedFile LexSource(std::string path, std::string_view source);
+
+/// True when token `i` exists and is an identifier with exactly this text.
+bool TokIs(const std::vector<Token>& toks, size_t i, std::string_view text);
+
+/// Index of the next token after `i`, skipping none (tokens are dense);
+/// returns toks.size() when past the end. Convenience for bounds-safe walks.
+inline size_t NextTok(const std::vector<Token>& toks, size_t i) {
+  return i + 1 < toks.size() ? i + 1 : toks.size();
+}
+
+}  // namespace analysis
+}  // namespace cgkgr
+
+#endif  // CGKGR_ANALYSIS_SOURCE_LEXER_H_

@@ -1,0 +1,345 @@
+#include "analysis/source_lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "analysis/source_packs.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace cgkgr {
+namespace analysis {
+
+namespace internal {
+
+bool PathStartsWith(const std::string& path, std::string_view prefix) {
+  return path.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool InSrc(const std::string& path) { return PathStartsWith(path, "src/"); }
+
+Emitter::Emitter(const std::set<std::string>* enabled_rules,
+                 SourceLintReport* report)
+    : enabled_rules_(enabled_rules), report_(report) {}
+
+bool Emitter::Enabled(const std::string& rule) const {
+  return enabled_rules_->empty() || enabled_rules_->count(rule) != 0;
+}
+
+void Emitter::Emit(const LexedFile& lex, int line, const std::string& rule,
+                   std::string message) {
+  if (!Enabled(rule)) return;
+  if (lex.Suppressed(rule, line)) {
+    ++report_->inline_suppressed;
+    return;
+  }
+  Finding finding;
+  finding.file = lex.path;
+  finding.line = line;
+  finding.rule = rule;
+  finding.message = std::move(message);
+  report_->findings.push_back(std::move(finding));
+}
+
+}  // namespace internal
+
+using internal::RepoModel;
+
+std::string Finding::ToString() const {
+  return StrFormat("%s:%d: [%s] %s", file.c_str(), line, rule.c_str(),
+                   message.c_str());
+}
+
+std::string Finding::BaselineKey() const { return file + ":" + rule; }
+
+const std::vector<RuleInfo>& RuleCatalog() {
+  static const std::vector<RuleInfo> kRules = {
+      // Determinism pack — the static side of PR 4's bit-identity contract.
+      {"det-unordered-iter", "determinism",
+       "iterating an unordered container where the loop body feeds a "
+       "reduction or ordered output (iteration order is unspecified)"},
+      {"det-naive-float-sum", "determinism",
+       "serial float accumulator or std::accumulate outside the sanctioned "
+       "tensor::Sum cascade / double-accumulator helpers"},
+      {"det-ambient-rng", "determinism",
+       "time()/rand()/std::random_device/std::mt19937 outside common/rng — "
+       "all randomness flows from the seeded, forkable cgkgr::Rng"},
+      // Memory pack — ownership, persistence, and page discipline.
+      {"naked-new", "memory",
+       "naked new outside std::make_unique/make_shared or a container"},
+      {"raw-ofstream", "memory",
+       "std::ofstream state write outside src/ckpt/ (atomic publish + CRC "
+       "framing live there; see docs/checkpointing.md)"},
+      {"discarded-status", "memory",
+       "a Status/Result-returning call used as a bare statement (resolved "
+       "over full multi-line call expressions)"},
+      {"iwyu-project", "memory",
+       "uses a project-owned symbol without directly including its header "
+       "(curated symbol->header map)"},
+      {"printf-family", "memory",
+       "printf-family I/O outside the sanctioned sinks (logger, StrFormat, "
+       "TablePrinter, CHECK machinery)"},
+      {"adhoc-timing", "memory",
+       "direct std::chrono clock reads outside src/obs/ and common/timer.h"},
+      {"raw-histogram", "memory",
+       "hand-rolled *Histogram type outside src/obs/"},
+      {"mem-mmap-deref", "memory",
+       "dereferencing MmapFile pages (.data()/.page()/.bytes()/casts) "
+       "outside sanctioned store:: readers — unvalidated page touches grow "
+       "RSS and bypass the bounded-memory contract"},
+      // Concurrency pack — cross-TU lock discipline.
+      {"mutex-annotation", "concurrency",
+       "raw std synchronization type in an annotated dir; use the "
+       "capability-annotated cgkgr::Mutex/SharedMutex/CondVar"},
+      {"raw-thread", "concurrency",
+       "std::thread outside common/thread_pool — concurrency goes through "
+       "cgkgr::ThreadPool"},
+      {"conc-lock-order", "concurrency",
+       "lock-order inversion: the cross-TU lock graph (observed guard "
+       "nesting + CGKGR_ACQUIRED_AFTER/BEFORE declarations) has a cycle"},
+      {"conc-guard-access", "concurrency",
+       "a CGKGR_GUARDED_BY member accessed in a member function that "
+       "neither holds the mutex nor declares CGKGR_REQUIRES on it"},
+  };
+  return kRules;
+}
+
+bool IsKnownRule(const std::string& rule) {
+  for (const RuleInfo& info : RuleCatalog()) {
+    if (rule == info.name) return true;
+  }
+  return false;
+}
+
+SourceLint::SourceLint(SourceLintOptions options)
+    : options_(std::move(options)) {}
+
+void SourceLint::AddSource(std::string path, std::string_view source) {
+  files_.push_back(LexSource(std::move(path), source));
+}
+
+Status SourceLint::AddFileFromDisk(const std::string& root,
+                                   const std::string& relative) {
+  const std::string full = root + "/" + relative;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + full);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  AddSource(relative, buffer.str());
+  return Status::OK();
+}
+
+namespace {
+
+/// Names that produce a Status but are factories/accessors, not failure
+/// paths a caller could be dropping.
+const std::set<std::string>& StatusNameExclusions() {
+  static const std::set<std::string> kExcluded = {
+      "OK",      "InvalidArgument", "NotFound",       "AlreadyExists",
+      "OutOfRange", "IOError",      "Internal",       "NotImplemented",
+      "status",  "Status",          "Result"};
+  return kExcluded;
+}
+
+/// Collects Status/Result-returning function names declared in a header's
+/// token stream: `Status Name(`, `Result<T> Name(`, with optional
+/// static/virtual/cgkgr:: prefixes (handled naturally by token scanning).
+void CollectStatusFunctions(const LexedFile& lex,
+                            std::set<std::string>* names) {
+  const std::vector<Token>& toks = lex.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].preprocessor) continue;
+    size_t name_at = 0;
+    if (toks[i].text == "Status") {
+      name_at = i + 1;
+    } else if (toks[i].text == "Result" && toks[i + 1].text == "<") {
+      // Skip the template argument list.
+      int depth = 0;
+      size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        else if (toks[j].text == ">" && --depth == 0) break;
+        else if (toks[j].text == ">>" && (depth -= 2) <= 0) break;
+        else if (toks[j].text == ";" || toks[j].text == "{") break;
+      }
+      if (j >= toks.size() || (toks[j].text != ">" && toks[j].text != ">>")) {
+        continue;
+      }
+      name_at = j + 1;
+    } else {
+      continue;
+    }
+    if (name_at + 1 >= toks.size()) continue;
+    if (toks[name_at].kind != TokKind::kIdent) continue;
+    if (toks[name_at + 1].text != "(") continue;
+    if (StatusNameExclusions().count(toks[name_at].text) != 0) continue;
+    names->insert(toks[name_at].text);
+  }
+}
+
+/// Collects alias names bound to unordered containers anywhere:
+/// `using X = ... unordered_map ... ;` and `typedef ... X;`.
+void CollectUnorderedAliases(const LexedFile& lex,
+                             std::set<std::string>* names) {
+  const std::vector<Token>& toks = lex.tokens;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!TokIs(toks, i, "using") || toks[i + 1].kind != TokKind::kIdent ||
+        toks[i + 2].text != "=") {
+      continue;
+    }
+    for (size_t j = i + 3; j < toks.size() && toks[j].text != ";"; ++j) {
+      if (toks[j].kind == TokKind::kIdent &&
+          toks[j].text.rfind("unordered_", 0) == 0) {
+        names->insert(toks[i + 1].text);
+        break;
+      }
+    }
+  }
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!TokIs(toks, i, "typedef")) continue;
+    bool unordered = false;
+    size_t j = i + 1;
+    for (; j < toks.size() && toks[j].text != ";"; ++j) {
+      if (toks[j].kind == TokKind::kIdent &&
+          toks[j].text.rfind("unordered_", 0) == 0) {
+        unordered = true;
+      }
+    }
+    if (unordered && j > i + 1 && toks[j - 1].kind == TokKind::kIdent) {
+      names->insert(toks[j - 1].text);
+    }
+  }
+}
+
+bool EndsWith(const std::string& text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+SourceLintReport SourceLint::Run() {
+  SourceLintReport report;
+  RepoModel repo;
+  repo.status_functions = options_.extra_status_functions;
+  repo.unordered_type_names = {"unordered_map", "unordered_set",
+                               "unordered_multimap", "unordered_multiset"};
+  for (const LexedFile& lex : files_) {
+    report.tokens += static_cast<int64_t>(lex.tokens.size());
+    if (EndsWith(lex.path, ".h")) {
+      CollectStatusFunctions(lex, &repo.status_functions);
+    }
+    CollectUnorderedAliases(lex, &repo.unordered_type_names);
+  }
+  report.files = static_cast<int>(files_.size());
+
+  repo.tus.reserve(files_.size());
+  for (const LexedFile& lex : files_) {
+    repo.tus.push_back(BuildTranslationUnit(lex));
+  }
+
+  internal::Emitter emitter(&options_.rules, &report);
+  internal::RunDeterminismPack(repo, &emitter);
+  internal::RunMemoryPack(repo, &emitter);
+  internal::RunConcurrencyPack(repo, &emitter);
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  report.findings.erase(
+      std::unique(report.findings.begin(), report.findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                    return a.file == b.file && a.line == b.line &&
+                           a.rule == b.rule && a.message == b.message;
+                  }),
+      report.findings.end());
+  return report;
+}
+
+Status LoadBaseline(const std::string& path, std::set<std::string>* entries) {
+  entries->clear();
+  std::ifstream in(path);
+  if (!in) return Status::OK();  // no baseline file = empty baseline
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::string entry(trimmed);
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: baseline entries are 'path:rule', got '%s'",
+                    path.c_str(), lineno, entry.c_str()));
+    }
+    if (!IsKnownRule(entry.substr(colon + 1))) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: unknown rule in baseline entry '%s'",
+                    path.c_str(), lineno, entry.c_str()));
+    }
+    entries->insert(entry);
+  }
+  return Status::OK();
+}
+
+void ApplyBaseline(const std::set<std::string>& entries,
+                   SourceLintReport* report) {
+  if (entries.empty()) return;
+  std::set<std::string> used;
+  std::vector<Finding> kept;
+  kept.reserve(report->findings.size());
+  for (Finding& finding : report->findings) {
+    const std::string key = finding.BaselineKey();
+    if (entries.count(key) != 0) {
+      used.insert(key);
+      ++report->baseline_suppressed;
+    } else {
+      kept.push_back(std::move(finding));
+    }
+  }
+  report->findings = std::move(kept);
+  for (const std::string& entry : entries) {
+    if (used.count(entry) == 0) report->stale_baseline.push_back(entry);
+  }
+}
+
+Status AnalyzeRepo(const std::string& root, const SourceLintOptions& options,
+                   SourceLintReport* report) {
+  namespace fs = std::filesystem;
+  const fs::path src = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    return Status::NotFound("no src/ directory under " + root);
+  }
+  std::vector<std::string> relative_paths;
+  for (fs::recursive_directory_iterator it(src, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) return Status::IOError("walking " + src.string() + ": " +
+                                   ec.message());
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+    relative_paths.push_back(
+        fs::relative(it->path(), fs::path(root), ec).generic_string());
+  }
+  std::sort(relative_paths.begin(), relative_paths.end());
+
+  SourceLint lint(options);
+  for (const std::string& rel : relative_paths) {
+    CGKGR_RETURN_NOT_OK(lint.AddFileFromDisk(root, rel));
+  }
+  *report = lint.Run();
+  return Status::OK();
+}
+
+}  // namespace analysis
+}  // namespace cgkgr

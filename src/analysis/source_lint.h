@@ -1,0 +1,132 @@
+#ifndef CGKGR_ANALYSIS_SOURCE_LINT_H_
+#define CGKGR_ANALYSIS_SOURCE_LINT_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/source_model.h"
+#include "common/status.h"
+
+namespace cgkgr {
+namespace analysis {
+
+/// \file
+/// analysis::SourceLint — the repo's static analyzer. A lightweight C++
+/// lexer and translation-unit model (source_lexer.h, source_model.h) feed
+/// three rule packs that mechanize the contracts the runtime test suite
+/// enforces dynamically:
+///
+///   determinism   unordered-container iteration feeding reductions, naive
+///                 float accumulation outside the sanctioned tensor::Sum /
+///                 cascade helpers, ambient randomness outside common/rng —
+///                 the static side of the bit-identical-training contract.
+///   memory        naked new, raw ofstream outside ckpt, discarded Status
+///                 (multi-line aware), project include-what-you-use, mmap
+///                 page access outside store:: readers, plus the telemetry
+///                 hygiene rules (printf/timing/histogram).
+///   concurrency   CGKGR_GUARDED_BY-family annotations parsed into a
+///                 cross-TU lock graph: lock-order inversions and guarded
+///                 members accessed without their mutex — complementing
+///                 clang's per-TU -Wthread-safety.
+///
+/// Driven by tools/analyzer.cc (`cgkgr_analyze`, the `repo_analyze` ctest)
+/// with a checked-in suppression baseline; see docs/static_analysis.md for
+/// the rule catalog and suppression syntax.
+
+/// One analyzer finding, anchored at file:line with a stable rule id.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  /// "path:line: [rule] message" — the printed form.
+  std::string ToString() const;
+  /// "path:rule" — the suppression-baseline key (line numbers churn; a
+  /// baseline entry suppresses a rule for a whole file).
+  std::string BaselineKey() const;
+};
+
+/// Catalog entry for one rule.
+struct RuleInfo {
+  const char* name;
+  /// "determinism", "memory", or "concurrency".
+  const char* pack;
+  const char* summary;
+};
+
+/// Every rule the analyzer knows, grouped by pack, stable order.
+const std::vector<RuleInfo>& RuleCatalog();
+
+/// True when `rule` names a catalog rule.
+bool IsKnownRule(const std::string& rule);
+
+struct SourceLintOptions {
+  /// When non-empty, only these rules run (unknown names are ignored).
+  std::set<std::string> rules;
+  /// Extra Status/Result-returning function names for the discarded-status
+  /// rule, unioned with the names collected from scanned headers. Fixture
+  /// tests use this to seed the rule without a real header.
+  std::set<std::string> extra_status_functions;
+};
+
+struct SourceLintReport {
+  /// Sorted by (file, line, rule), deduplicated.
+  std::vector<Finding> findings;
+  int files = 0;
+  int64_t tokens = 0;
+  /// Findings swallowed by NOLINT / file-level allow markers.
+  int inline_suppressed = 0;
+  /// Findings swallowed by the baseline (ApplyBaseline).
+  int baseline_suppressed = 0;
+  /// Baseline entries that matched nothing — stale, should be deleted.
+  std::vector<std::string> stale_baseline;
+
+  bool clean() const { return findings.empty(); }
+};
+
+/// The analyzer. Add sources (from disk or memory), then Run() once; the
+/// concurrency pack is cross-TU, so all files must be added before Run.
+class SourceLint {
+ public:
+  explicit SourceLint(SourceLintOptions options = {});
+
+  /// Lexes and registers an in-memory source. `path` is the repo-relative
+  /// path rules scope on ("src/serve/engine.cc"); fixture tests pass
+  /// invented src/ paths.
+  void AddSource(std::string path, std::string_view source);
+
+  /// Reads root/relative from disk and registers it.
+  Status AddFileFromDisk(const std::string& root, const std::string& relative);
+
+  /// Runs every enabled rule over every registered file plus the cross-TU
+  /// passes. Idempotent per instance (rebuilds from the lexed files).
+  SourceLintReport Run();
+
+ private:
+  SourceLintOptions options_;
+  std::vector<LexedFile> files_;
+};
+
+/// Loads a suppression baseline: one `path:rule` entry per line, `#`
+/// comments and blank lines ignored. Missing file = empty baseline (OK).
+Status LoadBaseline(const std::string& path, std::set<std::string>* entries);
+
+/// Removes findings whose BaselineKey() is in `entries`; counts them in
+/// report->baseline_suppressed and records unmatched entries as stale.
+void ApplyBaseline(const std::set<std::string>& entries,
+                   SourceLintReport* report);
+
+/// Lexes, models, and analyzes every `.h/.cc/.cpp` under root/src (sorted,
+/// recursive). The standard whole-repo entry point used by cgkgr_analyze
+/// and the repo_analyze test.
+Status AnalyzeRepo(const std::string& root, const SourceLintOptions& options,
+                   SourceLintReport* report);
+
+}  // namespace analysis
+}  // namespace cgkgr
+
+#endif  // CGKGR_ANALYSIS_SOURCE_LINT_H_

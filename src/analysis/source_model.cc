@@ -1,0 +1,354 @@
+#include "analysis/source_model.h"
+
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <utility>
+
+namespace cgkgr {
+namespace analysis {
+
+namespace {
+
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kWords = {
+      "if",     "for",    "while",  "switch",   "catch",  "return",
+      "sizeof", "static", "assert", "alignof",  "typeid", "decltype",
+      "else",   "do",     "new",    "delete"};
+  return kWords;
+}
+
+bool IsRequiresMacro(const std::string& t) {
+  return t == "CGKGR_REQUIRES" || t == "CGKGR_REQUIRES_SHARED";
+}
+
+bool IsFunctionAnnotationMacro(const std::string& t) {
+  return IsRequiresMacro(t) || t == "CGKGR_EXCLUDES" || t == "CGKGR_ACQUIRE" ||
+         t == "CGKGR_ACQUIRE_SHARED" || t == "CGKGR_RELEASE" ||
+         t == "CGKGR_RELEASE_SHARED" || t == "CGKGR_TRY_ACQUIRE" ||
+         t == "CGKGR_RETURN_CAPABILITY" || t == "CGKGR_ASSERT_CAPABILITY";
+}
+
+/// Skips a balanced angle-bracket run starting at `i` (which must be `<`).
+/// Returns the index just past the matching `>`, or `i + 1` when the run
+/// does not close before a hard stop (statement end) — callers treat that
+/// as "not a template argument list".
+size_t SkipAngles(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  size_t j = i;
+  while (j < toks.size()) {
+    const std::string& t = toks[j].text;
+    if (t == "<") {
+      ++depth;
+    } else if (t == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (t == ";" || t == "{" || t == "}") {
+      return i + 1;
+    }
+    ++j;
+  }
+  return i + 1;
+}
+
+}  // namespace
+
+std::string NormalizeMutexExpr(const std::vector<Token>& toks, size_t begin,
+                               size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (i == begin && toks[i].text == "&") continue;
+    out += toks[i].text;
+  }
+  return out;
+}
+
+std::string MutexLastComponent(const std::string& expr) {
+  // Last maximal identifier run in the expression.
+  std::string last;
+  std::string run;
+  for (const char c : expr) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      run.push_back(c);
+    } else {
+      if (!run.empty()) last = run;
+      run.clear();
+    }
+  }
+  if (!run.empty()) last = run;
+  return last.empty() ? expr : last;
+}
+
+TranslationUnit BuildTranslationUnit(LexedFile lex) {
+  TranslationUnit tu;
+  tu.lex = std::move(lex);
+  const std::vector<Token>& toks = tu.lex.tokens;
+
+  // --- Class/struct definition spans -------------------------------------
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::kIdent ||
+        (tok.text != "class" && tok.text != "struct")) {
+      continue;
+    }
+    if (i > 0 && TokIs(toks, i - 1, "enum")) continue;  // enum class
+    // Skip attributes / alignas to the name.
+    size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "[") {
+      if (toks[j].match < 0) continue;
+      j = static_cast<size_t>(toks[j].match) + 1;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    // Out-of-line nested definitions (`struct Outer::Inner {`) are named
+    // by the last component of the qualified chain.
+    while (j + 2 < toks.size() && toks[j + 1].text == "::" &&
+           toks[j + 2].kind == TokKind::kIdent) {
+      j += 2;
+    }
+    const std::string name = toks[j].text;
+    // Find the body '{': stop on shapes that mean "not a definition".
+    size_t k = j + 1;
+    int angle = 0;
+    bool is_def = false;
+    while (k < toks.size()) {
+      const std::string& t = toks[k].text;
+      if (t == "<") {
+        ++angle;
+      } else if (t == ">") {
+        if (angle == 0) break;  // template parameter, `template <class T>`
+        --angle;
+      } else if (t == ">>") {
+        angle -= 2;
+        if (angle < 0) break;
+      } else if (t == ";" || t == "=" || t == ")" || t == ",") {
+        break;  // forward declaration / template param / parameter type
+      } else if (t == "{") {
+        is_def = true;
+        break;
+      }
+      ++k;
+    }
+    if (!is_def || toks[k].match < 0) continue;
+    ClassInfo info;
+    info.name = name;
+    info.body_begin = k;
+    info.body_end = static_cast<size_t>(toks[k].match);
+    tu.classes.push_back(std::move(info));
+  }
+
+  // Innermost class containing a token index (spans are discovered in
+  // lexical order; the latest-starting containing span is innermost).
+  auto innermost_class = [&tu](size_t idx) -> int {
+    int best = -1;
+    for (size_t c = 0; c < tu.classes.size(); ++c) {
+      if (tu.classes[c].body_begin < idx && idx < tu.classes[c].body_end) {
+        if (best < 0 ||
+            tu.classes[c].body_begin > tu.classes[best].body_begin) {
+          best = static_cast<int>(c);
+        }
+      }
+    }
+    return best;
+  };
+
+  // --- Lock annotations inside class bodies ------------------------------
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::kIdent) continue;
+    const int ci = innermost_class(i);
+
+    // Mutex members: [cgkgr::] Mutex|SharedMutex name ;|=|{
+    if ((tok.text == "Mutex" || tok.text == "SharedMutex") && ci >= 0 &&
+        i + 2 < toks.size() && toks[i + 1].kind == TokKind::kIdent &&
+        (toks[i + 2].text == ";" || toks[i + 2].text == "=" ||
+         toks[i + 2].text == "{" ||
+         toks[i + 2].text.rfind("CGKGR_", 0) == 0)) {
+      tu.classes[static_cast<size_t>(ci)].mutexes.push_back(toks[i + 1].text);
+    }
+
+    if ((tok.text == "CGKGR_GUARDED_BY" || tok.text == "CGKGR_PT_GUARDED_BY") &&
+        toks[i + 1].text == "(" && toks[i + 1].match > 0 && ci >= 0 &&
+        toks[i - 1].kind == TokKind::kIdent) {
+      GuardedMember member;
+      member.name = toks[i - 1].text;
+      member.mutex_expr = NormalizeMutexExpr(
+          toks, i + 2, static_cast<size_t>(toks[i + 1].match));
+      member.line = tok.line;
+      tu.classes[static_cast<size_t>(ci)].guarded.push_back(std::move(member));
+    }
+
+    if ((tok.text == "CGKGR_ACQUIRED_AFTER" ||
+         tok.text == "CGKGR_ACQUIRED_BEFORE") &&
+        toks[i + 1].text == "(" && toks[i + 1].match > 0 && ci >= 0 &&
+        toks[i - 1].kind == TokKind::kIdent) {
+      const std::string member = toks[i - 1].text;
+      const std::string other = NormalizeMutexExpr(
+          toks, i + 2, static_cast<size_t>(toks[i + 1].match));
+      DeclaredLockOrder order;
+      order.line = tok.line;
+      if (tok.text == "CGKGR_ACQUIRED_AFTER") {
+        order.before = MutexLastComponent(other);
+        order.after = member;
+      } else {
+        order.before = member;
+        order.after = MutexLastComponent(other);
+      }
+      tu.classes[static_cast<size_t>(ci)].declared_order.push_back(
+          std::move(order));
+    }
+  }
+
+  // --- Function definitions and annotated method declarations ------------
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::kIdent || toks[i + 1].text != "(" ||
+        toks[i + 1].match < 0) {
+      continue;
+    }
+    if (ControlKeywords().count(tok.text) != 0) continue;
+    if (tok.preprocessor) continue;
+    // Annotation macros carry their own parens; `CGKGR_REQUIRES(mu_) {`
+    // would otherwise look like a definition named CGKGR_REQUIRES.
+    if (tok.text.rfind("CGKGR_", 0) == 0) continue;
+    // A name right after `,` or `:` is a constructor-initializer member
+    // (`: a_(1), b_(2) {`), never a definition's name.
+    if (toks[i - 1].text == "," || toks[i - 1].text == ":") continue;
+    // `Foo bar(...);` where bar is a variable with ctor args looks the same
+    // as a function declaration; the body search below disambiguates (a
+    // variable declaration hits `;` without annotations and is dropped
+    // unless annotated — harmless for MethodDecl since annotations only
+    // appear on real declarations).
+    size_t close = static_cast<size_t>(toks[i + 1].match);
+
+    FunctionInfo fn;
+    fn.name = tok.text;
+    fn.line = tok.line;
+    if (toks[i - 1].text == "~") fn.name = "~" + fn.name;
+    size_t qual_at = toks[i - 1].text == "~" ? i - 1 : i;
+    if (qual_at >= 2 && toks[qual_at - 1].text == "::" &&
+        toks[qual_at - 2].kind == TokKind::kIdent) {
+      fn.qualifier = toks[qual_at - 2].text;
+    }
+
+    // Walk the post-parameter clause: cv/ref qualifiers, annotations,
+    // trailing return, constructor initializer list; stop at body `{`,
+    // declaration `;`, or anything unrecognized.
+    size_t j = close + 1;
+    bool in_init_list = false;
+    bool found_body = false;
+    bool is_decl = false;
+    while (j < toks.size()) {
+      const std::string& t = toks[j].text;
+      if (t == "{" && !in_init_list) {
+        found_body = true;
+        break;
+      }
+      if (t == ";") {
+        is_decl = true;
+        break;
+      }
+      if (t == "const" || t == "noexcept" || t == "override" || t == "final" ||
+          t == "mutable" || t == "&" || t == "&&" || t == "try") {
+        ++j;
+        continue;
+      }
+      if (t == "->") {  // trailing return type
+        ++j;
+        while (j < toks.size() &&
+               (toks[j].kind == TokKind::kIdent || toks[j].text == "::" ||
+                toks[j].text == "*" || toks[j].text == "&")) {
+          ++j;
+          if (j < toks.size() && toks[j].text == "<") j = SkipAngles(toks, j);
+        }
+        continue;
+      }
+      if (toks[j].kind == TokKind::kIdent && t.rfind("CGKGR_", 0) == 0) {
+        if (t == "CGKGR_NO_THREAD_SAFETY_ANALYSIS") {
+          fn.no_thread_safety_analysis = true;
+          ++j;
+          continue;
+        }
+        if (IsFunctionAnnotationMacro(t) && j + 1 < toks.size() &&
+            toks[j + 1].text == "(" && toks[j + 1].match > 0) {
+          if (IsRequiresMacro(t)) {
+            const std::string expr = NormalizeMutexExpr(
+                toks, j + 2, static_cast<size_t>(toks[j + 1].match));
+            fn.requires_locks.push_back(MutexLastComponent(expr));
+          }
+          j = static_cast<size_t>(toks[j + 1].match) + 1;
+          continue;
+        }
+        break;  // unknown CGKGR_ macro shape
+      }
+      if (t == ":" && !in_init_list) {  // constructor initializer list
+        in_init_list = true;
+        ++j;
+        continue;
+      }
+      if (in_init_list) {
+        // member-name [<...>] then (args) or {args}, separated by commas.
+        if (toks[j].kind == TokKind::kIdent || t == "::") {
+          ++j;
+          continue;
+        }
+        if (t == "<") {
+          j = SkipAngles(toks, j);
+          continue;
+        }
+        if ((t == "(" || t == "[") && toks[j].match > 0) {
+          j = static_cast<size_t>(toks[j].match) + 1;
+          continue;
+        }
+        if (t == "{" ) {
+          // Brace-init of a member, only when directly after a name; the
+          // body `{` was handled above — to get here the previous token
+          // must be an identifier or `>`.
+          if (toks[j].match > 0 &&
+              (toks[j - 1].kind == TokKind::kIdent ||
+               toks[j - 1].text == ">")) {
+            j = static_cast<size_t>(toks[j].match) + 1;
+            continue;
+          }
+          found_body = true;
+          break;
+        }
+        if (t == ",") {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      break;  // unrecognized clause — not a function definition
+    }
+
+    const int ci = innermost_class(i);
+    if (found_body && toks[j].match > 0) {
+      fn.body_begin = j;
+      fn.body_end = static_cast<size_t>(toks[j].match);
+      fn.enclosing_class = ci;
+      const std::string class_name =
+          !fn.qualifier.empty()
+              ? fn.qualifier
+              : (ci >= 0 ? tu.classes[static_cast<size_t>(ci)].name : "");
+      fn.is_ctor_or_dtor =
+          !fn.name.empty() &&
+          (fn.name[0] == '~' || (!class_name.empty() && fn.name == class_name));
+      tu.functions.push_back(std::move(fn));
+    } else if (is_decl && ci >= 0 &&
+               (!fn.requires_locks.empty() || fn.no_thread_safety_analysis)) {
+      MethodDecl decl;
+      decl.class_name = tu.classes[static_cast<size_t>(ci)].name;
+      decl.name = fn.name;
+      decl.requires_locks = fn.requires_locks;
+      decl.no_thread_safety_analysis = fn.no_thread_safety_analysis;
+      tu.method_decls.push_back(std::move(decl));
+    }
+  }
+
+  return tu;
+}
+
+}  // namespace analysis
+}  // namespace cgkgr

@@ -1,0 +1,100 @@
+#ifndef CGKGR_ANALYSIS_SOURCE_MODEL_H_
+#define CGKGR_ANALYSIS_SOURCE_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/source_lexer.h"
+
+namespace cgkgr {
+namespace analysis {
+
+/// \file
+/// A structural model of one translation unit built on the token stream:
+/// class/struct body spans with their lock annotations, and function body
+/// spans with their qualifiers. Heuristic by design — it does not parse
+/// C++, it recognizes the shapes the rule packs need (see source_lint.h)
+/// and stays silent when a shape is ambiguous, so rules underapproximate
+/// instead of false-positive.
+
+/// A member declared with CGKGR_GUARDED_BY / CGKGR_PT_GUARDED_BY.
+struct GuardedMember {
+  std::string name;
+  /// Normalized text of the annotation argument ("mu_", "shard.mu").
+  std::string mutex_expr;
+  int line = 0;
+};
+
+/// A mutex-ordering edge declared with CGKGR_ACQUIRED_AFTER /
+/// CGKGR_ACQUIRED_BEFORE on a mutex member: `before` must be taken first.
+struct DeclaredLockOrder {
+  std::string before;
+  std::string after;
+  int line = 0;
+};
+
+/// One class/struct definition span.
+struct ClassInfo {
+  std::string name;
+  /// Token indices of the body braces `{` ... `}`.
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  /// Mutex members (declared as cgkgr::Mutex / SharedMutex / Mutex).
+  std::vector<std::string> mutexes;
+  std::vector<GuardedMember> guarded;
+  std::vector<DeclaredLockOrder> declared_order;
+};
+
+/// One function definition span (has a body in this TU).
+struct FunctionInfo {
+  /// Qualifier for out-of-line members ("Engine" in `Engine::Rank`),
+  /// empty for free functions and in-class definitions.
+  std::string qualifier;
+  std::string name;
+  /// Index into TranslationUnit::classes when the body sits lexically
+  /// inside a class definition, else -1.
+  int enclosing_class = -1;
+  /// Token indices of the body braces `{` ... `}`.
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  int line = 0;
+  /// Normalized arguments of CGKGR_REQUIRES / CGKGR_REQUIRES_SHARED on the
+  /// definition itself.
+  std::vector<std::string> requires_locks;
+  bool no_thread_safety_analysis = false;
+  bool is_ctor_or_dtor = false;
+};
+
+/// A member-function *declaration* (no body) carrying lock annotations —
+/// out-of-line definitions inherit these from the class body.
+struct MethodDecl {
+  std::string class_name;
+  std::string name;
+  std::vector<std::string> requires_locks;
+  bool no_thread_safety_analysis = false;
+};
+
+struct TranslationUnit {
+  LexedFile lex;
+  std::vector<ClassInfo> classes;
+  std::vector<FunctionInfo> functions;
+  std::vector<MethodDecl> method_decls;
+};
+
+/// Builds the structural model for a lexed file.
+TranslationUnit BuildTranslationUnit(LexedFile lex);
+
+/// Normalizes a mutex expression from annotation/guard-argument tokens:
+/// joins token texts, strips a leading `&`. "shard.mu", "CaptureMutex()".
+std::string NormalizeMutexExpr(const std::vector<Token>& toks, size_t begin,
+                               size_t end);
+
+/// The final identifier component of a normalized mutex expression
+/// ("shard.mu" -> "mu", "CaptureMutex()" -> "CaptureMutex").
+std::string MutexLastComponent(const std::string& expr);
+
+}  // namespace analysis
+}  // namespace cgkgr
+
+#endif  // CGKGR_ANALYSIS_SOURCE_MODEL_H_

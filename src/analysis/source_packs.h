@@ -1,0 +1,65 @@
+#ifndef CGKGR_ANALYSIS_SOURCE_PACKS_H_
+#define CGKGR_ANALYSIS_SOURCE_PACKS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/source_lint.h"
+#include "analysis/source_model.h"
+
+namespace cgkgr {
+namespace analysis {
+namespace internal {
+
+/// \file
+/// Internal seam between the SourceLint driver and the three rule packs
+/// (rules_determinism.cc, rules_memory.cc, rules_concurrency.cc). Not part
+/// of the public analyzer API.
+
+/// Everything a pack sees: all translation units plus the cross-TU symbol
+/// sets the driver pre-computes.
+struct RepoModel {
+  std::vector<TranslationUnit> tus;
+  /// Names of Status/Result-returning functions (from headers + options).
+  std::set<std::string> status_functions;
+  /// Type names that are unordered containers: the std names plus every
+  /// alias (`using OverrideMap = std::unordered_map<...>`) found anywhere,
+  /// so an alias declared in a header is recognized in the .cc using it.
+  std::set<std::string> unordered_type_names;
+};
+
+/// Finding sink: applies the rule filter and the per-file inline
+/// suppressions (NOLINT / allow markers) before recording.
+class Emitter {
+ public:
+  Emitter(const std::set<std::string>* enabled_rules,
+          SourceLintReport* report);
+
+  /// True when `rule` survives the --rules filter.
+  bool Enabled(const std::string& rule) const;
+
+  /// Records a finding unless suppressed inline in `lex`.
+  void Emit(const LexedFile& lex, int line, const std::string& rule,
+            std::string message);
+
+ private:
+  const std::set<std::string>* enabled_rules_;
+  SourceLintReport* report_;
+};
+
+void RunDeterminismPack(const RepoModel& repo, Emitter* emitter);
+void RunMemoryPack(const RepoModel& repo, Emitter* emitter);
+void RunConcurrencyPack(const RepoModel& repo, Emitter* emitter);
+
+/// True when `path` (repo-relative, forward slashes) starts with `prefix`.
+bool PathStartsWith(const std::string& path, std::string_view prefix);
+
+/// True when `path` is under src/ — the default rule scope.
+bool InSrc(const std::string& path);
+
+}  // namespace internal
+}  // namespace analysis
+}  // namespace cgkgr
+
+#endif  // CGKGR_ANALYSIS_SOURCE_PACKS_H_

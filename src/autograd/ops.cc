@@ -539,14 +539,16 @@ Variable BCEWithLogits(const Variable& logits, std::vector<float> labels) {
   const int64_t n = tl.dim(0);
   CGKGR_CHECK(static_cast<int64_t>(labels.size()) == n);
   // loss_i = softplus(x) - y*x  (stable form: max(x,0) - y*x + log1p(exp(-|x|)))
-  float total = 0.0f;
+  // Accumulated in double so the reduction is order-robust (same policy as
+  // tensor::SegmentSoftmax; see docs/parallel_training.md).
+  double total = 0.0;
   const float* x = tl.data();
   for (int64_t i = 0; i < n; ++i) {
     const float xi = x[i];
     const float yi = labels[static_cast<size_t>(i)];
     total += std::max(xi, 0.0f) - yi * xi + std::log1p(std::exp(-std::abs(xi)));
   }
-  tensor::Tensor out({1}, {total / static_cast<float>(n)});
+  tensor::Tensor out({1}, {static_cast<float>(total / n)});
   auto y = std::make_shared<std::vector<float>>(std::move(labels));
   return MakeOpResult("BCEWithLogits", std::move(out), {logits},
                       [y, n](Node* node) {
@@ -568,13 +570,13 @@ Variable BPRLoss(const Variable& positive_scores,
   CGKGR_CHECK(tp.rank() == 1 && tp.SameShape(tn));
   const int64_t n = tp.dim(0);
   CGKGR_CHECK(n > 0);
-  float total = 0.0f;
+  double total = 0.0;  // double accumulator: order-robust reduction
   for (int64_t i = 0; i < n; ++i) {
     const float margin = tn[i] - tp[i];
     // softplus(margin), numerically stable.
     total += std::max(margin, 0.0f) + std::log1p(std::exp(-std::abs(margin)));
   }
-  tensor::Tensor out({1}, {total / static_cast<float>(n)});
+  tensor::Tensor out({1}, {static_cast<float>(total / n)});
   return MakeOpResult(
       "BPRLoss", std::move(out), {positive_scores, negative_scores},
       [n](Node* node) {

@@ -99,6 +99,15 @@
   CGKGR_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
 /// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
 #define CGKGR_CAPABILITY(x) CGKGR_THREAD_ANNOTATION_(capability(x))
+/// Declares lock order on a mutex member: the listed mutexes are always
+/// taken before this one. Read by clang's analysis and by cgkgr_analyze's
+/// cross-TU lock graph (conc-lock-order).
+#define CGKGR_ACQUIRED_AFTER(...) \
+  CGKGR_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+/// Declares lock order on a mutex member: this mutex is always taken
+/// before the listed ones.
+#define CGKGR_ACQUIRED_BEFORE(...) \
+  CGKGR_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
 /// Marks a RAII class whose lifetime holds a capability.
 #define CGKGR_SCOPED_CAPABILITY CGKGR_THREAD_ANNOTATION_(scoped_lockable)
 /// The annotated function returns a reference to the given capability.

@@ -15,9 +15,9 @@ namespace {
 using Latent = std::vector<float>;
 
 float DotLatent(const Latent& a, const Latent& b) {
-  float total = 0.0f;
+  double total = 0.0;  // double accumulator: order-robust reduction
   for (size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
-  return total;
+  return static_cast<float>(total);
 }
 
 /// Applies a (k x k) row-major linear map to a latent.

@@ -104,8 +104,10 @@ namespace {
 // that the recursion cost is negligible next to the loads.
 float PairwiseSum(int64_t n, const float* x) {
   if (n <= 8) {
+    // The sanctioned cascade's own base case: bounded at 8 terms, fixed
+    // association, so serial float accumulation is exact enough here.
     float total = 0.0f;
-    for (int64_t i = 0; i < n; ++i) total += x[i];
+    for (int64_t i = 0; i < n; ++i) total += x[i];  // NOLINT(det-naive-float-sum)
     return total;
   }
   const int64_t half = n / 2;
@@ -117,8 +119,11 @@ float PairwiseSum(int64_t n, const float* x) {
 float Sum(int64_t n, const float* x) { return PairwiseSum(n, x); }
 
 float Dot(int64_t n, const float* a, const float* b) {
+  // Serial with a fixed left-to-right association: every caller sees the
+  // same order every run, which is what the bit-identity contract needs
+  // (changing this to a cascade would shift every model golden).
   float total = 0.0f;
-  for (int64_t i = 0; i < n; ++i) total += a[i] * b[i];
+  for (int64_t i = 0; i < n; ++i) total += a[i] * b[i];  // NOLINT(det-naive-float-sum)
   return total;
 }
 

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "autograd/variable.h"
@@ -120,6 +122,65 @@ TEST(OpsForwardTest, BPRLossMatchesManual) {
   Variable neg(tensor::Tensor({1}, {0.0f}), true);
   Variable loss = BPRLoss(pos, neg);
   EXPECT_NEAR(loss.value()[0], std::log1p(std::exp(-1.0f)), 1e-5f);
+}
+
+// The mean-loss reductions accumulate per-element terms in double (the
+// repo-wide policy for float reductions outside tensor::Sum, enforced by
+// the det-naive-float-sum analyzer rule), so the scalar they produce must
+// (a) track a double-precision reference tightly even for large batches —
+// a serial float accumulator drifts past this tolerance at n=4096 — and
+// (b) not change when the elements are visited in the opposite order.
+TEST(OpsForwardTest, BCEWithLogitsLargeBatchIsOrderRobust) {
+  const int n = 4096;
+  Rng rng(7);
+  std::vector<float> logits(n), labels(n);
+  for (int i = 0; i < n; ++i) {
+    logits[i] = rng.UniformFloat() * 8.0f - 4.0f;
+    labels[i] = rng.UniformFloat() < 0.5f ? 0.0f : 1.0f;
+  }
+  double reference = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = logits[i], y = labels[i];
+    // Stable form: max(z,0) - z*y + log1p(exp(-|z|)).
+    reference += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::abs(z)));
+  }
+  reference /= n;
+
+  Variable fwd(tensor::Tensor({n}, logits), false);
+  const float loss = BCEWithLogits(fwd, labels).value()[0];
+  EXPECT_NEAR(loss, reference, 1e-6 * std::abs(reference));
+
+  std::vector<float> rlogits(logits.rbegin(), logits.rend());
+  std::vector<float> rlabels(labels.rbegin(), labels.rend());
+  Variable rev(tensor::Tensor({n}, rlogits), false);
+  const float rloss = BCEWithLogits(rev, rlabels).value()[0];
+  EXPECT_FLOAT_EQ(loss, rloss);
+}
+
+TEST(OpsForwardTest, BPRLossLargeBatchIsOrderRobust) {
+  const int n = 4096;
+  Rng rng(11);
+  std::vector<float> pos(n), neg(n);
+  for (int i = 0; i < n; ++i) {
+    pos[i] = rng.UniformFloat() * 6.0f - 3.0f;
+    neg[i] = rng.UniformFloat() * 6.0f - 3.0f;
+  }
+  double reference = 0.0;
+  for (int i = 0; i < n; ++i) {
+    reference += std::log1p(std::exp(static_cast<double>(neg[i]) - pos[i]));
+  }
+  reference /= n;
+
+  Variable p(tensor::Tensor({n}, pos), false);
+  Variable q(tensor::Tensor({n}, neg), false);
+  const float loss = BPRLoss(p, q).value()[0];
+  EXPECT_NEAR(loss, reference, 1e-6 * std::abs(reference));
+
+  std::vector<float> rpos(pos.rbegin(), pos.rend());
+  std::vector<float> rneg(neg.rbegin(), neg.rend());
+  Variable rp(tensor::Tensor({n}, rpos), false);
+  Variable rq(tensor::Tensor({n}, rneg), false);
+  EXPECT_FLOAT_EQ(loss, BPRLoss(rp, rq).value()[0]);
 }
 
 TEST(OpsForwardTest, RelationMatMulUsesPerRowMatrix) {

@@ -154,6 +154,31 @@ TEST(MetricsRegistryTest, ExpositionFormatGolden) {
   EXPECT_EQ(registry.Dump(), expected);
 }
 
+// Exposition order must be a function of the instrument names alone, never
+// of registration order — the registry iterates ordered maps, so two
+// registries populated in opposite orders dump byte-identical text. This is
+// the same iteration-order discipline the det-unordered-iter analyzer rule
+// enforces for float reductions.
+TEST(MetricsRegistryTest, DumpIsRegistrationOrderIndependent) {
+  const auto populate = [](MetricsRegistry* registry, bool reversed) {
+    const std::vector<std::string> names = {"zeta_total", "alpha_total",
+                                            "mid_total"};
+    for (size_t k = 0; k < names.size(); ++k) {
+      const std::string& name =
+          reversed ? names[names.size() - 1 - k] : names[k];
+      registry->GetCounter(name, {{"lane", "1"}})->Increment(2);
+      registry->GetCounter(name, {{"lane", "0"}})->Increment(1);
+    }
+    registry->GetGauge(reversed ? "depth" : "width")->Set(1.0);
+    registry->GetGauge(reversed ? "width" : "depth")->Set(1.0);
+  };
+  MetricsRegistry forward, backward;
+  populate(&forward, /*reversed=*/false);
+  populate(&backward, /*reversed=*/true);
+  EXPECT_EQ(forward.Dump(), backward.Dump());
+  EXPECT_EQ(forward.DumpJson(), backward.DumpJson());
+}
+
 TEST(MetricsRegistryTest, DumpJsonParsesAsJson) {
   MetricsRegistry registry;
   registry.GetCounter("a_total")->Increment();

@@ -1,0 +1,698 @@
+// Tests for analysis::SourceLint — the repo-wide static analyzer.
+//
+// Layout mirrors the analyzer's layers: lexer, translation-unit model,
+// then one bad/good fixture twin per rule (the bad snippet must fire, the
+// fixed twin must be clean — proving every rule is live), the suppression
+// machinery, and finally the whole-repo gates: zero findings modulo the
+// checked-in baseline, and an EMPTY determinism baseline for src/models/,
+// src/autograd/, src/tensor/ (the bit-identity contract owns those).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/source_lexer.h"
+#include "analysis/source_lint.h"
+#include "analysis/source_model.h"
+
+namespace cgkgr {
+namespace analysis {
+namespace {
+
+struct FixtureFile {
+  std::string path;
+  std::string source;
+};
+
+SourceLintReport Analyze(const std::vector<FixtureFile>& files,
+                         SourceLintOptions options = {}) {
+  SourceLint lint(std::move(options));
+  for (const FixtureFile& file : files) {
+    lint.AddSource(file.path, file.source);
+  }
+  return lint.Run();
+}
+
+int CountRule(const SourceLintReport& report, const std::string& rule) {
+  int count = 0;
+  for (const Finding& finding : report.findings) {
+    if (finding.rule == rule) ++count;
+  }
+  return count;
+}
+
+std::string OnlyRule(const SourceLintReport& report) {
+  std::set<std::string> rules;
+  for (const Finding& finding : report.findings) rules.insert(finding.rule);
+  return rules.size() == 1 ? *rules.begin() : "<" + std::to_string(rules.size()) + " rules>";
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(SourceLexerTest, TokenizesKindsAndLines) {
+  const LexedFile lex = LexSource("src/a.cc",
+                                  "int x = 42;\n"
+                                  "const char* s = \"hi\"; // comment\n"
+                                  "float f = 1.5f;\n");
+  ASSERT_GE(lex.tokens.size(), 10u);
+  EXPECT_EQ(lex.tokens[0].text, "int");
+  EXPECT_EQ(lex.tokens[0].kind, TokKind::kIdent);
+  EXPECT_EQ(lex.tokens[0].line, 1);
+  EXPECT_EQ(lex.tokens[3].text, "42");
+  EXPECT_EQ(lex.tokens[3].kind, TokKind::kNumber);
+  bool saw_string = false;
+  for (const Token& tok : lex.tokens) {
+    if (tok.kind == TokKind::kString) {
+      saw_string = true;
+      EXPECT_EQ(tok.line, 2);
+    }
+    EXPECT_NE(tok.text, "comment");  // comments never become tokens
+  }
+  EXPECT_TRUE(saw_string);
+  EXPECT_EQ(lex.num_lines, 4);  // the trailing \n opens an empty line 4
+}
+
+TEST(SourceLexerTest, MaximalMunchPunctuators) {
+  const LexedFile lex = LexSource("src/a.cc", "a <<= b; c->d; e <=> f;");
+  std::vector<std::string> punct;
+  for (const Token& tok : lex.tokens) {
+    if (tok.kind == TokKind::kPunct) punct.push_back(tok.text);
+  }
+  ASSERT_GE(punct.size(), 3u);
+  EXPECT_EQ(punct[0], "<<=");
+  EXPECT_EQ(punct[2], "->");
+}
+
+TEST(SourceLexerTest, SplicedDirectiveStaysPreprocessor) {
+  const LexedFile lex = LexSource("src/a.cc",
+                                  "#define TWICE(x) \\\n"
+                                  "  ((x) + (x))\n"
+                                  "int y;\n");
+  bool saw_plus = false;
+  for (const Token& tok : lex.tokens) {
+    if (tok.text == "+") {
+      saw_plus = true;
+      EXPECT_TRUE(tok.preprocessor);  // continuation line of the #define
+    }
+    if (tok.text == "y") EXPECT_FALSE(tok.preprocessor);
+  }
+  EXPECT_TRUE(saw_plus);
+}
+
+TEST(SourceLexerTest, RawStringsAndBracketMatching) {
+  const LexedFile lex =
+      LexSource("src/a.cc", "auto s = R\"(new } { ;)\"; if (a) { b(); }");
+  for (const Token& tok : lex.tokens) {
+    EXPECT_NE(tok.text, "new");  // inside the raw string
+  }
+  for (size_t i = 0; i < lex.tokens.size(); ++i) {
+    if (lex.tokens[i].text == "{") {
+      ASSERT_GT(lex.tokens[i].match, 0);
+      EXPECT_EQ(lex.tokens[static_cast<size_t>(lex.tokens[i].match)].text, "}");
+    }
+  }
+}
+
+TEST(SourceLexerTest, CollectsQuotedIncludes) {
+  const LexedFile lex = LexSource("src/a.cc",
+                                  "#include \"common/mutex.h\"\n"
+                                  "#include <vector>\n");
+  ASSERT_EQ(lex.includes.size(), 1u);
+  EXPECT_EQ(lex.includes[0], "common/mutex.h");
+}
+
+TEST(SourceLexerTest, SuppressionMarkers) {
+  const LexedFile lex = LexSource("src/a.cc",
+                                  "// cgkgr-analyze: allow=printf-family\n"
+                                  "int a;  // NOLINT(naked-new,raw-thread)\n"
+                                  "int b;  // NOLINT\n");
+  EXPECT_TRUE(lex.Suppressed("printf-family", 99));  // file-level, any line
+  EXPECT_TRUE(lex.Suppressed("naked-new", 2));
+  EXPECT_TRUE(lex.Suppressed("raw-thread", 2));
+  EXPECT_FALSE(lex.Suppressed("naked-new", 1));  // no marker on that line
+  EXPECT_TRUE(lex.Suppressed("anything-at-all", 3));  // bare NOLINT
+}
+
+// ---------------------------------------------------------------------------
+// Translation-unit model
+
+TEST(SourceModelTest, ClassMutexAndGuardedMembers) {
+  TranslationUnit tu = BuildTranslationUnit(LexSource(
+      "src/a.h",
+      "class Counter {\n"
+      "  Mutex mu_;\n"
+      "  int64_t count_ CGKGR_GUARDED_BY(mu_) = 0;\n"
+      "  Mutex slow_mu_ CGKGR_ACQUIRED_AFTER(mu_);\n"
+      "};\n"));
+  ASSERT_EQ(tu.classes.size(), 1u);
+  const ClassInfo& cls = tu.classes[0];
+  EXPECT_EQ(cls.name, "Counter");
+  ASSERT_EQ(cls.mutexes.size(), 2u);
+  EXPECT_EQ(cls.mutexes[0], "mu_");
+  EXPECT_EQ(cls.mutexes[1], "slow_mu_");
+  ASSERT_EQ(cls.guarded.size(), 1u);
+  EXPECT_EQ(cls.guarded[0].name, "count_");
+  EXPECT_EQ(cls.guarded[0].mutex_expr, "mu_");
+  ASSERT_EQ(cls.declared_order.size(), 1u);
+  EXPECT_EQ(cls.declared_order[0].before, "mu_");
+  EXPECT_EQ(cls.declared_order[0].after, "slow_mu_");
+}
+
+TEST(SourceModelTest, OutOfLineNestedClassGetsInnerName) {
+  // Regression: `struct Outer::Inner {` must model a class named Inner,
+  // not Outer — otherwise Inner's guarded members are misattributed and
+  // Outer's methods false-positive on conc-guard-access (seen on
+  // TraceCollector::ThreadBuffer).
+  TranslationUnit tu = BuildTranslationUnit(LexSource(
+      "src/a.cc",
+      "struct Outer::Inner {\n"
+      "  Mutex mu;\n"
+      "  int spans CGKGR_GUARDED_BY(mu);\n"
+      "};\n"));
+  ASSERT_EQ(tu.classes.size(), 1u);
+  EXPECT_EQ(tu.classes[0].name, "Inner");
+}
+
+TEST(SourceModelTest, FunctionsQualifiersAndRequires) {
+  TranslationUnit tu = BuildTranslationUnit(LexSource(
+      "src/a.cc",
+      "int64_t Counter::Get() const CGKGR_REQUIRES(mu_) { return count_; }\n"
+      "static void Helper() { }\n"));
+  ASSERT_EQ(tu.functions.size(), 2u);
+  EXPECT_EQ(tu.functions[0].qualifier, "Counter");
+  EXPECT_EQ(tu.functions[0].name, "Get");
+  ASSERT_EQ(tu.functions[0].requires_locks.size(), 1u);
+  EXPECT_EQ(tu.functions[0].requires_locks[0], "mu_");
+  EXPECT_EQ(tu.functions[1].name, "Helper");
+  EXPECT_TRUE(tu.functions[1].qualifier.empty());
+}
+
+TEST(SourceModelTest, AnnotatedDeclarationBecomesMethodDecl) {
+  TranslationUnit tu = BuildTranslationUnit(LexSource(
+      "src/a.h",
+      "class Counter {\n"
+      "  int64_t Get() const CGKGR_REQUIRES(mu_);\n"
+      "};\n"));
+  ASSERT_EQ(tu.method_decls.size(), 1u);
+  EXPECT_EQ(tu.method_decls[0].class_name, "Counter");
+  EXPECT_EQ(tu.method_decls[0].name, "Get");
+  ASSERT_EQ(tu.method_decls[0].requires_locks.size(), 1u);
+  EXPECT_EQ(tu.method_decls[0].requires_locks[0], "mu_");
+}
+
+TEST(SourceModelTest, ConstructorInitializerListBody) {
+  TranslationUnit tu = BuildTranslationUnit(LexSource(
+      "src/a.cc",
+      "Widget::Widget(int n) : size_{n}, data_(n, 0) { Init(); }\n"));
+  ASSERT_EQ(tu.functions.size(), 1u);
+  EXPECT_EQ(tu.functions[0].name, "Widget");
+  EXPECT_TRUE(tu.functions[0].is_ctor_or_dtor);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism pack
+
+TEST(DeterminismRulesTest, UnorderedIterFeedingReductionFires) {
+  const SourceLintReport bad = Analyze({{"src/m/a.cc",
+                                         "#include <unordered_map>\n"
+                                         "float Total(const std::unordered_map<int, float>& w) {\n"
+                                         "  double sum = 0.0;\n"
+                                         "  for (const auto& kv : w) sum += kv.second;\n"
+                                         "  return static_cast<float>(sum);\n"
+                                         "}\n"}});
+  EXPECT_EQ(CountRule(bad, "det-unordered-iter"), 1) << OnlyRule(bad);
+
+  const SourceLintReport good = Analyze({{"src/m/a.cc",
+                                          "#include <map>\n"
+                                          "float Total(const std::map<int, float>& w) {\n"
+                                          "  double sum = 0.0;\n"
+                                          "  for (const auto& kv : w) sum += kv.second;\n"
+                                          "  return static_cast<float>(sum);\n"
+                                          "}\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(DeterminismRulesTest, UnorderedIterThroughAliasFires) {
+  // The alias is declared in a header; the loop lives in another TU.
+  const SourceLintReport bad =
+      Analyze({{"src/m/t.h", "using ScoreMap = std::unordered_map<int, float>;\n"},
+               {"src/m/a.cc",
+                "void Dump(const ScoreMap& scores, std::vector<int>* out) {\n"
+                "  for (const auto& kv : scores) out->push_back(kv.first);\n"
+                "}\n"}});
+  EXPECT_EQ(CountRule(bad, "det-unordered-iter"), 1) << OnlyRule(bad);
+}
+
+TEST(DeterminismRulesTest, LookupOnlyUnorderedUseIsClean) {
+  const SourceLintReport good = Analyze({{"src/m/a.cc",
+                                          "#include <unordered_map>\n"
+                                          "float Get(const std::unordered_map<int, float>& w, int k) {\n"
+                                          "  auto it = w.find(k);\n"
+                                          "  return it == w.end() ? 0.0f : it->second;\n"
+                                          "}\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(DeterminismRulesTest, NaiveFloatSumFires) {
+  const SourceLintReport bad = Analyze({{"src/m/a.cc",
+                                         "float Sum(const float* x, int n) {\n"
+                                         "  float total = 0.0f;\n"
+                                         "  for (int i = 0; i < n; ++i) total += x[i];\n"
+                                         "  return total;\n"
+                                         "}\n"}});
+  EXPECT_EQ(CountRule(bad, "det-naive-float-sum"), 1) << OnlyRule(bad);
+
+  // The sanctioned fix: a double accumulator.
+  const SourceLintReport good = Analyze({{"src/m/a.cc",
+                                          "float Sum(const float* x, int n) {\n"
+                                          "  double total = 0.0;\n"
+                                          "  for (int i = 0; i < n; ++i) total += x[i];\n"
+                                          "  return static_cast<float>(total);\n"
+                                          "}\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(DeterminismRulesTest, StdAccumulateFires) {
+  const SourceLintReport bad = Analyze({{"src/m/a.cc",
+                                         "#include <numeric>\n"
+                                         "float Sum(const std::vector<float>& v) {\n"
+                                         "  return std::accumulate(v.begin(), v.end(), 0.0f);\n"
+                                         "}\n"}});
+  EXPECT_EQ(CountRule(bad, "det-naive-float-sum"), 1) << OnlyRule(bad);
+}
+
+TEST(DeterminismRulesTest, AmbientRngFires) {
+  const SourceLintReport bad = Analyze({{"src/m/a.cc",
+                                         "#include <random>\n"
+                                         "int Roll() {\n"
+                                         "  std::mt19937 gen(std::random_device{}());\n"
+                                         "  return static_cast<int>(gen());\n"
+                                         "}\n"
+                                         "long Stamp() { return time(nullptr); }\n"}});
+  EXPECT_GE(CountRule(bad, "det-ambient-rng"), 3);  // mt19937 + random_device + time
+
+  // common/rng is the sanctioned home for engine types.
+  const SourceLintReport good = Analyze(
+      {{"src/common/rng.cc", "#include <random>\nstd::mt19937 gen;\n"},
+       {"src/m/a.cc",
+        "#include \"common/rng.h\"\n"
+        "int Roll(cgkgr::Rng* rng) { return rng->Uniform(6); }\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+// ---------------------------------------------------------------------------
+// Memory pack
+
+TEST(MemoryRulesTest, NakedNewFires) {
+  const SourceLintReport bad = Analyze(
+      {{"src/m/a.cc", "void F() { int* p = new int(3); delete p; }\n"}});
+  EXPECT_EQ(CountRule(bad, "naked-new"), 1) << OnlyRule(bad);
+
+  const SourceLintReport good = Analyze(
+      {{"src/m/a.cc",
+        "#include <memory>\n"
+        "void F() { auto p = std::make_unique<int>(3); }\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(MemoryRulesTest, RawOfstreamFiresOutsideSanctionedWriters) {
+  const std::string source =
+      "#include <fstream>\n"
+      "void Dump() { std::ofstream out(\"x.bin\"); }\n";
+  const SourceLintReport bad = Analyze({{"src/models/dump.cc", source}});
+  EXPECT_EQ(CountRule(bad, "raw-ofstream"), 1) << OnlyRule(bad);
+
+  // The identical code is sanctioned inside the ckpt subsystem.
+  const SourceLintReport good = Analyze({{"src/ckpt/dump.cc", source}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(MemoryRulesTest, DiscardedStatusFires) {
+  SourceLintOptions options;
+  options.extra_status_functions = {"SaveModel"};
+  const SourceLintReport bad =
+      Analyze({{"src/m/a.cc", "void F() { SaveModel(\"x\"); }\n"}}, options);
+  EXPECT_EQ(CountRule(bad, "discarded-status"), 1) << OnlyRule(bad);
+
+  const SourceLintReport good = Analyze(
+      {{"src/m/a.cc",
+        "#include \"common/macros.h\"\n"
+        "Status F() {\n"
+        "  CGKGR_RETURN_NOT_OK(SaveModel(\"x\"));\n"
+        "  Status s = SaveModel(\"y\");\n"
+        "  return s;\n"
+        "}\n"}},
+      options);
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(MemoryRulesTest, DiscardedStatusSeesThroughMultiLineMacroArgs) {
+  // Regression for the retired regex linter's false positive: an inner
+  // call on the continuation line of CGKGR_RETURN_NOT_OK(...) looked like
+  // a fresh `SaveModel(...);` statement to the line-local regex. The
+  // token-stream rule resolves the full call expression and stays quiet.
+  SourceLintOptions options;
+  options.extra_status_functions = {"SaveModel"};
+  const SourceLintReport good = Analyze(
+      {{"src/m/a.cc",
+        "#include \"common/macros.h\"\n"
+        "Status F(const std::string& long_name_that_forces_a_wrap) {\n"
+        "  CGKGR_RETURN_NOT_OK(\n"
+        "      SaveModel(long_name_that_forces_a_wrap));\n"
+        "  return Status::OK();\n"
+        "}\n"}},
+      options);
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(MemoryRulesTest, DiscardedStatusInControlBodyFires) {
+  SourceLintOptions options;
+  options.extra_status_functions = {"SaveModel"};
+  const SourceLintReport bad = Analyze(
+      {{"src/m/a.cc", "void F(bool c) { if (c) SaveModel(\"x\"); }\n"}},
+      options);
+  EXPECT_EQ(CountRule(bad, "discarded-status"), 1) << OnlyRule(bad);
+
+  // (void)-cast is an explicit, visible discard.
+  const SourceLintReport good = Analyze(
+      {{"src/m/a.cc", "void F() { (void)SaveModel(\"x\"); }\n"}}, options);
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(MemoryRulesTest, IwyuProjectFires) {
+  const SourceLintReport bad = Analyze(
+      {{"src/m/a.cc",
+        "std::string Hello(int n) { return StrFormat(\"n=%d\", n); }\n"}});
+  EXPECT_EQ(CountRule(bad, "iwyu-project"), 1) << OnlyRule(bad);
+
+  const SourceLintReport good = Analyze(
+      {{"src/m/a.cc",
+        "#include \"common/string_util.h\"\n"
+        "std::string Hello(int n) { return StrFormat(\"n=%d\", n); }\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(MemoryRulesTest, IwyuForwardDeclarationIsSanctioned) {
+  const SourceLintReport good = Analyze(
+      {{"src/m/a.h",
+        "class ThreadPool;\n"
+        "void Run(ThreadPool* pool);\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(MemoryRulesTest, PrintfFamilyFires) {
+  const SourceLintReport bad = Analyze(
+      {{"src/m/a.cc",
+        "#include <cstdio>\n"
+        "void F(int n) { printf(\"n=%d\\n\", n); }\n"}});
+  EXPECT_EQ(CountRule(bad, "printf-family"), 1) << OnlyRule(bad);
+
+  const SourceLintReport good = Analyze(
+      {{"src/m/a.cc",
+        "#include \"common/logging.h\"\n"
+        "void F(int n) { CGKGR_LOG(INFO) << \"n=\" << n; }\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(MemoryRulesTest, AdhocTimingFires) {
+  const std::string source =
+      "#include <chrono>\n"
+      "double Now() {\n"
+      "  return std::chrono::duration<double>(\n"
+      "             std::chrono::steady_clock::now().time_since_epoch())\n"
+      "      .count();\n"
+      "}\n";
+  const SourceLintReport bad = Analyze({{"src/m/a.cc", source}});
+  EXPECT_GE(CountRule(bad, "adhoc-timing"), 1);
+
+  // The obs layer is the sanctioned timing substrate.
+  const SourceLintReport good = Analyze({{"src/obs/probe.cc", source}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(MemoryRulesTest, RawHistogramFires) {
+  const SourceLintReport bad = Analyze(
+      {{"src/serve/lat.h", "class LatencyHistogram { int buckets_[8]; };\n"}});
+  EXPECT_EQ(CountRule(bad, "raw-histogram"), 1) << OnlyRule(bad);
+
+  // A forward declaration just names the obs type.
+  const SourceLintReport good =
+      Analyze({{"src/serve/lat.h", "class Histogram;\nvoid Use(Histogram* h);\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(MemoryRulesTest, MmapDerefFiresOutsideStore) {
+  const SourceLintReport bad = Analyze(
+      {{"src/serve/reader.cc",
+        "void Touch(const MmapFile& file) { Use(file.data()); }\n"}});
+  EXPECT_GE(CountRule(bad, "mem-mmap-deref"), 1);
+
+  // Inside src/store/ the readers are the sanctioned page consumers, and a
+  // forward declaration elsewhere does not touch pages.
+  const SourceLintReport good = Analyze(
+      {{"src/store/reader.cc",
+        "void Touch(const MmapFile& file) { Use(file.data()); }\n"},
+       {"src/serve/fwd.h", "class MmapFile;\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency pack
+
+TEST(ConcurrencyRulesTest, MutexAnnotationFiresInAnnotatedDirs) {
+  const SourceLintReport bad = Analyze(
+      {{"src/serve/q.h", "#include <mutex>\nstruct Q { std::mutex mu; };\n"}});
+  EXPECT_EQ(CountRule(bad, "mutex-annotation"), 1) << OnlyRule(bad);
+
+  const SourceLintReport good = Analyze(
+      {{"src/serve/q.h",
+        "#include \"common/mutex.h\"\nstruct Q { Mutex mu; };\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(ConcurrencyRulesTest, RawThreadFires) {
+  const SourceLintReport bad = Analyze(
+      {{"src/graph/w.cc",
+        "#include <thread>\n"
+        "void F() { std::thread t([] {}); t.join(); }\n"}});
+  EXPECT_EQ(CountRule(bad, "raw-thread"), 1) << OnlyRule(bad);
+
+  const SourceLintReport good = Analyze(
+      {{"src/graph/w.cc",
+        "#include \"common/thread_pool.h\"\n"
+        "void F(ThreadPool* pool) { pool->Submit([] {}); }\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+const char kPairHeader[] =
+    "#include \"common/macros.h\"\n"
+    "#include \"common/mutex.h\"\n"
+    "class PairLocks {\n"
+    " public:\n"
+    "  void AB();\n"
+    "  void BA();\n"
+    " private:\n"
+    "  Mutex a_mu_;\n"
+    "  Mutex b_mu_;\n"
+    "};\n";
+
+TEST(ConcurrencyRulesTest, LockOrderInversionAcrossTUsFires) {
+  // One TU nests a->b, another nests b->a: clang's per-TU analysis cannot
+  // see this, the cross-TU lock graph can. Both sites report.
+  const SourceLintReport bad = Analyze(
+      {{"src/serve/pair.h", kPairHeader},
+       {"src/serve/ab.cc",
+        "#include \"common/mutex.h\"\n"
+        "#include \"serve/pair.h\"\n"
+        "void PairLocks::AB() { MutexLock la(&a_mu_); MutexLock lb(&b_mu_); }\n"},
+       {"src/serve/ba.cc",
+        "#include \"common/mutex.h\"\n"
+        "#include \"serve/pair.h\"\n"
+        "void PairLocks::BA() { MutexLock lb(&b_mu_); MutexLock la(&a_mu_); }\n"}});
+  EXPECT_EQ(CountRule(bad, "conc-lock-order"), 2) << OnlyRule(bad);
+
+  const SourceLintReport good = Analyze(
+      {{"src/serve/pair.h", kPairHeader},
+       {"src/serve/ab.cc",
+        "#include \"common/mutex.h\"\n"
+        "#include \"serve/pair.h\"\n"
+        "void PairLocks::AB() { MutexLock la(&a_mu_); MutexLock lb(&b_mu_); }\n"},
+       {"src/serve/ba.cc",
+        "#include \"common/mutex.h\"\n"
+        "#include \"serve/pair.h\"\n"
+        "void PairLocks::BA() { MutexLock la(&a_mu_); MutexLock lb(&b_mu_); }\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+TEST(ConcurrencyRulesTest, DeclaredOrderContradictedByGuardNestingFires) {
+  const SourceLintReport bad = Analyze(
+      {{"src/serve/pair.h",
+        "#include \"common/macros.h\"\n"
+        "#include \"common/mutex.h\"\n"
+        "class PairLocks {\n"
+        " public:\n"
+        "  void BA();\n"
+        " private:\n"
+        "  Mutex a_mu_;\n"
+        "  Mutex b_mu_ CGKGR_ACQUIRED_AFTER(a_mu_);\n"
+        "};\n"},
+       {"src/serve/ba.cc",
+        "#include \"common/mutex.h\"\n"
+        "#include \"serve/pair.h\"\n"
+        "void PairLocks::BA() { MutexLock lb(&b_mu_); MutexLock la(&a_mu_); }\n"}});
+  EXPECT_GE(CountRule(bad, "conc-lock-order"), 1);
+}
+
+const char kCounterHeader[] =
+    "#include \"common/macros.h\"\n"
+    "#include \"common/mutex.h\"\n"
+    "class Counter {\n"
+    " public:\n"
+    "  void Bump();\n"
+    "  int64_t Get() const CGKGR_REQUIRES(mu_);\n"
+    " private:\n"
+    "  mutable Mutex mu_;\n"
+    "  int64_t count_ CGKGR_GUARDED_BY(mu_) = 0;\n"
+    "};\n";
+
+TEST(ConcurrencyRulesTest, GuardedAccessWithoutLockFires) {
+  // The definition is out-of-line in a .cc — outside the reach of clang's
+  // per-TU pass unless that TU is compiled with the annotations visible
+  // and clang available; the analyzer checks it cross-TU unconditionally.
+  const SourceLintReport bad = Analyze(
+      {{"src/serve/counter.h", kCounterHeader},
+       {"src/serve/counter.cc",
+        "#include \"common/mutex.h\"\n"
+        "#include \"serve/counter.h\"\n"
+        "void Counter::Bump() { ++count_; }\n"}});
+  EXPECT_EQ(CountRule(bad, "conc-guard-access"), 1) << OnlyRule(bad);
+
+  // Fixed twin: a MutexLock scope covers the access, and Get() inherits
+  // CGKGR_REQUIRES(mu_) from its in-class declaration.
+  const SourceLintReport good = Analyze(
+      {{"src/serve/counter.h", kCounterHeader},
+       {"src/serve/counter.cc",
+        "#include \"common/mutex.h\"\n"
+        "#include \"serve/counter.h\"\n"
+        "void Counter::Bump() { MutexLock lock(&mu_); ++count_; }\n"
+        "int64_t Counter::Get() const { return count_; }\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions, filters, baseline
+
+TEST(SuppressionTest, TrailingNolintSuppresses) {
+  const SourceLintReport report = Analyze(
+      {{"src/m/a.cc",
+        "void F() { int* p = new int(3); }  // NOLINT(naked-new)\n"}});
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.inline_suppressed, 1);
+}
+
+TEST(SuppressionTest, FileLevelAllowSuppresses) {
+  const SourceLintReport report = Analyze(
+      {{"src/m/a.cc",
+        "// cgkgr-analyze: allow=naked-new\n"
+        "void F() { int* p = new int(3); }\n"
+        "void G() { int* q = new int(4); }\n"}});
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.inline_suppressed, 2);
+}
+
+TEST(SuppressionTest, RuleFilterRunsOnlySelectedRules) {
+  SourceLintOptions options;
+  options.rules = {"printf-family"};
+  const SourceLintReport report = Analyze(
+      {{"src/m/a.cc",
+        "#include <cstdio>\n"
+        "void F() { int* p = new int(3); printf(\"x\"); }\n"}},
+      options);
+  EXPECT_EQ(CountRule(report, "printf-family"), 1);
+  EXPECT_EQ(CountRule(report, "naked-new"), 0);
+}
+
+TEST(BaselineTest, ApplyBaselineSuppressesAndTracksStale) {
+  SourceLintReport report;
+  report.findings.push_back({"src/m/a.cc", 3, "naked-new", "msg"});
+  report.findings.push_back({"src/m/b.cc", 7, "printf-family", "msg"});
+  ApplyBaseline({"src/m/a.cc:naked-new", "src/gone.cc:raw-thread"}, &report);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].file, "src/m/b.cc");
+  EXPECT_EQ(report.baseline_suppressed, 1);
+  ASSERT_EQ(report.stale_baseline.size(), 1u);
+  EXPECT_EQ(report.stale_baseline[0], "src/gone.cc:raw-thread");
+}
+
+TEST(BaselineTest, FindingFormatsAndKeys) {
+  const Finding finding{"src/m/a.cc", 3, "naked-new", "naked new"};
+  EXPECT_EQ(finding.ToString(), "src/m/a.cc:3: [naked-new] naked new");
+  EXPECT_EQ(finding.BaselineKey(), "src/m/a.cc:naked-new");
+}
+
+TEST(RuleCatalogTest, AllRulesKnownAndGroupedByPack) {
+  const std::vector<RuleInfo>& catalog = RuleCatalog();
+  EXPECT_EQ(catalog.size(), 15u);
+  for (const RuleInfo& info : catalog) {
+    EXPECT_TRUE(IsKnownRule(info.name));
+    const std::string pack = info.pack;
+    EXPECT_TRUE(pack == "determinism" || pack == "memory" ||
+                pack == "concurrency")
+        << pack;
+  }
+  EXPECT_FALSE(IsKnownRule("no-such-rule"));
+}
+
+// ---------------------------------------------------------------------------
+// Whole-repo gates
+
+#ifdef CGKGR_REPO_ROOT
+
+TEST(WholeRepoTest, RepoIsCleanModuloBaseline) {
+  SourceLintReport report;
+  const Status analyzed = AnalyzeRepo(CGKGR_REPO_ROOT, {}, &report);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.ToString();
+  EXPECT_GT(report.files, 100);
+
+  std::set<std::string> baseline;
+  const Status loaded = LoadBaseline(
+      std::string(CGKGR_REPO_ROOT) + "/tools/analyzer_baseline.txt",
+      &baseline);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  ApplyBaseline(baseline, &report);
+
+  for (const Finding& finding : report.findings) {
+    ADD_FAILURE() << finding.ToString();
+  }
+  for (const std::string& stale : report.stale_baseline) {
+    ADD_FAILURE() << "stale baseline entry: " << stale;
+  }
+}
+
+TEST(WholeRepoTest, DeterminismBaselineEmptyForNumericCore) {
+  // The bit-identity contract owns src/models/, src/autograd/, and
+  // src/tensor/: determinism findings there must be fixed (or carry an
+  // individually justified NOLINT), never bulk-baselined.
+  std::set<std::string> baseline;
+  const Status loaded = LoadBaseline(
+      std::string(CGKGR_REPO_ROOT) + "/tools/analyzer_baseline.txt",
+      &baseline);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  for (const std::string& entry : baseline) {
+    const bool core = entry.rfind("src/models/", 0) == 0 ||
+                      entry.rfind("src/autograd/", 0) == 0 ||
+                      entry.rfind("src/tensor/", 0) == 0;
+    const bool determinism = entry.find(":det-") != std::string::npos;
+    EXPECT_FALSE(core && determinism)
+        << "determinism debt baselined in the numeric core: " << entry;
+  }
+}
+
+#endif  // CGKGR_REPO_ROOT
+
+}  // namespace
+}  // namespace analysis
+}  // namespace cgkgr

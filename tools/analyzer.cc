@@ -1,0 +1,108 @@
+// cgkgr_analyze — the repo's static analyzer (analysis::SourceLint).
+//
+// Lexes every .h/.cc/.cpp under <root>/src, builds the translation-unit
+// model, and runs the determinism / memory / concurrency rule packs.
+// Exit code 0 = clean (modulo baseline), 1 = findings or stale baseline
+// entries, 2 = usage/IO error.
+//
+//   cgkgr_analyze --root . [--baseline tools/analyzer_baseline.txt]
+//                 [--rules det-unordered-iter,naked-new] [--list_rules true]
+//
+// Wired into ctest as `repo_analyze` and into tools/check.sh; the rule
+// catalog and suppression syntax are documented in docs/static_analysis.md.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/source_lint.h"
+#include "common/flags.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace {
+
+int ListRules() {
+  std::string pack;
+  for (const cgkgr::analysis::RuleInfo& info : cgkgr::analysis::RuleCatalog()) {
+    if (pack != info.pack) {
+      pack = info.pack;
+      std::printf("%s pack:\n", info.pack);
+    }
+    std::printf("  %-22s %s\n", info.name, info.summary);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cgkgr::FlagParser flags;
+  flags.DefineString("root", ".", "repo root (directory containing src/)");
+  flags.DefineString("baseline", "",
+                     "suppression baseline file (path:rule per line); "
+                     "empty = no baseline");
+  flags.DefineString("rules", "",
+                     "comma-separated rule filter; empty = all rules");
+  flags.DefineBool("list_rules", false, "print the rule catalog and exit");
+  const cgkgr::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "cgkgr_analyze: %s\n%s", parsed.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage().c_str());
+    return 0;
+  }
+  if (flags.GetBool("list_rules")) return ListRules();
+
+  cgkgr::analysis::SourceLintOptions options;
+  for (const std::string& part : cgkgr::Split(flags.GetString("rules"), ',')) {
+    const std::string rule(cgkgr::Trim(part));
+    if (rule.empty()) continue;
+    if (!cgkgr::analysis::IsKnownRule(rule)) {
+      std::fprintf(stderr,
+                   "cgkgr_analyze: unknown rule '%s' (--list_rules true)\n",
+                   rule.c_str());
+      return 2;
+    }
+    options.rules.insert(rule);
+  }
+
+  std::set<std::string> baseline;
+  if (!flags.GetString("baseline").empty()) {
+    const cgkgr::Status loaded =
+        cgkgr::analysis::LoadBaseline(flags.GetString("baseline"), &baseline);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cgkgr_analyze: %s\n", loaded.ToString().c_str());
+      return 2;
+    }
+  }
+
+  cgkgr::analysis::SourceLintReport report;
+  const cgkgr::Status analyzed = cgkgr::analysis::AnalyzeRepo(
+      flags.GetString("root"), options, &report);
+  if (!analyzed.ok()) {
+    std::fprintf(stderr, "cgkgr_analyze: %s\n", analyzed.ToString().c_str());
+    return 2;
+  }
+  cgkgr::analysis::ApplyBaseline(baseline, &report);
+
+  for (const cgkgr::analysis::Finding& finding : report.findings) {
+    std::printf("%s\n", finding.ToString().c_str());
+  }
+  for (const std::string& stale : report.stale_baseline) {
+    std::printf("stale baseline entry (matched nothing — delete it): %s\n",
+                stale.c_str());
+  }
+  std::printf(
+      "cgkgr_analyze: %d file(s), %lld token(s), %zu finding(s), "
+      "%d inline-suppressed, %d baseline-suppressed, %zu stale\n",
+      report.files, static_cast<long long>(report.tokens),
+      report.findings.size(), report.inline_suppressed,
+      report.baseline_suppressed, report.stale_baseline.size());
+  return (report.clean() && report.stale_baseline.empty()) ? 0 : 1;
+}

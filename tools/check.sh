@@ -2,20 +2,24 @@
 # Repo-invariant gate. Runs from any directory; registered as the
 # `repo_lint` ctest so `ctest` fails when an invariant regresses.
 #
-#   1. tools/lint_repo.py — AST-free source linter (discarded Status,
-#      naked new, raw std::mutex in annotated dirs, project-header
-#      include-what-you-use, printf-family outside sanctioned sinks,
-#      ad-hoc std::chrono timing / raw histograms outside src/obs/,
-#      raw std::ofstream state writes outside src/ckpt/).
+#   1. cgkgr_analyze — the repo's static analyzer (analysis::SourceLint):
+#      determinism, memory/persistence, and cross-TU lock-discipline rule
+#      packs over every source under src/, with the checked-in suppression
+#      baseline (tools/analyzer_baseline.txt). The binary is located via
+#      $CGKGR_ANALYZE_BIN (set by ctest), then build/tools/, then PATH; if
+#      none exists it is built from source into build/.
 #   2. clang -Wthread-safety syntax-only pass over the annotated TUs.
 #      Skipped with a notice when clang++ is not installed (under GCC the
 #      CGKGR_* annotation macros compile away, so there is nothing to
 #      check locally — CI images with clang get the full analysis).
-#   3. ThreadSanitizer run of the concurrency-heavy tests (thread_pool_test,
-#      trainer_test — the latter hammers the parallel training engine's
-#      GradSinkGuard/reduction path). Opt-in via CGKGR_CHECK_TSAN=1: the
-#      TSan configure+build takes minutes, so it is not part of the ctest
-#      repo_lint gate.
+#   3. Sanitizer runs, opt-in because each configure+build takes minutes:
+#        CGKGR_CHECK_TSAN=1  ThreadSanitizer over the concurrency-heavy
+#                            tests (thread_pool_test, trainer_test).
+#        CGKGR_CHECK_ASAN=1  AddressSanitizer over the memory-heavy tests
+#                            (tensor_test, autograd_test, ckpt_test).
+#        CGKGR_CHECK_UBSAN=1 UndefinedBehaviorSanitizer over the numeric
+#                            core (tensor_test, autograd_test,
+#                            cgkgr_model_test).
 #
 # Exit status: 0 iff every available check passed.
 set -u
@@ -24,11 +28,30 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 fail=0
 
-echo "== lint_repo.py =="
-python3 tools/lint_repo.py || fail=1
+echo "== cgkgr_analyze =="
+analyze_bin="${CGKGR_ANALYZE_BIN:-}"
+if [ -z "$analyze_bin" ] && [ -x build/tools/cgkgr_analyze ]; then
+  analyze_bin=build/tools/cgkgr_analyze
+fi
+if [ -z "$analyze_bin" ] && command -v cgkgr_analyze >/dev/null 2>&1; then
+  analyze_bin="$(command -v cgkgr_analyze)"
+fi
+if [ -z "$analyze_bin" ]; then
+  echo "  (building cgkgr_analyze into build/)"
+  cmake -B build -S . > /dev/null && \
+    cmake --build build --target cgkgr_analyze -j"$(nproc)" > /dev/null || fail=1
+  analyze_bin=build/tools/cgkgr_analyze
+fi
+if [ "$fail" -eq 0 ]; then
+  "$analyze_bin" --root "$root" \
+    --baseline "$root/tools/analyzer_baseline.txt" || fail=1
+fi
 
 # TUs whose locking is expressed through the capability annotations in
-# common/mutex.h. Keep in sync with docs/static_analysis.md.
+# common/mutex.h. Keep in sync with docs/static_analysis.md. The per-TU
+# clang pass and cgkgr_analyze's cross-TU lock graph are complementary:
+# clang proves each TU against its own annotations, the analyzer connects
+# annotations across TU boundaries (lock order, out-of-line guard access).
 ANNOTATED_TUS=(
   src/common/thread_pool.cc
   src/obs/metrics.cc
@@ -49,23 +72,41 @@ else
        "annotations compile away under GCC) =="
 fi
 
+# run_sanitizer <name> <cmake-sanitize-value> <build-dir> <test...>
+# Configures an instrumented build tree and runs the named tests in it.
+run_sanitizer() {
+  local name="$1" sanitize="$2" dir="$3"
+  shift 3
+  echo "== ${name} ($*) =="
+  cmake -B "$dir" -S . -DCGKGR_SANITIZE="$sanitize" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null || { fail=1; return; }
+  cmake --build "$dir" -j"$(nproc)" --target "$@" > /dev/null || { fail=1; return; }
+  local t
+  for t in "$@"; do
+    echo "  $t"
+    "$dir/tests/$t" > /dev/null || fail=1
+  done
+}
+
 if [ "${CGKGR_CHECK_TSAN:-0}" = "1" ]; then
-  echo "== ThreadSanitizer (thread_pool_test, trainer_test) =="
-  tsan_dir="build-tsan"
-  cmake -B "$tsan_dir" -S . -DCGKGR_SANITIZE=thread \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null || fail=1
-  if [ "$fail" -eq 0 ]; then
-    cmake --build "$tsan_dir" -j"$(nproc)" \
-      --target thread_pool_test trainer_test > /dev/null || fail=1
-  fi
-  if [ "$fail" -eq 0 ]; then
-    for t in thread_pool_test trainer_test; do
-      echo "  $t"
-      "$tsan_dir/tests/$t" > /dev/null || fail=1
-    done
-  fi
+  run_sanitizer ThreadSanitizer thread build-tsan \
+    thread_pool_test trainer_test
 else
   echo "== ThreadSanitizer: SKIPPED (set CGKGR_CHECK_TSAN=1 to enable) =="
+fi
+
+if [ "${CGKGR_CHECK_ASAN:-0}" = "1" ]; then
+  run_sanitizer AddressSanitizer address build-asan \
+    tensor_test autograd_test ckpt_test
+else
+  echo "== AddressSanitizer: SKIPPED (set CGKGR_CHECK_ASAN=1 to enable) =="
+fi
+
+if [ "${CGKGR_CHECK_UBSAN:-0}" = "1" ]; then
+  run_sanitizer UndefinedBehaviorSanitizer undefined build-ubsan \
+    tensor_test autograd_test cgkgr_model_test
+else
+  echo "== UndefinedBehaviorSanitizer: SKIPPED (set CGKGR_CHECK_UBSAN=1 to enable) =="
 fi
 
 if [ "$fail" -eq 0 ]; then

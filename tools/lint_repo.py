@@ -1,290 +1,43 @@
 #!/usr/bin/env python3
-"""Repo-invariant checker: fast, AST-free linting of project rules.
+"""Thin compatibility wrapper around cgkgr_analyze (retired regex linter).
 
-Enforced rules (each finding prints as ``path:line: [rule] message``):
+The regex rules that lived here were ported onto real token streams in
+``analysis::SourceLint`` (src/analysis/source_lint.h) and are now run by
+the ``cgkgr_analyze`` binary (tools/analyzer.cc) — same rule ids, same
+``path:line: [rule] message`` output, same NOLINT / file-level allow
+markers, plus three new rule packs (determinism, mmap discipline,
+cross-TU lock order) the line-local regexes could never express. See
+docs/static_analysis.md for the rule catalog.
 
-  discarded-status   A call to a project function returning cgkgr::Status /
-                     Result<T> used as a bare statement. The compiler is the
-                     authoritative gate ([[nodiscard]] + -Werror=unused-result);
-                     this rule catches the same defect in code that is not
-                     compiled on every platform (examples, #ifdef'd branches).
-  naked-new          `new` outside std::make_unique/make_shared. The library
-                     owns memory via containers and smart pointers only.
-  mutex-annotation   A raw std::mutex / std::shared_mutex / std::condition_
-                     variable in the annotated directories (src/common,
-                     src/serve). Lock-protected state there must use the
-                     capability-annotated cgkgr::Mutex / SharedMutex / CondVar
-                     wrappers (common/mutex.h) so clang's -Wthread-safety can
-                     check it.
-  iwyu-project       A file uses a project-owned symbol (CGKGR_CHECK, Status,
-                     TablePrinter, ...) without directly including the project
-                     header that defines it (include-what-you-use, restricted
-                     to a curated symbol->header map).
-  printf-family      printf/fprintf/... in src/. Output goes through
-                     CGKGR_LOG, TablePrinter, or StrFormat; the handful of
-                     sanctioned sinks carry an explicit allow marker.
-  adhoc-timing       Direct std::chrono / steady_clock / system_clock use in
-                     src/ outside the sanctioned timing substrate (src/obs/
-                     and common/timer.h). Timing goes through WallTimer and
-                     the obs instruments so every measurement is visible in
-                     the metrics registry / trace.
-  raw-histogram      A class/struct named *Histogram declared outside
-                     src/obs/. Histograms live in the metrics registry
-                     (obs::Histogram); hand-rolled ones fragment telemetry
-                     the way the old serve::LatencyHistogram did. Bare
-                     forward declarations (``class Histogram;``) are fine.
-  raw-ofstream       std::ofstream used in src/ outside the sanctioned
-                     writers (src/ckpt/, src/obs/, src/data/io.cc). Model
-                     and trainer state is persisted only through the ckpt
-                     subsystem (atomic publish, CRC framing); an ad-hoc
-                     ofstream dump has neither and resurrects the pre-ckpt
-                     half-written-file failure mode. See
-                     docs/checkpointing.md.
-  raw-thread         std::thread used in src/ outside common/thread_pool.
-                     All concurrency goes through cgkgr::ThreadPool so lane
-                     accounting, pool metrics, and the num_threads=1 inline
-                     guarantee hold everywhere (notably in the deterministic
-                     training engine, models/parallel_trainer.cc).
-
-Suppressions:
-  line level:  trailing ``NOLINT`` or ``NOLINT(rule)`` comment
-  file level:  ``lint-repo: allow=rule`` anywhere in the file (used by the
-               sanctioned printf sinks, where a trailing comment would break
-               macro line-continuations)
-
-Run from the repo root:  python3 tools/lint_repo.py  [--root DIR]
-Wired into ctest via tools/check.sh (test name: repo_lint).
+This wrapper exists so scripts and muscle memory that invoke
+``python3 tools/lint_repo.py`` keep working: it locates (or builds) the
+binary and execs it with the repo baseline.
 """
 
 import argparse
 import os
-import re
+import shutil
+import subprocess
 import sys
 
-SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
-ANNOTATED_DIRS = ("src/common", "src/serve")
 
-# Curated include-what-you-use map: symbol pattern -> defining project header.
-# Only symbols with an unambiguous home are listed; the goal is catching
-# headers leaking transitively, not full IWYU.
-IWYU_MAP = [
-    (re.compile(r"\bCGKGR_(?:D?CHECK|CHECK_MSG|RETURN_NOT_OK|GUARDED_BY|"
-                r"REQUIRES|ACQUIRE|RELEASE|EXCLUDES|CAPABILITY)"),
-     "common/macros.h"),
-    (re.compile(r"\bCGKGR_LOG\b"), "common/logging.h"),
-    (re.compile(r"\bTablePrinter\b"), "common/table_printer.h"),
-    (re.compile(r"\bStrFormat\b"), "common/string_util.h"),
-    (re.compile(r"\b(?:MutexLock|ReaderMutexLock|WriterMutexLock|CondVar)\b"),
-     "common/mutex.h"),
-    (re.compile(r"\bThreadPool\b"), "common/thread_pool.h"),
-    (re.compile(r"\bWallTimer\b"), "common/timer.h"),
-    (re.compile(r"\bMetricsRegistry\b"), "obs/metrics.h"),
-    (re.compile(r"\b(?:ScopedSpan|TraceCollector)\b"), "obs/trace.h"),
-    (re.compile(r"\bJsonl(?:Sink|Row)\b"), "obs/jsonl.h"),
-]
-
-# Files allowed to touch std::chrono directly: the timing substrate itself.
-ADHOC_TIMING_ALLOWLIST = ("src/common/timer.h",)
-ADHOC_TIMING_RE = re.compile(
-    r"\bstd::chrono\b|\b(?:steady_clock|high_resolution_clock|system_clock)\b")
-RAW_HISTOGRAM_RE = re.compile(r"\b(?:class|struct)\s+\w*Histogram\b(?!\s*;)")
-
-# Files allowed to touch std::thread directly: the pool implementation.
-RAW_THREAD_ALLOWLIST = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
-RAW_THREAD_RE = re.compile(r"\bstd::thread\b")
-
-# Files/dirs allowed to open std::ofstream directly: the checkpoint
-# subsystem itself (which implements the atomic-publish protocol everyone
-# else must go through), the obs sinks (JSONL/trace are append-oriented
-# telemetry, not recoverable state), and the dataset exporter.
-RAW_OFSTREAM_ALLOWLIST_DIRS = ("src/ckpt/", "src/obs/")
-RAW_OFSTREAM_ALLOWLIST = ("src/data/io.cc",)
-RAW_OFSTREAM_RE = re.compile(r"\bstd::ofstream\b")
-
-PRINTF_RE = re.compile(
-    r"\b(?:v?f?printf|v?s?n?printf|puts|fputs|putchar|fputc)\s*\(")
-NAKED_NEW_RE = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:<])")
-RAW_MUTEX_RE = re.compile(
-    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|condition_variable(?:_any)?)\b")
-NOLINT_RE = re.compile(r"NOLINT(?:\(([a-z\-]+)\))?")
-FILE_ALLOW_RE = re.compile(r"lint-repo:\s*allow=([a-z\-]+)")
-INCLUDE_RE = re.compile(r'^\s*#include\s+"([^"]+)"')
-
-# Declarations of Status/Result-returning free functions and methods, scanned
-# from headers: `Status Name(`, `Result<T> Name(`.
-STATUS_DECL_RE = re.compile(
-    r"^\s*(?:static\s+|virtual\s+)?(?:cgkgr::)?(?:Status|Result<[^>]+>)\s+"
-    r"([A-Za-z_]\w*)\s*\(", re.MULTILINE)
-
-# A bare-statement call: optional receiver chain, a known name, args, `;`.
-def bare_call_re(names):
-    alt = "|".join(sorted(names))
-    return re.compile(
-        r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*(" + alt + r")\s*\(.*\)\s*;\s*$")
-
-
-def strip_comments_and_strings(line):
-    """Removes // comments and the contents of string/char literals.
-
-    Line-local (block comments spanning lines are rare in this codebase and
-    self-correct at the next line); keeps quotes so regexes cannot match
-    across a literal boundary.
-    """
-    out = []
-    i, n = 0, len(line)
-    quote = None
-    while i < n:
-        c = line[i]
-        if quote:
-            if c == "\\":
-                i += 2
-                continue
-            if c == quote:
-                quote = None
-                out.append(c)
-            i += 1
-            continue
-        if c in "\"'":
-            quote = c
-            out.append(c)
-            i += 1
-            continue
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-class Linter:
-    def __init__(self, root):
-        self.root = root
-        self.findings = []
-
-    def emit(self, path, lineno, rule, message):
-        self.findings.append((os.path.relpath(path, self.root), lineno, rule,
-                              message))
-
-    def collect_files(self, subdirs):
-        files = []
-        for sub in subdirs:
-            base = os.path.join(self.root, sub)
-            for dirpath, _, names in os.walk(base):
-                for name in sorted(names):
-                    if name.endswith(SOURCE_EXTENSIONS):
-                        files.append(os.path.join(dirpath, name))
-        return sorted(files)
-
-    def collect_status_functions(self):
-        """Names of Status/Result-returning functions declared in src headers."""
-        names = set()
-        for path in self.collect_files(["src"]):
-            if not path.endswith(".h"):
-                continue
-            with open(path, encoding="utf-8") as f:
-                names.update(STATUS_DECL_RE.findall(f.read()))
-        # Factories/accessors that *produce* statuses are not failure paths.
-        names -= {"OK", "InvalidArgument", "NotFound", "AlreadyExists",
-                  "OutOfRange", "IOError", "Internal", "NotImplemented",
-                  "status"}
-        return names
-
-    def lint_file(self, path, status_call_re):
-        with open(path, encoding="utf-8") as f:
-            raw = f.read()
-        file_allows = set(FILE_ALLOW_RE.findall(raw))
-        lines = raw.splitlines()
-        rel = os.path.relpath(path, self.root).replace(os.sep, "/")
-        in_annotated_dir = any(rel.startswith(d + "/") for d in ANNOTATED_DIRS)
-        includes = set()
-        for line in lines:
-            m = INCLUDE_RE.match(line)
-            if m:
-                includes.add(m.group(1))
-
-        code_blob_lines = []
-        for lineno, line in enumerate(lines, start=1):
-            nolint = NOLINT_RE.search(line)
-            allowed = set(file_allows)
-            if nolint:
-                allowed.add(nolint.group(1) or "*")
-            code = strip_comments_and_strings(line)
-            code_blob_lines.append(code)
-
-            def check(rule, regex, message):
-                if rule in allowed or "*" in allowed:
-                    return
-                if regex.search(code):
-                    self.emit(path, lineno, rule, message)
-
-            if rel.startswith("src/"):
-                check("printf-family", PRINTF_RE,
-                      "printf-family call in src/; use CGKGR_LOG, "
-                      "TablePrinter, or StrFormat")
-                check("naked-new", NAKED_NEW_RE,
-                      "naked new; use std::make_unique/make_shared or a "
-                      "container")
-                if status_call_re is not None:
-                    if ("discarded-status" not in allowed
-                            and "*" not in allowed):
-                        m = status_call_re.match(code)
-                        if m:
-                            self.emit(path, lineno, "discarded-status",
-                                      "result of Status/Result-returning "
-                                      f"'{m.group(1)}' is discarded; handle "
-                                      "it or CGKGR_CHECK(...ok())")
-            if in_annotated_dir and rel != "src/common/mutex.h":
-                check("mutex-annotation", RAW_MUTEX_RE,
-                      "raw std synchronization type in an annotated dir; use "
-                      "the capability-annotated cgkgr::Mutex/SharedMutex/"
-                      "CondVar (common/mutex.h)")
-            if (rel.startswith("src/") and not rel.startswith("src/obs/")
-                    and rel not in ADHOC_TIMING_ALLOWLIST):
-                check("adhoc-timing", ADHOC_TIMING_RE,
-                      "ad-hoc std::chrono timing; use WallTimer "
-                      "(common/timer.h) and record into the obs metrics "
-                      "registry / trace spans")
-            if rel.startswith("src/") and not rel.startswith("src/obs/"):
-                check("raw-histogram", RAW_HISTOGRAM_RE,
-                      "hand-rolled histogram type outside src/obs/; use "
-                      "obs::Histogram via the MetricsRegistry")
-            if rel.startswith("src/") and rel not in RAW_THREAD_ALLOWLIST:
-                check("raw-thread", RAW_THREAD_RE,
-                      "raw std::thread outside common/thread_pool; use "
-                      "cgkgr::ThreadPool so lane accounting and pool "
-                      "metrics stay accurate")
-            if (rel.startswith("src/")
-                    and not rel.startswith(RAW_OFSTREAM_ALLOWLIST_DIRS)
-                    and rel not in RAW_OFSTREAM_ALLOWLIST):
-                check("raw-ofstream", RAW_OFSTREAM_RE,
-                      "raw std::ofstream state write outside src/ckpt/; "
-                      "persist through ckpt::Writer (atomic publish + CRC "
-                      "framing, docs/checkpointing.md)")
-
-        if rel.startswith("src/") and "iwyu-project" not in file_allows:
-            blob = "\n".join(code_blob_lines)
-            for symbol_re, header in IWYU_MAP:
-                if rel == "src/" + header or header in includes:
-                    continue
-                m = symbol_re.search(blob)
-                if m:
-                    # A forward declaration is the IWYU-sanctioned way to
-                    # name a type used only by pointer/reference.
-                    fwd = re.compile(r"\b(?:class|struct)\s+"
-                                     + re.escape(m.group(0)) + r"\s*;")
-                    if fwd.search(blob):
-                        continue
-                    lineno = blob[:m.start()].count("\n") + 1
-                    self.emit(path, lineno, "iwyu-project",
-                              f"uses '{m.group(0)}' without directly "
-                              f"including \"{header}\"")
-
-    def run(self):
-        status_names = self.collect_status_functions()
-        status_call_re = bare_call_re(status_names) if status_names else None
-        for path in self.collect_files(["src"]):
-            self.lint_file(path, status_call_re)
-        return self.findings
+def find_or_build_binary(root):
+    env_bin = os.environ.get("CGKGR_ANALYZE_BIN")
+    if env_bin and os.access(env_bin, os.X_OK):
+        return env_bin
+    built = os.path.join(root, "build", "tools", "cgkgr_analyze")
+    if os.access(built, os.X_OK):
+        return built
+    on_path = shutil.which("cgkgr_analyze")
+    if on_path:
+        return on_path
+    print("lint_repo.py: building cgkgr_analyze into build/ ...",
+          file=sys.stderr)
+    subprocess.run(["cmake", "-B", "build", "-S", "."], cwd=root, check=True,
+                   stdout=subprocess.DEVNULL)
+    subprocess.run(["cmake", "--build", "build", "--target", "cgkgr_analyze",
+                    "-j2"], cwd=root, check=True, stdout=subprocess.DEVNULL)
+    return built
 
 
 def main():
@@ -295,15 +48,10 @@ def main():
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
 
-    linter = Linter(root)
-    findings = linter.run()
-    for path, lineno, rule, message in findings:
-        print(f"{path}:{lineno}: [{rule}] {message}")
-    if findings:
-        print(f"lint_repo: {len(findings)} finding(s)")
-        return 1
-    print("lint_repo: clean")
-    return 0
+    binary = find_or_build_binary(root)
+    baseline = os.path.join(root, "tools", "analyzer_baseline.txt")
+    return subprocess.run(
+        [binary, "--root", root, "--baseline", baseline]).returncode
 
 
 if __name__ == "__main__":
