@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace cgkgr;
   FlagParser flags;
   bench::AddCommonFlags(&flags, /*default_trials=*/1);
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
   // Default to the light presets so the full suite stays runnable on one
   // core; pass --datasets music,book,movie,restaurant for the full grid.
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   std::printf("== Extension: uniform vs degree-biased neighbor sampling "
               "(paper future work, Sec. VI) ==\n\n");
   TablePrinter table({"Dataset", "Sampler", "Recall@20(%)", "NDCG@20(%)"});
+  std::vector<exp::CaseResult> artifact_rows;
   for (const auto& dataset_name : datasets) {
     const data::Preset preset =
         data::GetPreset(dataset_name, flags.GetDouble("scale"));
@@ -72,7 +74,10 @@ int main(int argc, char** argv) {
                     eval::FormatMeanStd(agg.Summary(label, "recall")),
                     eval::FormatMeanStd(agg.Summary(label, "ndcg"))});
     }
+    const auto rows = bench::AggregatorArtifactRows(
+        agg, "sampler", "sampler/" + dataset_name);
+    artifact_rows.insert(artifact_rows.end(), rows.begin(), rows.end());
   }
   table.Print();
-  return 0;
+  return bench::EmitBenchArtifact(flags, "ablation_sampler", artifact_rows);
 }

@@ -3,116 +3,23 @@
 // validated load (CRC + record decode) cost as model size grows. This
 // bounds the training-loop overhead of `TrainOptions::checkpoint` at
 // interval_epochs=1 — publish latency is paid inside the epoch loop.
+// A thin CLI over the exp::RunCase "ckpt" scenario; results publish as
+// the unified BENCH_ckpt.json artifact.
 //
 //   ./build/bench/bench_ckpt
-//   ./build/bench/bench_ckpt --dims 8,32,128 --reps 20 --json /tmp/ckpt.json
-//
-// Prints a table and writes a JSON summary for the bench trajectory.
+//   ./build/bench/bench_ckpt --dims 8,32,128 --reps 20 --overwrite
 
-#include <algorithm>
 #include <cstdio>
-#include <fstream>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "ckpt/io.h"
-#include "common/timer.h"
-#include "models/recommender.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
 
 namespace cgkgr {
 namespace bench {
 namespace {
-
-struct RunResult {
-  int64_t dim = 0;
-  int64_t payload_bytes = 0;
-  double write_ms = 0.0;   // SaveModelState: serialize + commit (fsync)
-  double open_ms = 0.0;    // Reader::Open: read + CRC validation
-  double load_ms = 0.0;    // LoadModelState: open + decode into the store
-  double write_mbps = 0.0;
-  double open_mbps = 0.0;
-};
-
-double MedianMs(std::vector<double>* samples) {
-  std::sort(samples->begin(), samples->end());
-  return 1e3 * (*samples)[samples->size() / 2];
-}
-
-RunResult RunOneDim(const data::Dataset& dataset,
-                    data::PresetHyperParams hparams, int64_t dim,
-                    int64_t reps, uint64_t seed, const std::string& dir) {
-  hparams.embedding_dim = dim;
-  auto model = models::CreateModel("BPRMF", hparams);
-  models::TrainOptions train;
-  train.max_epochs = 1;
-  train.patience = 1000;
-  train.batch_size = hparams.batch_size;
-  train.seed = seed;
-  CGKGR_CHECK(model->Fit(dataset, train).ok());
-
-  const std::string path = dir + StrFormat("/bench-d%lld.ckpt",
-                                           (long long)dim);
-  RunResult result;
-  result.dim = dim;
-  {
-    ckpt::Writer writer;
-    model->SaveState(&writer);
-    result.payload_bytes = static_cast<int64_t>(writer.payload().size());
-  }
-
-  std::vector<double> write_s;
-  std::vector<double> open_s;
-  std::vector<double> load_s;
-  for (int64_t rep = 0; rep < reps; ++rep) {
-    {
-      WallTimer timer;
-      CGKGR_CHECK(models::SaveModelState(*model, path).ok());
-      write_s.push_back(timer.ElapsedSeconds());
-    }
-    {
-      WallTimer timer;
-      Result<ckpt::Reader> reader = ckpt::Reader::Open(path);
-      CGKGR_CHECK(reader.ok());
-      open_s.push_back(timer.ElapsedSeconds());
-    }
-    {
-      WallTimer timer;
-      CGKGR_CHECK(models::LoadModelState(model.get(), path).ok());
-      load_s.push_back(timer.ElapsedSeconds());
-    }
-  }
-  result.write_ms = MedianMs(&write_s);
-  result.open_ms = MedianMs(&open_s);
-  result.load_ms = MedianMs(&load_s);
-  const double mb = static_cast<double>(result.payload_bytes) / (1 << 20);
-  result.write_mbps = result.write_ms > 0.0 ? mb / (result.write_ms / 1e3)
-                                            : 0.0;
-  result.open_mbps = result.open_ms > 0.0 ? mb / (result.open_ms / 1e3)
-                                          : 0.0;
-  return result;
-}
-
-std::string ToJson(const std::vector<RunResult>& runs, int64_t reps) {
-  std::string json = "{\n";
-  json += "  \"bench\": \"ckpt\",\n";
-  json += StrFormat("  \"reps\": %lld,\n", (long long)reps);
-  json += "  \"runs\": [\n";
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const RunResult& r = runs[i];
-    json += StrFormat(
-        "    {\"dim\": %lld, \"payload_bytes\": %lld, "
-        "\"write_ms\": %.3f, \"open_ms\": %.3f, \"load_ms\": %.3f, "
-        "\"write_mbps\": %.1f, \"open_mbps\": %.1f}%s\n",
-        (long long)r.dim, (long long)r.payload_bytes, r.write_ms, r.open_ms,
-        r.load_ms, r.write_mbps, r.open_mbps,
-        i + 1 == runs.size() ? "" : ",");
-  }
-  json += "  ],\n";
-  json += "  \"metrics\": " + bench::MetricsJson() + "\n}\n";
-  return json;
-}
 
 int Main(int argc, char** argv) {
   FlagParser flags;
@@ -122,47 +29,45 @@ int Main(int argc, char** argv) {
   flags.DefineString("dims", "8,32,64", "embedding dims to sweep");
   flags.DefineInt64("reps", 11, "publish/load repetitions per dim (median)");
   flags.DefineString("dir", "/tmp", "directory for the benchmark files");
-  flags.DefineString("json", "bench_ckpt.json",
-                     "JSON summary output path (empty = skip)");
+  AddArtifactFlags(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
 
-  const data::Preset preset =
-      data::GetPreset(flags.GetString("dataset"), flags.GetDouble("scale"));
-  const data::Dataset dataset = data::GenerateSyntheticDataset(
-      preset.data, static_cast<uint64_t>(flags.GetInt64("seed")));
-  std::printf("dataset: %s (%lld users, %lld items, %lld entities)\n",
-              dataset.name.c_str(), (long long)dataset.num_users,
-              (long long)dataset.num_items, (long long)dataset.num_entities);
+  exp::CaseSpec spec;
+  spec.scenario = "ckpt";
+  spec.dataset = flags.GetString("dataset");
+  spec.scale = flags.GetDouble("scale");
+  spec.reps = flags.GetInt64("reps");
+  spec.dims = ParsePositiveInt64ListOrDie(flags.GetString("dims"), "dims");
 
-  std::vector<RunResult> runs;
-  TablePrinter table(
-      {"dim", "payload", "write (ms)", "open (ms)", "load (ms)",
-       "write MB/s", "open MB/s"});
-  for (const std::string& token : SplitList(flags.GetString("dims"))) {
-    const int64_t dim = std::stoll(token);
-    const RunResult run = RunOneDim(
-        dataset, preset.hparams, dim, flags.GetInt64("reps"),
-        static_cast<uint64_t>(flags.GetInt64("seed")),
-        flags.GetString("dir"));
-    runs.push_back(run);
-    table.AddRow({StrFormat("%lld", (long long)run.dim),
-                  StrFormat("%.1f KiB",
-                            static_cast<double>(run.payload_bytes) / 1024.0),
-                  StrFormat("%.3f", run.write_ms),
-                  StrFormat("%.3f", run.open_ms),
-                  StrFormat("%.3f", run.load_ms),
-                  StrFormat("%.1f", run.write_mbps),
-                  StrFormat("%.1f", run.open_mbps)});
+  exp::RunnerOptions options;
+  options.scratch_dir = flags.GetString("dir");
+  std::vector<exp::CaseResult> rows;
+  const Status st =
+      exp::RunCase(spec, static_cast<uint64_t>(flags.GetInt64("seed")),
+                   options, &rows);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"dim", "payload", "publish (ms)", "open (ms)",
+                      "load (ms)", "write MB/s", "open MB/s"});
+  for (const exp::CaseResult& row : rows) {
+    table.AddRow(
+        {StrFormat("%lld", (long long)row.params.GetInt("dim", 0)),
+         StrFormat("%.1f KiB",
+                   static_cast<double>(
+                       row.metrics.GetInt("payload_bytes", 0)) /
+                       1024.0),
+         StrFormat("%.3f", row.metrics.GetDouble("publish_ms", 0.0)),
+         StrFormat("%.3f", row.metrics.GetDouble("open_ms", 0.0)),
+         StrFormat("%.3f", row.metrics.GetDouble("load_ms", 0.0)),
+         StrFormat("%.1f", row.metrics.GetDouble("write_mbps", 0.0)),
+         StrFormat("%.1f", row.metrics.GetDouble("open_mbps", 0.0))});
   }
   table.Print();
 
-  const std::string json_path = flags.GetString("json");
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << ToJson(runs, flags.GetInt64("reps"));
-    std::printf("JSON summary written to %s\n", json_path.c_str());
-  }
-  return 0;
+  return EmitBenchArtifact(flags, "ckpt", rows);
 }
 
 }  // namespace

@@ -6,7 +6,9 @@
 // multi-trial training -> eval protocols -> paper-style table rows.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -19,7 +21,10 @@
 #include "eval/experiment.h"
 #include "eval/protocol.h"
 #include "eval/wilcoxon.h"
+#include "exp/artifact.h"
+#include "exp/runner.h"
 #include "models/registry.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 
 namespace cgkgr {
@@ -63,6 +68,29 @@ inline std::vector<std::string> SplitList(const std::string& value) {
       if (i > start) out.push_back(value.substr(start, i - start));
       start = i + 1;
     }
+  }
+  return out;
+}
+
+/// Parses a comma-separated list of positive integers ("1,2,4"); prints an
+/// error naming `flag` and exits on malformed entries.
+inline std::vector<int64_t> ParsePositiveInt64ListOrDie(
+    const std::string& value, const std::string& flag) {
+  std::vector<int64_t> out;
+  for (const std::string& token : SplitList(value)) {
+    char* end = nullptr;
+    const int64_t parsed = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || parsed < 1) {
+      std::fprintf(stderr,
+                   "invalid --%s entry \"%s\" (want positive integers)\n",
+                   flag.c_str(), token.c_str());
+      std::exit(1);
+    }
+    out.push_back(parsed);
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--%s must not be empty\n", flag.c_str());
+    std::exit(1);
   }
   return out;
 }
@@ -157,12 +185,75 @@ inline data::Dataset BuildTrialDataset(const data::Preset& preset,
       base_seed + 7919ULL * static_cast<uint64_t>(trial_index));
 }
 
-/// The process metrics registry as a JSON array, for embedding under a
-/// "metrics" key in every benchmark's JSON output — BENCH_*.json files then
-/// carry the counters (cache hits, samples/sec, epoch timings) that
-/// accumulated while the benchmark ran.
-inline std::string MetricsJson() {
-  return obs::MetricsRegistry::Default().DumpJson();
+/// Registers the unified-artifact flags every benchmark accepts: --out
+/// (artifact directory, empty skips the write) and --overwrite (without it
+/// the writer refuses to clobber an existing BENCH_*.json).
+inline void AddArtifactFlags(FlagParser* flags) {
+  flags->DefineString("out", exp::kDefaultArtifactDir,
+                      "artifact output directory (empty = skip)");
+  flags->DefineBool("overwrite", false,
+                    "replace an existing BENCH_*.json artifact");
+}
+
+/// Converts TrialAggregator summaries into artifact rows: one row per
+/// aggregator row labeled "<label_prefix>/<row>", with each metric's mean
+/// under its own name plus informational <metric>_std / <metric>_n
+/// companions. Benches that sweep datasets call this once per dataset with
+/// a prefix like "table4/music" and concatenate the results.
+inline std::vector<exp::CaseResult> AggregatorArtifactRows(
+    const eval::TrialAggregator& aggregator, const std::string& scenario,
+    const std::string& label_prefix) {
+  std::vector<exp::CaseResult> rows;
+  for (const std::string& name : aggregator.rows()) {
+    exp::CaseResult row;
+    row.label = label_prefix + "/" + name;
+    row.scenario = scenario;
+    row.params.Set("row", obs::Json::Str(name));
+    for (const std::string& metric : aggregator.MetricNames(name)) {
+      const eval::MeanStd summary = aggregator.Summary(name, metric);
+      row.metrics.Set(metric, obs::Json::Double(summary.mean));
+      row.metrics.Set(metric + "_std", obs::Json::Double(summary.std));
+      row.metrics.Set(
+          metric + "_n",
+          obs::Json::Int(static_cast<int64_t>(
+              aggregator.Samples(name, metric).size())));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Publishes `rows` as the schema-v1 artifact BENCH_<bench_name>.json under
+/// --out (skipped when --out is empty), embedding the registry dump and the
+/// process section. Returns 0, or 1 on a write/validation failure — bench
+/// main()s return this so a clobbered or invalid artifact fails the run.
+inline int EmitBenchArtifact(const FlagParser& flags,
+                             const std::string& bench_name,
+                             const std::vector<exp::CaseResult>& rows) {
+  const std::string out_dir = flags.GetString("out");
+  if (out_dir.empty()) return 0;
+  Result<obs::Json> dump =
+      obs::Json::Parse(obs::MetricsRegistry::Default().DumpJson());
+  if (!dump.ok()) {
+    std::fprintf(stderr, "metrics dump: %s\n",
+                 dump.status().ToString().c_str());
+    return 1;
+  }
+  obs::Json artifact =
+      exp::BuildArtifact(bench_name, rows, exp::RunHeader(), dump.value());
+  artifact.Set("process", exp::ProcessSectionJson());
+  Status st = exp::EnsureDirectory(out_dir);
+  const std::string path =
+      out_dir + "/" + exp::ArtifactFileName(bench_name);
+  if (st.ok()) {
+    st = exp::WriteArtifact(artifact, path, flags.GetBool("overwrite"));
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "artifact: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("artifact written to %s\n", path.c_str());
+  return 0;
 }
 
 /// Marks `value` with '*' when a Wilcoxon signed-rank test between `ours`

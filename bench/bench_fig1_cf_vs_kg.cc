@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   using namespace cgkgr;
   FlagParser flags;
   bench::AddCommonFlags(&flags, /*default_trials=*/1);
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
   // Default to the light presets so the full suite stays runnable on one
   // core; pass --datasets music,book,movie,restaurant for the full grid.
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   const int64_t trials = flags.GetInt64("trials");
 
   std::printf("== Figure 1: CF-based vs KG-based models, Top-20 ==\n\n");
+  std::vector<exp::CaseResult> artifact_rows;
   for (const auto& dataset_name : datasets) {
     const data::Preset preset =
         data::GetPreset(dataset_name, flags.GetDouble("scale"));
@@ -62,6 +64,10 @@ int main(int argc, char** argv) {
     }
     std::printf("KG-based models below the best CF model (Recall@20): "
                 "%d of 3\n\n", kg_below);
+
+    const auto rows = bench::AggregatorArtifactRows(
+        agg, "fig1", "fig1/" + dataset_name);
+    artifact_rows.insert(artifact_rows.end(), rows.begin(), rows.end());
   }
-  return 0;
+  return bench::EmitBenchArtifact(flags, "fig1_cf_vs_kg", artifact_rows);
 }

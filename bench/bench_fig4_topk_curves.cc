@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   FlagParser flags;
   bench::AddCommonFlags(&flags, /*default_trials=*/1);
   flags.DefineString("models", "", "comma-separated subset (default: all)");
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
   // Default to the light presets so the full suite stays runnable on one
   // core; pass --datasets music,book,movie,restaurant for the full grid.
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   const int64_t trials = flags.GetInt64("trials");
 
   std::printf("== Figure 4: Recall@K and NDCG@K curves ==\n\n");
+  std::vector<exp::CaseResult> artifact_rows;
   for (const auto& dataset_name : datasets) {
     const data::Preset preset =
         data::GetPreset(dataset_name, flags.GetDouble("scale"));
@@ -69,6 +71,9 @@ int main(int argc, char** argv) {
       table.Print();
       std::printf("\n");
     }
+    const auto rows = bench::AggregatorArtifactRows(
+        agg, "fig4", "fig4/" + dataset_name);
+    artifact_rows.insert(artifact_rows.end(), rows.begin(), rows.end());
   }
-  return 0;
+  return bench::EmitBenchArtifact(flags, "fig4_topk_curves", artifact_rows);
 }

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   flags.DefineInt64("item", 1, "target item id");
   flags.DefineInt64("user_a", 0, "first target user id");
   flags.DefineInt64("user_b", 1, "second target user id");
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
 
   const data::Preset preset =
@@ -105,5 +106,16 @@ int main(int argc, char** argv) {
       "(guidance personalizes the knowledge extraction, paper Sec. "
       "IV-F-2)\n",
       Spread(insp_a), Spread(insp_b), Spread(insp_c), divergence);
-  return 0;
+
+  exp::CaseResult summary;
+  summary.label = "fig5/" + dataset.name + "/i" + std::to_string(item);
+  summary.scenario = "fig5";
+  summary.params.Set("item", obs::Json::Int(item));
+  summary.params.Set("user_a", obs::Json::Int(user_a));
+  summary.params.Set("user_b", obs::Json::Int(user_b));
+  summary.metrics.Set("spread_no_guidance", obs::Json::Double(Spread(insp_a)));
+  summary.metrics.Set("spread_user_a", obs::Json::Double(Spread(insp_b)));
+  summary.metrics.Set("spread_user_b", obs::Json::Double(Spread(insp_c)));
+  summary.metrics.Set("l1_divergence", obs::Json::Double(divergence));
+  return bench::EmitBenchArtifact(flags, "fig5_case_study", {summary});
 }

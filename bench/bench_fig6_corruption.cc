@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   flags.DefineString("dataset", "book", "preset to corrupt");
   flags.DefineString("models", "RippleNet,KGCN,CKAN,CG-KGR",
                      "KG-aware models to compare");
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
 
   const data::Preset preset =
@@ -70,5 +71,8 @@ int main(int argc, char** argv) {
   table.Print();
   std::printf("('decay' = Recall@20 points lost from 0%% to 40%% "
               "corruption; lower = more robust)\n");
-  return 0;
+  return bench::EmitBenchArtifact(
+      flags, "fig6_corruption",
+      bench::AggregatorArtifactRows(
+          agg, "fig6", "fig6/" + flags.GetString("dataset")));
 }

@@ -1,136 +1,62 @@
-// Kernel-level microbenchmarks (Google Benchmark): the numeric and
-// sampling primitives every model in this repo is built from. Not a paper
-// artifact; used to track substrate performance.
+// Kernel-level microbenchmarks: the numeric and sampling primitives every
+// model in this repo is built from (GEMM, segment softmax, gather
+// forward+backward, relation matmul, node-flow sampling, the segment
+// attention pipeline). Not a paper artifact; used to track substrate
+// performance across PRs. A thin CLI over the exp::RunCase "micro_ops"
+// scenario; results publish as the unified BENCH_micro_ops.json artifact.
+//
+//   ./build/bench/bench_micro_ops
+//   ./build/bench/bench_micro_ops --iters 200 --kernels gemm64 --overwrite
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "autograd/ops.h"
-#include "common/rng.h"
-#include "graph/sampler.h"
-#include "tensor/init.h"
-#include "tensor/tensor_ops.h"
+#include "bench_common.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
 
+namespace cgkgr {
+namespace bench {
 namespace {
 
-using namespace cgkgr;
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineInt64("iters", 50, "timed iterations per kernel");
+  flags.DefineInt64("seed", 17, "base random seed");
+  flags.DefineString("kernels", "",
+                     "comma-separated kernel names (empty = all)");
+  AddArtifactFlags(&flags);
+  ParseFlagsOrDie(&flags, argc, argv);
 
-tensor::Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed) {
-  Rng rng(seed);
-  tensor::Tensor t(std::move(shape));
-  tensor::UniformInit(&t, &rng, -1.0f, 1.0f);
-  return t;
-}
+  exp::CaseSpec spec;
+  spec.scenario = "micro_ops";
+  spec.iters = flags.GetInt64("iters");
+  spec.kernels = SplitList(flags.GetString("kernels"));
 
-void BM_Gemm(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  tensor::Tensor a = RandomTensor({n, n}, 1);
-  tensor::Tensor b = RandomTensor({n, n}, 2);
-  tensor::Tensor c({n, n});
-  for (auto _ : state) {
-    tensor::Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
-                 c.data());
-    benchmark::DoNotOptimize(c.data());
+  std::vector<exp::CaseResult> rows;
+  const Status st =
+      exp::RunCase(spec, static_cast<uint64_t>(flags.GetInt64("seed")),
+                   exp::RunnerOptions{}, &rows);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
   }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_Gemm)->Arg(16)->Arg(64)->Arg(128);
 
-void BM_SegmentSoftmax(benchmark::State& state) {
-  const int64_t segments = state.range(0);
-  tensor::Tensor x = RandomTensor({segments * 8}, 3);
-  tensor::Tensor out({segments * 8});
-  for (auto _ : state) {
-    tensor::SegmentSoftmax(segments, 8, x.data(), out.data());
-    benchmark::DoNotOptimize(out.data());
+  TablePrinter table({"Kernel", "us/iter", "Items/s"});
+  for (const exp::CaseResult& row : rows) {
+    table.AddRow(
+        {row.params.GetString("kernel", "?"),
+         StrFormat("%.1f", row.metrics.GetDouble("iter_us", 0.0)),
+         StrFormat("%.3g", row.metrics.GetDouble("items_per_sec", 0.0))});
   }
-  state.SetItemsProcessed(state.iterations() * segments * 8);
-}
-BENCHMARK(BM_SegmentSoftmax)->Arg(128)->Arg(4096);
+  table.Print();
 
-void BM_GatherForwardBackward(benchmark::State& state) {
-  const int64_t rows = state.range(0);
-  autograd::Variable table(RandomTensor({rows, 16}, 4), true);
-  Rng rng(5);
-  std::vector<int64_t> indices(1024);
-  for (auto& idx : indices) {
-    idx = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(rows)));
-  }
-  for (auto _ : state) {
-    autograd::Variable loss =
-        autograd::SumAll(autograd::Gather(table, indices));
-    loss.Backward();
-    table.ZeroGrad();
-    benchmark::DoNotOptimize(loss.value().data());
-  }
-  state.SetItemsProcessed(state.iterations() * 1024);
+  return EmitBenchArtifact(flags, "micro_ops", rows);
 }
-BENCHMARK(BM_GatherForwardBackward)->Arg(1000)->Arg(100000);
-
-void BM_RelationMatMul(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  autograd::Variable x(RandomTensor({n, 16}, 6), true);
-  autograd::Variable mats(RandomTensor({8, 16, 16}, 7), true);
-  Rng rng(8);
-  std::vector<int64_t> rels(static_cast<size_t>(n));
-  for (auto& r : rels) r = static_cast<int64_t>(rng.UniformInt(8));
-  for (auto _ : state) {
-    autograd::Variable loss = autograd::SumAll(
-        autograd::RelationMatMul(x, rels, mats));
-    loss.Backward();
-    x.ZeroGrad();
-    mats.ZeroGrad();
-    benchmark::DoNotOptimize(loss.value().data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_RelationMatMul)->Arg(512)->Arg(4096);
-
-void BM_NodeFlowSampling(benchmark::State& state) {
-  const int64_t depth = state.range(0);
-  Rng build_rng(9);
-  std::vector<graph::Triplet> triplets;
-  for (int64_t i = 0; i < 20000; ++i) {
-    triplets.push_back(
-        {static_cast<int64_t>(build_rng.UniformInt(5000)),
-         static_cast<int64_t>(build_rng.UniformInt(10)),
-         static_cast<int64_t>(build_rng.UniformInt(5000))});
-  }
-  graph::KnowledgeGraph kg(5000, 10, std::move(triplets));
-  std::vector<int64_t> seeds(256);
-  for (auto& s : seeds) {
-    s = static_cast<int64_t>(build_rng.UniformInt(5000));
-  }
-  Rng rng(10);
-  for (auto _ : state) {
-    graph::NodeFlow flow =
-        graph::NeighborSampler::SampleNodeFlow(kg, seeds, depth, 4, &rng);
-    benchmark::DoNotOptimize(flow.entities.back().data());
-  }
-  state.SetItemsProcessed(state.iterations() * 256);
-}
-BENCHMARK(BM_NodeFlowSampling)->Arg(1)->Arg(3);
-
-void BM_SegmentAttentionPipeline(benchmark::State& state) {
-  // The hot path of every attention op in the repo: softmax + weighted sum
-  // over fixed-size neighbor segments, forward + backward.
-  const int64_t batch = state.range(0);
-  const int64_t segment = 8;
-  autograd::Variable values(RandomTensor({batch * segment, 16}, 11), true);
-  autograd::Variable logits(RandomTensor({batch * segment}, 12), true);
-  for (auto _ : state) {
-    autograd::Variable weights = autograd::SegmentSoftmax(logits, segment);
-    autograd::Variable pooled =
-        autograd::SegmentWeightedSum(values, weights, segment);
-    autograd::Variable loss = autograd::SumAll(pooled);
-    loss.Backward();
-    values.ZeroGrad();
-    logits.ZeroGrad();
-    benchmark::DoNotOptimize(loss.value().data());
-  }
-  state.SetItemsProcessed(state.iterations() * batch * segment);
-}
-BENCHMARK(BM_SegmentAttentionPipeline)->Arg(64)->Arg(1024);
 
 }  // namespace
+}  // namespace bench
+}  // namespace cgkgr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return cgkgr::bench::Main(argc, argv); }

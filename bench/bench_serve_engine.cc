@@ -1,108 +1,32 @@
-// Serving-engine throughput: queries/sec over a frozen snapshot at
-// 1/2/4/8 lanes with the LRU result cache off and on. Prints a table and
-// writes a JSON summary for the bench trajectory.
+// Serving-engine throughput: queries/sec over a frozen snapshot across a
+// lane sweep with the LRU result cache off and on. A thin CLI over the
+// exp::RunCase "serve" scenario; results publish as the unified
+// BENCH_serve_engine.json artifact.
 //
 //   ./build/bench/bench_serve_engine
-//   ./build/bench/bench_serve_engine --scale 8 --queries 200000 \
-//       --json /tmp/serve.json
+//   ./build/bench/bench_serve_engine --scale 8 --queries 200000 --overwrite
 //
 // The workload is a fixed pregenerated request stream with zipf-ish user
 // skew (half the traffic on ~1/16 of users), served through TopKBatch. The
-// model is BPRMF — scoring quality is irrelevant here; the engine only ever
-// sees the snapshot, so any trained model produces the same serving load.
+// model is BPRMF by default — scoring quality is irrelevant here; the engine
+// only ever sees the snapshot, so any trained model produces the same
+// serving load.
 
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "common/rng.h"
-#include "common/thread_pool.h"
-#include "common/timer.h"
-#include "serve/engine.h"
-#include "serve/snapshot.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
 
 namespace cgkgr {
 namespace bench {
 namespace {
 
-struct RunResult {
-  int64_t threads = 0;
-  bool cache = false;
-  int64_t queries = 0;
-  double seconds = 0.0;
-  double qps = 0.0;
-  double hit_rate = 0.0;
-  double p50_micros = 0.0;
-  double p99_micros = 0.0;
-};
-
-RunResult RunWorkload(const std::shared_ptr<const serve::Snapshot>& snapshot,
-                      const std::vector<serve::TopKRequest>& requests,
-                      int64_t threads, bool cache, int64_t batch_size) {
-  serve::EngineOptions options;
-  options.num_threads = threads;
-  options.cache_capacity = cache ? 4096 : 0;
-  serve::Engine engine(snapshot, options);
-
-  // Untimed warmup over one batch to touch the snapshot pages.
-  const size_t warm =
-      std::min(requests.size(), static_cast<size_t>(batch_size));
-  engine.TopKBatch(std::vector<serve::TopKRequest>(
-      requests.begin(), requests.begin() + warm));
-  engine.ResetStats();
-
-  WallTimer timer;
-  for (size_t begin = 0; begin < requests.size();
-       begin += static_cast<size_t>(batch_size)) {
-    const size_t end = std::min(requests.size(),
-                                begin + static_cast<size_t>(batch_size));
-    engine.TopKBatch(std::vector<serve::TopKRequest>(
-        requests.begin() + begin, requests.begin() + end));
-  }
-  const double seconds = timer.ElapsedSeconds();
-
-  const serve::EngineStats stats = engine.stats();
-  RunResult result;
-  result.threads = threads;
-  result.cache = cache;
-  result.queries = static_cast<int64_t>(requests.size());
-  result.seconds = seconds;
-  result.qps = static_cast<double>(requests.size()) / seconds;
-  result.hit_rate = stats.CacheHitRate();
-  result.p50_micros = stats.p50_micros;
-  result.p99_micros = stats.p99_micros;
-  return result;
-}
-
-std::string ToJson(const std::vector<RunResult>& runs,
-                   const serve::Snapshot& snapshot) {
-  std::string json = "{\n";
-  json += StrFormat("  \"bench\": \"serve_engine\",\n");
-  json += StrFormat("  \"num_users\": %lld,\n", (long long)snapshot.num_users);
-  json += StrFormat("  \"num_items\": %lld,\n", (long long)snapshot.num_items);
-  json += "  \"runs\": [\n";
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const RunResult& r = runs[i];
-    json += StrFormat(
-        "    {\"threads\": %lld, \"cache\": %s, \"queries\": %lld, "
-        "\"seconds\": %.6f, \"qps\": %.1f, \"cache_hit_rate\": %.4f, "
-        "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
-        (long long)r.threads, r.cache ? "true" : "false",
-        (long long)r.queries, r.seconds, r.qps, r.hit_rate, r.p50_micros,
-        r.p99_micros, i + 1 == runs.size() ? "" : ",");
-  }
-  json += "  ],\n";
-  // The registry snapshot: engine counters, cache gauges, pool histograms
-  // as they stand at the end of the sweep.
-  json += "  \"metrics\": " + bench::MetricsJson() + "\n}\n";
-  return json;
-}
-
 int Main(int argc, char** argv) {
   FlagParser flags;
+  flags.DefineString("model", "BPRMF", "registry model to freeze");
   flags.DefineString("dataset", "music", "dataset preset to freeze");
   flags.DefineInt64("epochs", 2, "training epochs before the freeze");
   flags.DefineInt64("seed", 17, "base random seed");
@@ -111,81 +35,61 @@ int Main(int argc, char** argv) {
   flags.DefineInt64("batch", 256, "requests per TopKBatch call");
   flags.DefineInt64("k", 20, "items returned per query");
   flags.DefineString("threads", "1,2,4,8", "lane counts to sweep");
-  flags.DefineString("json", "bench_serve_engine.json",
-                     "JSON summary output path (empty = skip)");
+  AddArtifactFlags(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
 
-  // Offline half: train quickly and freeze. BPRMF keeps setup seconds-fast.
-  const data::Preset preset =
-      data::GetPreset(flags.GetString("dataset"), flags.GetDouble("scale"));
-  const data::Dataset dataset = data::GenerateSyntheticDataset(
-      preset.data, static_cast<uint64_t>(flags.GetInt64("seed")));
-  auto model = models::CreateModel("BPRMF", preset.hparams);
-  models::TrainOptions train;
-  train.max_epochs = flags.GetInt64("epochs");
-  train.patience = 1000;
-  train.batch_size = preset.hparams.batch_size;
-  train.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
-  CGKGR_CHECK(model->Fit(dataset, train).ok());
-  auto snapshot = std::make_shared<const serve::Snapshot>(
-      serve::BuildSnapshot(model.get(), dataset));
-  std::printf("snapshot: %lld users x %lld items (%s)\n",
-              (long long)snapshot->num_users, (long long)snapshot->num_items,
-              dataset.name.c_str());
+  exp::CaseSpec spec;
+  spec.scenario = "serve";
+  spec.model = flags.GetString("model");
+  spec.dataset = flags.GetString("dataset");
+  spec.scale = flags.GetDouble("scale");
+  spec.epochs = flags.GetInt64("epochs");
+  spec.queries = flags.GetInt64("queries");
+  spec.batch = flags.GetInt64("batch");
+  spec.k = flags.GetInt64("k");
+  spec.cache = {false, true};
+  spec.threads =
+      ParsePositiveInt64ListOrDie(flags.GetString("threads"), "threads");
 
-  // One fixed request stream reused by every configuration.
-  const int64_t num_queries = flags.GetInt64("queries");
-  const int64_t k = flags.GetInt64("k");
-  std::vector<serve::TopKRequest> requests;
-  requests.reserve(static_cast<size_t>(num_queries));
-  Rng rng(static_cast<uint64_t>(flags.GetInt64("seed")) ^ 0x5E2F);
-  const uint64_t hot_users = static_cast<uint64_t>(
-      std::max<int64_t>(1, snapshot->num_users / 16));
-  for (int64_t q = 0; q < num_queries; ++q) {
-    const int64_t user =
-        rng.Bernoulli(0.5)
-            ? static_cast<int64_t>(rng.UniformInt(hot_users))
-            : static_cast<int64_t>(rng.UniformInt(
-                  static_cast<uint64_t>(snapshot->num_users)));
-    requests.push_back({user, k});
+  std::vector<exp::CaseResult> rows;
+  const Status st =
+      exp::RunCase(spec, static_cast<uint64_t>(flags.GetInt64("seed")),
+                   exp::RunnerOptions{}, &rows);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
   }
 
-  std::vector<RunResult> runs;
-  TablePrinter table(
-      {"Threads", "Cache", "Queries/s", "Speedup", "Hit rate", "p50", "p99"});
-  for (const bool cache : {false, true}) {
-    double base_qps = 0.0;
-    for (const std::string& lanes : SplitList(flags.GetString("threads"))) {
-      char* end = nullptr;
-      const int64_t threads = std::strtoll(lanes.c_str(), &end, 10);
-      if (end == lanes.c_str() || *end != '\0' || threads < 1) {
-        std::fprintf(stderr,
-                     "invalid --threads entry \"%s\" (want positive integers)\n",
-                     lanes.c_str());
-        return 1;
-      }
-      const RunResult run = RunWorkload(snapshot, requests, threads, cache,
-                                        flags.GetInt64("batch"));
-      runs.push_back(run);
-      if (base_qps == 0.0) base_qps = run.qps;
-      table.AddRow({StrFormat("%lld", (long long)threads),
-                    cache ? "on" : "off", StrFormat("%.0f", run.qps),
-                    StrFormat("%.2fx", run.qps / base_qps),
-                    StrFormat("%.1f%%", 100.0 * run.hit_rate),
-                    StrFormat("%.0f us", run.p50_micros),
-                    StrFormat("%.0f us", run.p99_micros)});
+  TablePrinter table({"Threads", "Cache", "Queries/s", "Speedup", "Hit rate",
+                      "p50", "p95", "p99"});
+  double base_qps = 0.0;
+  bool last_cache = false;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const exp::CaseResult& row = rows[i];
+    const obs::Json* cache_field = row.params.Get("cache");
+    const bool cache =
+        cache_field != nullptr && cache_field->is_bool() &&
+        cache_field->AsBool();
+    const double qps = row.metrics.GetDouble("qps", 0.0);
+    // Speedup is relative to the first lane count of each cache block.
+    if (i == 0 || cache != last_cache) {
+      base_qps = qps;
+      if (i != 0) table.AddSeparator();
+      last_cache = cache;
     }
-    table.AddSeparator();
+    table.AddRow(
+        {StrFormat("%lld", (long long)row.params.GetInt("threads", 0)),
+         cache ? "on" : "off", StrFormat("%.0f", qps),
+         StrFormat("%.2fx", qps / base_qps),
+         StrFormat("%.1f%%",
+                   100.0 * row.metrics.GetDouble("cache_hit_rate", 0.0)),
+         StrFormat("%.0f us", row.metrics.GetDouble("latency_p50_us", 0.0)),
+         StrFormat("%.0f us", row.metrics.GetDouble("latency_p95_us", 0.0)),
+         StrFormat("%.0f us", row.metrics.GetDouble("latency_p99_us", 0.0))});
   }
   table.Print();
 
-  const std::string json_path = flags.GetString("json");
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << ToJson(runs, *snapshot);
-    std::printf("JSON summary written to %s\n", json_path.c_str());
-  }
-  return 0;
+  return EmitBenchArtifact(flags, "serve_engine", rows);
 }
 
 }  // namespace

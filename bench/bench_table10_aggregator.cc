@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace cgkgr;
   FlagParser flags;
   bench::AddCommonFlags(&flags, /*default_trials=*/1);
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
   // Default to the light presets so the full suite stays runnable on one
   // core; pass --datasets music,book,movie,restaurant for the full grid.
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   std::printf("== Table X: aggregator g sweep, Top-20 (%%) ==\n\n");
   TablePrinter table(
       {"Dataset", "Metric", "g_sum", "g_concat", "g_neighbor"});
+  std::vector<exp::CaseResult> artifact_rows;
   for (const auto& dataset_name : datasets) {
     const data::Preset preset =
         data::GetPreset(dataset_name, flags.GetDouble("scale"));
@@ -65,7 +67,11 @@ int main(int argc, char** argv) {
       }
       table.AddRow(row);
     }
+    const auto rows = bench::AggregatorArtifactRows(
+        agg, "table10", "table10/" + dataset_name);
+    artifact_rows.insert(artifact_rows.end(), rows.begin(), rows.end());
   }
   table.Print();
-  return 0;
+  return bench::EmitBenchArtifact(flags, "table10_aggregator",
+                                  artifact_rows);
 }

@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   FlagParser flags;
   bench::AddCommonFlags(&flags, /*default_trials=*/1);
   flags.DefineInt64("max_depth", 3, "largest L to sweep");
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
   // Default to the light presets so the full suite stays runnable on one
   // core; pass --datasets music,book,movie,restaurant for the full grid.
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
     headers.push_back("L=" + std::to_string(depth));
   }
   TablePrinter table(headers);
+  std::vector<exp::CaseResult> artifact_rows;
   for (const auto& dataset_name : datasets) {
     const data::Preset preset =
         data::GetPreset(dataset_name, flags.GetDouble("scale"));
@@ -72,7 +74,10 @@ int main(int argc, char** argv) {
       }
       table.AddRow(row);
     }
+    const auto rows = bench::AggregatorArtifactRows(
+        agg, "table11", "table11/" + dataset_name);
+    artifact_rows.insert(artifact_rows.end(), rows.begin(), rows.end());
   }
   table.Print();
-  return 0;
+  return bench::EmitBenchArtifact(flags, "table11_depth", artifact_rows);
 }

@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   FlagParser flags;
   bench::AddCommonFlags(&flags, /*default_trials=*/1);
   flags.DefineString("models", "", "comma-separated subset (default: all)");
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
   // Default to the light presets so the full suite stays runnable on one
   // core; pass --datasets music,book,movie,restaurant for the full grid.
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   std::printf("trials=%lld scale=%g\n\n", (long long)trials,
               flags.GetDouble("scale"));
 
+  std::vector<exp::CaseResult> artifact_rows;
   for (const auto& dataset_name : datasets) {
     const data::Preset preset =
         data::GetPreset(dataset_name, flags.GetDouble("scale"));
@@ -72,6 +74,10 @@ int main(int argc, char** argv) {
     std::printf("--- %s ---\n", dataset_name.c_str());
     table.Print();
     std::printf("\n");
+
+    const auto rows = bench::AggregatorArtifactRows(
+        agg, "table4", "table4/" + dataset_name);
+    artifact_rows.insert(artifact_rows.end(), rows.begin(), rows.end());
   }
-  return 0;
+  return bench::EmitBenchArtifact(flags, "table4_topk", artifact_rows);
 }

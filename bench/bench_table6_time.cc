@@ -2,8 +2,6 @@
 // epochs to reach the best eval performance (be-bar) for every model on
 // every dataset.
 
-#include <fstream>
-
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -11,7 +9,7 @@ int main(int argc, char** argv) {
   FlagParser flags;
   bench::AddCommonFlags(&flags, /*default_trials=*/1);
   flags.DefineString("models", "", "comma-separated subset (default: all)");
-  flags.DefineString("json", "", "JSON summary output path (empty = skip)");
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
   // Default to the light presets so the full suite stays runnable on one
   // core; pass --datasets music,book,movie,restaurant for the full grid.
@@ -25,10 +23,10 @@ int main(int argc, char** argv) {
     model_names = bench::SplitList(flags.GetString("models"));
   }
   const int64_t trials = flags.GetInt64("trials");
-  std::string json_rows;
 
   std::printf("== Table VI: time per epoch (s) and epochs-to-best ==\n");
   std::printf("(wall-clock on this machine; the paper reports a T4 GPU)\n\n");
+  std::vector<exp::CaseResult> artifact_rows;
   for (const auto& dataset_name : datasets) {
     const data::Preset preset =
         data::GetPreset(dataset_name, flags.GetDouble("scale"));
@@ -56,25 +54,14 @@ int main(int argc, char** argv) {
       table.AddRow({model_name,
                     StrFormat("%.3f", agg.Summary(model_name, "t").mean),
                     StrFormat("%.1f", agg.Summary(model_name, "be").mean)});
-      if (!json_rows.empty()) json_rows += ",\n";
-      json_rows += StrFormat(
-          "    {\"dataset\": \"%s\", \"model\": \"%s\", "
-          "\"seconds_per_epoch\": %.6f, \"epochs_to_best\": %.1f}",
-          dataset_name.c_str(), model_name.c_str(),
-          agg.Summary(model_name, "t").mean,
-          agg.Summary(model_name, "be").mean);
     }
     std::printf("--- %s ---\n", dataset_name.c_str());
     table.Print();
     std::printf("\n");
+
+    const auto rows = bench::AggregatorArtifactRows(
+        agg, "table6", "table6/" + dataset_name);
+    artifact_rows.insert(artifact_rows.end(), rows.begin(), rows.end());
   }
-  const std::string json_path = flags.GetString("json");
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n  \"bench\": \"table6_time\",\n  \"rows\": [\n"
-        << json_rows << "\n  ],\n  \"metrics\": " << bench::MetricsJson()
-        << "\n}\n";
-    std::printf("JSON summary written to %s\n", json_path.c_str());
-  }
-  return 0;
+  return bench::EmitBenchArtifact(flags, "table6_time", artifact_rows);
 }

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   using namespace cgkgr;
   FlagParser flags;
   bench::AddCommonFlags(&flags, /*default_trials=*/1);
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
   // Default to the light presets so the full suite stays runnable on one
   // core; pass --datasets music,book,movie,restaurant for the full grid.
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
               "==\n\n");
   TablePrinter table(
       {"Dataset", "Metric", "CG-KGR_NE", "CG-KGR_PF", "CG-KGR_AG", "Best"});
+  std::vector<exp::CaseResult> artifact_rows;
   for (const auto& dataset_name : datasets) {
     const data::Preset preset =
         data::GetPreset(dataset_name, flags.GetDouble("scale"));
@@ -94,7 +96,11 @@ int main(int argc, char** argv) {
       }
       table.AddRow(row);
     }
+    const auto rows = bench::AggregatorArtifactRows(
+        agg, "table7", "table7/" + dataset_name);
+    artifact_rows.insert(artifact_rows.end(), rows.begin(), rows.end());
   }
   table.Print();
-  return 0;
+  return bench::EmitBenchArtifact(flags, "table7_guidance_ablation",
+                                  artifact_rows);
 }

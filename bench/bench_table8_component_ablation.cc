@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   using namespace cgkgr;
   FlagParser flags;
   bench::AddCommonFlags(&flags, /*default_trials=*/1);
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
   // Default to the light presets so the full suite stays runnable on one
   // core; pass --datasets music,book,movie,restaurant for the full grid.
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   std::printf("== Table VIII: component ablation, Top-20 (%%) ==\n\n");
   TablePrinter table({"Dataset", "Metric", "w/o UI", "w/o KG", "w/o ATT",
                       "w/o CG", "w/o HE", "Best"});
+  std::vector<exp::CaseResult> artifact_rows;
   for (const auto& dataset_name : datasets) {
     const data::Preset preset =
         data::GetPreset(dataset_name, flags.GetDouble("scale"));
@@ -91,7 +93,11 @@ int main(int argc, char** argv) {
       }
       table.AddRow(row);
     }
+    const auto rows = bench::AggregatorArtifactRows(
+        agg, "table8", "table8/" + dataset_name);
+    artifact_rows.insert(artifact_rows.end(), rows.begin(), rows.end());
   }
   table.Print();
-  return 0;
+  return bench::EmitBenchArtifact(flags, "table8_component_ablation",
+                                  artifact_rows);
 }

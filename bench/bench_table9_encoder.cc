@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace cgkgr;
   FlagParser flags;
   bench::AddCommonFlags(&flags, /*default_trials=*/1);
+  bench::AddArtifactFlags(&flags);
   bench::ParseFlagsOrDie(&flags, argc, argv);
   // Default to the light presets so the full suite stays runnable on one
   // core; pass --datasets music,book,movie,restaurant for the full grid.
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
 
   std::printf("== Table IX: guidance encoder f sweep, Top-20 (%%) ==\n\n");
   TablePrinter table({"Dataset", "Metric", "f_sum", "f_mean", "f_pmax"});
+  std::vector<exp::CaseResult> artifact_rows;
   for (const auto& dataset_name : datasets) {
     const data::Preset preset =
         data::GetPreset(dataset_name, flags.GetDouble("scale"));
@@ -64,7 +66,10 @@ int main(int argc, char** argv) {
       }
       table.AddRow(row);
     }
+    const auto rows = bench::AggregatorArtifactRows(
+        agg, "table9", "table9/" + dataset_name);
+    artifact_rows.insert(artifact_rows.end(), rows.begin(), rows.end());
   }
   table.Print();
-  return 0;
+  return bench::EmitBenchArtifact(flags, "table9_encoder", artifact_rows);
 }

@@ -1,11 +1,12 @@
 // Training throughput of the data-parallel epoch driver: samples/sec over
 // a thread-count sweep, with a built-in check that every configuration
 // reproduces the serial loss curve bit-for-bit (the ParallelTrainer
-// determinism contract).
+// determinism contract). A thin CLI over the exp::RunCase "train" scenario;
+// results publish as the unified BENCH_train_parallel.json artifact.
 //
 //   ./build/bench/bench_train_parallel
 //   ./build/bench/bench_train_parallel --model KGCN --threads 1,2,4 \
-//       --epochs 3 --json /tmp/train.json
+//       --epochs 3 --overwrite
 //
 // Per-epoch evaluation (AUC on the eval split) runs single-threaded inside
 // Fit, so the reported speedup understates the speedup of the train phase
@@ -14,52 +15,16 @@
 // docs/parallel_training.md.
 
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
-#include "common/timer.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
 
 namespace cgkgr {
 namespace bench {
 namespace {
-
-struct RunResult {
-  int64_t threads = 0;
-  int64_t epochs = 0;
-  int64_t samples = 0;
-  double seconds = 0.0;
-  double samples_per_sec = 0.0;
-  double final_loss = 0.0;
-  bool bit_identical = true;  // loss curve matches the threads=1 run
-};
-
-std::string ToJson(const std::vector<RunResult>& runs,
-                   const std::string& model, const std::string& dataset) {
-  std::string json = "{\n";
-  json += StrFormat("  \"bench\": \"train_parallel\",\n");
-  json += StrFormat("  \"model\": \"%s\",\n", model.c_str());
-  json += StrFormat("  \"dataset\": \"%s\",\n", dataset.c_str());
-  json += "  \"runs\": [\n";
-  for (size_t i = 0; i < runs.size(); ++i) {
-    const RunResult& r = runs[i];
-    json += StrFormat(
-        "    {\"threads\": %lld, \"epochs\": %lld, \"samples\": %lld, "
-        "\"seconds\": %.6f, \"samples_per_sec\": %.1f, "
-        "\"final_loss\": %.10f, \"bit_identical\": %s}%s\n",
-        (long long)r.threads, (long long)r.epochs, (long long)r.samples,
-        r.seconds, r.samples_per_sec, r.final_loss,
-        r.bit_identical ? "true" : "false",
-        i + 1 == runs.size() ? "" : ",");
-  }
-  json += "  ],\n";
-  // Registry snapshot at the end of the sweep: train counters/gauges, the
-  // shard-imbalance histogram, and the {pool=train} instruments.
-  json += "  \"metrics\": " + bench::MetricsJson() + "\n}\n";
-  return json;
-}
 
 int Main(int argc, char** argv) {
   FlagParser flags;
@@ -69,81 +34,50 @@ int Main(int argc, char** argv) {
   flags.DefineInt64("epochs", 2, "epochs per configuration");
   flags.DefineInt64("seed", 17, "random seed (shared by every run)");
   flags.DefineString("threads", "1,2,4,8", "num_threads values to sweep");
-  flags.DefineString("json", "bench_train_parallel.json",
-                     "JSON summary output path (empty = skip)");
+  AddArtifactFlags(&flags);
   ParseFlagsOrDie(&flags, argc, argv);
 
-  const std::string model_name = flags.GetString("model");
-  const data::Preset preset =
-      data::GetPreset(flags.GetString("dataset"), flags.GetDouble("scale"));
-  const data::Dataset dataset = data::GenerateSyntheticDataset(
-      preset.data, static_cast<uint64_t>(flags.GetInt64("seed")));
-  const int64_t epochs = flags.GetInt64("epochs");
-  std::printf("training %s on %s: %lld users, %lld items, %lld train rows\n",
-              model_name.c_str(), dataset.name.c_str(),
-              (long long)dataset.num_users, (long long)dataset.num_items,
-              (long long)dataset.train.size());
+  exp::CaseSpec spec;
+  spec.scenario = "train";
+  spec.model = flags.GetString("model");
+  spec.dataset = flags.GetString("dataset");
+  spec.scale = flags.GetDouble("scale");
+  spec.epochs = flags.GetInt64("epochs");
+  spec.threads =
+      ParsePositiveInt64ListOrDie(flags.GetString("threads"), "threads");
 
-  std::vector<RunResult> runs;
-  std::vector<double> serial_losses;
-  TablePrinter table({"Threads", "Samples/s", "Speedup", "Epoch sec",
-                      "Final loss", "Bit-identical"});
-  double base_rate = 0.0;
-  for (const std::string& lanes : SplitList(flags.GetString("threads"))) {
-    char* end = nullptr;
-    const int64_t threads = std::strtoll(lanes.c_str(), &end, 10);
-    if (end == lanes.c_str() || *end != '\0' || threads < 1) {
-      std::fprintf(stderr,
-                   "invalid --threads entry \"%s\" (want positive integers)\n",
-                   lanes.c_str());
-      return 1;
-    }
-    auto model = models::CreateModel(model_name, preset.hparams);
-    models::TrainOptions train;
-    train.max_epochs = epochs;
-    train.patience = 1000;  // never early-stop: every run sees every epoch
-    train.batch_size = preset.hparams.batch_size;
-    train.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
-    train.num_threads = threads;
-    WallTimer timer;
-    CGKGR_CHECK(model->Fit(dataset, train).ok());
-    const double seconds = timer.ElapsedSeconds();
-
-    RunResult run;
-    run.threads = threads;
-    run.epochs = model->train_stats().epochs_run;
-    run.samples = static_cast<int64_t>(dataset.train.size()) * run.epochs;
-    run.seconds = seconds;
-    run.samples_per_sec = static_cast<double>(run.samples) / seconds;
-    run.final_loss = model->train_stats().epoch_losses.back();
-    if (runs.empty()) {
-      serial_losses = model->train_stats().epoch_losses;
-      base_rate = run.samples_per_sec;
-    } else {
-      run.bit_identical = model->train_stats().epoch_losses == serial_losses;
-    }
-    runs.push_back(run);
-    table.AddRow({StrFormat("%lld", (long long)threads),
-                  StrFormat("%.0f", run.samples_per_sec),
-                  StrFormat("%.2fx", run.samples_per_sec / base_rate),
-                  StrFormat("%.2f", run.seconds / (double)run.epochs),
-                  StrFormat("%.6f", run.final_loss),
-                  run.bit_identical ? "yes" : "NO"});
+  std::vector<exp::CaseResult> rows;
+  const Status st =
+      exp::RunCase(spec, static_cast<uint64_t>(flags.GetInt64("seed")),
+                   exp::RunnerOptions{}, &rows);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
   }
-  table.Print();
 
   bool all_identical = true;
-  for (const RunResult& r : runs) all_identical &= r.bit_identical;
+  double base_rate = 0.0;
+  TablePrinter table({"Threads", "Samples/s", "Speedup", "Wall sec",
+                      "Final loss", "Bit-identical"});
+  for (const exp::CaseResult& row : rows) {
+    const double rate = row.metrics.GetDouble("samples_per_sec", 0.0);
+    const bool identical = row.metrics.GetInt("bit_identical", 0) == 1;
+    all_identical &= identical;
+    if (base_rate == 0.0) base_rate = rate;
+    table.AddRow(
+        {StrFormat("%lld",
+                   (long long)row.params.GetInt("threads", 0)),
+         StrFormat("%.0f", rate), StrFormat("%.2fx", rate / base_rate),
+         StrFormat("%.2f", row.metrics.GetDouble("wall_seconds", 0.0)),
+         StrFormat("%.6f", row.metrics.GetDouble("final_loss", 0.0)),
+         identical ? "yes" : "NO"});
+  }
+  table.Print();
   std::printf("determinism: loss curves %s across the sweep\n",
               all_identical ? "bit-identical" : "DIVERGED");
 
-  const std::string json_path = flags.GetString("json");
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << ToJson(runs, model_name, dataset.name);
-    std::printf("JSON summary written to %s\n", json_path.c_str());
-  }
-  return all_identical ? 0 : 1;
+  const int artifact_rc = EmitBenchArtifact(flags, "train_parallel", rows);
+  return all_identical ? artifact_rc : 1;
 }
 
 }  // namespace

@@ -1,0 +1,105 @@
+// The unified experiment runner: executes a declarative spec
+// (bench/specs/*.json) through exp::RunSpec and publishes one schema-v1
+// BENCH_<name>.json artifact. This is the single entry point the perf
+// trajectory is built from — tools/bench_compare diffs consecutive
+// artifacts, and tools/check.sh runs the committed smoke spec behind
+// CGKGR_CHECK_BENCH=1.
+//
+//   ./build/bench/cgkgr_bench                          # bench/specs/default.json
+//   ./build/bench/cgkgr_bench --spec bench/specs/smoke.json --overwrite
+//   ./build/bench/cgkgr_bench --spec my.json --out /tmp/artifacts
+//
+// See docs/benchmarking.md for the spec format and artifact schema.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/artifact.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
+#include "obs/json.h"
+
+namespace cgkgr {
+namespace bench {
+namespace {
+
+/// "name=value name=value ..." for every metric of a row, %.5g.
+std::string MetricsSummary(const obs::Json& metrics) {
+  std::string out;
+  for (const auto& [name, value] : metrics.members()) {
+    if (!out.empty()) out += "  ";
+    out += name + "=" + StrFormat("%.5g", value.AsDouble());
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineString("spec", "bench/specs/default.json",
+                     "experiment spec to run");
+  flags.DefineString("out", exp::kDefaultArtifactDir,
+                     "artifact output directory (empty = skip the write)");
+  flags.DefineBool("overwrite", false,
+                   "replace an existing BENCH_*.json artifact");
+  flags.DefineInt64("seed", 0, "override the spec's base seed (0 = keep)");
+  flags.DefineString("scratch", "/tmp",
+                     "scratch directory for scenario work files");
+  flags.DefineBool("verbose", false, "log per-case progress");
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  Result<exp::ExperimentSpec> spec =
+      exp::ParseSpecFile(flags.GetString("spec"));
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s: %s\n", flags.GetString("spec").c_str(),
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("spec %s: %lld case(s), seed %llu\n",
+              spec.value().name.c_str(),
+              static_cast<long long>(spec.value().cases.size()),
+              static_cast<unsigned long long>(spec.value().seed));
+
+  exp::RunnerOptions options;
+  options.seed_override = static_cast<uint64_t>(flags.GetInt64("seed"));
+  options.verbose = flags.GetBool("verbose");
+  options.scratch_dir = flags.GetString("scratch");
+  Result<obs::Json> artifact = exp::RunSpec(spec.value(), options);
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 artifact.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"Row", "Wall (s)", "Metrics"});
+  for (const obs::Json& row : artifact.value().Get("rows")->items()) {
+    const obs::Json* metrics = row.Get("metrics");
+    table.AddRow({row.GetString("label", "?"),
+                  StrFormat("%.3f", metrics->GetDouble("wall_seconds", 0.0)),
+                  MetricsSummary(*metrics)});
+  }
+  table.Print();
+
+  const std::string out_dir = flags.GetString("out");
+  if (out_dir.empty()) return 0;
+  Status st = exp::EnsureDirectory(out_dir);
+  const std::string path =
+      out_dir + "/" + exp::ArtifactFileName(spec.value().name);
+  if (st.ok()) {
+    st = exp::WriteArtifact(artifact.value(), path,
+                            flags.GetBool("overwrite"));
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "artifact: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("artifact written to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cgkgr
+
+int main(int argc, char** argv) { return cgkgr::bench::Main(argc, argv); }

@@ -56,22 +56,38 @@ Status FlagParser::Parse(int argc, char** argv) {
     arg.remove_prefix(2);
     std::string name;
     std::string value;
+    bool have_value = false;
     const size_t eq = arg.find('=');
     if (eq != std::string_view::npos) {
       name = std::string(arg.substr(0, eq));
       value = std::string(arg.substr(eq + 1));
+      have_value = true;
     } else {
       name = std::string(arg);
-      if (i + 1 >= argc) {
-        return Status::InvalidArgument("flag --" + name + " missing value");
-      }
-      value = argv[++i];
     }
     auto it = flags_.find(name);
     if (it == flags_.end()) {
       return Status::InvalidArgument("unknown flag --" + name);
     }
     Flag& flag = it->second;
+    if (!have_value) {
+      // Bool flags may appear bare ("--verbose"); they only consume the
+      // next token when it is an explicit boolean literal.
+      const std::string_view next =
+          i + 1 < argc ? std::string_view(argv[i + 1]) : std::string_view();
+      if (flag.type == Type::kBool) {
+        if (next == "1" || next == "0" || next == "true" || next == "false") {
+          value = argv[++i];
+        } else {
+          value = "true";
+        }
+      } else {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag --" + name + " missing value");
+        }
+        value = argv[++i];
+      }
+    }
     switch (flag.type) {
       case Type::kInt64: {
         int64_t parsed = 0;

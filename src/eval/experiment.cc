@@ -32,6 +32,18 @@ const std::vector<double>& TrialAggregator::Samples(
   return metric_it->second;
 }
 
+std::vector<std::string> TrialAggregator::MetricNames(
+    const std::string& row) const {
+  std::vector<std::string> names;
+  auto row_it = data_.find(row);
+  if (row_it == data_.end()) return names;
+  names.reserve(row_it->second.size());
+  for (const auto& [metric, samples] : row_it->second) {
+    names.push_back(metric);
+  }
+  return names;
+}
+
 std::string TrialAggregator::BestRowExcept(const std::string& metric,
                                            const std::string& exclude) const {
   std::string best;

@@ -29,6 +29,11 @@ class TrialAggregator {
   /// Rows in insertion order.
   const std::vector<std::string>& rows() const { return row_order_; }
 
+  /// Metric names recorded under `row`, in name order (empty when the row
+  /// is unknown). Lets generic exporters — the unified bench-artifact
+  /// writer in bench/bench_common.h — walk every (row, metric) pair.
+  std::vector<std::string> MetricNames(const std::string& row) const;
+
   /// Row (other than `exclude`) with the highest mean of `metric`.
   /// Returns an empty string if there are no other rows.
   std::string BestRowExcept(const std::string& metric,

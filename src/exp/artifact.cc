@@ -1,0 +1,210 @@
+#include "exp/artifact.h"
+
+#include <sys/stat.h>
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <ctime>
+#include <set>
+#include <utility>
+
+#include "ckpt/io.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+#ifndef CGKGR_BUILD_TYPE
+#define CGKGR_BUILD_TYPE "unknown"
+#endif
+
+namespace cgkgr {
+namespace exp {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Resolves the current git commit: CGKGR_GIT_SHA wins (CI images without
+/// a .git dir), then .git/HEAD discovered by walking up from the cwd
+/// (covers running from the repo root or any build subdirectory).
+std::string ReadGitSha() {
+  const char* env = std::getenv("CGKGR_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+  std::string prefix;
+  for (int up = 0; up < 6; ++up) {
+    const std::string head_path = prefix + ".git/HEAD";
+    Result<std::string> head = ckpt::ReadFileToString(head_path);
+    if (head.ok()) {
+      std::string text(Trim(head.value()));
+      if (text.rfind("ref: ", 0) == 0) {
+        const std::string ref = text.substr(5);
+        Result<std::string> sha =
+            ckpt::ReadFileToString(prefix + ".git/" + ref);
+        if (!sha.ok()) return "unknown";
+        text = std::string(Trim(sha.value()));
+      }
+      return text.empty() ? "unknown" : text;
+    }
+    prefix += "../";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+obs::Json RunHeader() {
+  obs::Json header = obs::Json::Object();
+  header.Set("git_sha", obs::Json::Str(ReadGitSha()));
+  header.Set("build_type", obs::Json::Str(CGKGR_BUILD_TYPE));
+#ifdef __VERSION__
+  header.Set("compiler", obs::Json::Str(__VERSION__));
+#else
+  header.Set("compiler", obs::Json::Str("unknown"));
+#endif
+  char hostname[256] = "unknown";
+  if (::gethostname(hostname, sizeof(hostname)) != 0) {
+    hostname[0] = '\0';
+  }
+  hostname[sizeof(hostname) - 1] = '\0';
+  header.Set("host",
+             obs::Json::Str(hostname[0] != '\0' ? hostname : "unknown"));
+  utsname uts{};
+  header.Set("arch", obs::Json::Str(::uname(&uts) == 0 ? uts.machine
+                                                       : "unknown"));
+  // Provenance stamp, not a result path: artifacts record when they were
+  // produced so the perf trajectory is orderable across machines.
+  const std::time_t now = std::time(nullptr);  // NOLINT(det-ambient-rng)
+  header.Set("created_unix", obs::Json::Int(static_cast<int64_t>(now)));
+  std::tm utc{};
+  char iso[32] = "";
+  if (gmtime_r(&now, &utc) != nullptr &&
+      std::strftime(iso, sizeof(iso), "%Y-%m-%dT%H:%M:%SZ", &utc) > 0) {
+    header.Set("created_iso", obs::Json::Str(iso));
+  } else {
+    header.Set("created_iso", obs::Json::Str("unknown"));
+  }
+  return header;
+}
+
+obs::Json BuildArtifact(const std::string& bench_name,
+                        const std::vector<CaseResult>& rows,
+                        const obs::Json& header,
+                        const obs::Json& metrics_dump) {
+  obs::Json artifact = obs::Json::Object();
+  artifact.Set("schema_version", obs::Json::Int(kArtifactSchemaVersion));
+  artifact.Set("bench", obs::Json::Str(bench_name));
+  artifact.Set("header", header);
+  obs::Json row_array = obs::Json::Array();
+  for (const CaseResult& row : rows) {
+    obs::Json entry = obs::Json::Object();
+    entry.Set("label", obs::Json::Str(row.label));
+    entry.Set("scenario", obs::Json::Str(row.scenario));
+    entry.Set("params", row.params);
+    entry.Set("metrics", row.metrics);
+    row_array.Append(std::move(entry));
+  }
+  artifact.Set("rows", std::move(row_array));
+  artifact.Set("metrics_dump", metrics_dump);
+  return artifact;
+}
+
+Status ValidateArtifact(const obs::Json& artifact) {
+  if (!artifact.is_object()) {
+    return Status::InvalidArgument("artifact must be a JSON object");
+  }
+  const obs::Json* version = artifact.Get("schema_version");
+  if (version == nullptr || !version->is_int()) {
+    return Status::InvalidArgument("artifact lacks \"schema_version\"");
+  }
+  if (version->AsInt() != kArtifactSchemaVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported artifact schema_version %lld (this build "
+                  "reads v%lld)",
+                  static_cast<long long>(version->AsInt()),
+                  static_cast<long long>(kArtifactSchemaVersion)));
+  }
+  const obs::Json* bench = artifact.Get("bench");
+  if (bench == nullptr || !bench->is_string() ||
+      bench->AsString().empty()) {
+    return Status::InvalidArgument("artifact lacks a \"bench\" name");
+  }
+  const obs::Json* header = artifact.Get("header");
+  if (header == nullptr || !header->is_object()) {
+    return Status::InvalidArgument("artifact lacks a \"header\" object");
+  }
+  for (const char* key : {"git_sha", "build_type", "compiler", "host"}) {
+    const obs::Json* field = header->Get(key);
+    if (field == nullptr || !field->is_string()) {
+      return Status::InvalidArgument(
+          StrFormat("artifact header lacks \"%s\"", key));
+    }
+  }
+  const obs::Json* rows = artifact.Get("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument("artifact lacks a \"rows\" array");
+  }
+  std::set<std::string> labels;
+  for (const obs::Json& row : rows->items()) {
+    if (!row.is_object()) {
+      return Status::InvalidArgument("artifact rows must be objects");
+    }
+    const obs::Json* label = row.Get("label");
+    if (label == nullptr || !label->is_string() ||
+        label->AsString().empty()) {
+      return Status::InvalidArgument("artifact row lacks a \"label\"");
+    }
+    if (!labels.insert(label->AsString()).second) {
+      return Status::InvalidArgument("duplicate artifact row label \"" +
+                                     label->AsString() + "\"");
+    }
+    const obs::Json* metrics = row.Get("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+      return Status::InvalidArgument("artifact row \"" + label->AsString() +
+                                     "\" lacks a \"metrics\" object");
+    }
+    for (const auto& [name, value] : metrics->members()) {
+      if (!value.is_number()) {
+        return Status::InvalidArgument(
+            "artifact row \"" + label->AsString() + "\" metric \"" + name +
+            "\" is not numeric");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ArtifactFileName(const std::string& bench_name) {
+  return "BENCH_" + bench_name + ".json";
+}
+
+Status WriteArtifact(const obs::Json& artifact, const std::string& path,
+                     bool overwrite) {
+  CGKGR_RETURN_NOT_OK(ValidateArtifact(artifact));
+  if (!overwrite && FileExists(path)) {
+    return Status::AlreadyExists(
+        path + " already exists; pass overwrite (--overwrite) or move the "
+               "prior artifact aside to keep the trajectory");
+  }
+  return ckpt::AtomicWriteFile(path, artifact.Dump(/*indent=*/2));
+}
+
+Result<obs::Json> ReadArtifact(const std::string& path) {
+  Result<std::string> contents = ckpt::ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  Result<obs::Json> parsed = obs::Json::Parse(contents.value());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   parsed.status().ToString());
+  }
+  Status valid = ValidateArtifact(parsed.value());
+  if (!valid.ok()) {
+    return Status::InvalidArgument(path + ": " + valid.ToString());
+  }
+  return parsed;
+}
+
+}  // namespace exp
+}  // namespace cgkgr

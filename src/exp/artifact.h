@@ -1,0 +1,86 @@
+#ifndef CGKGR_EXP_ARTIFACT_H_
+#define CGKGR_EXP_ARTIFACT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace cgkgr {
+namespace exp {
+
+/// \file
+/// The unified bench artifact: every benchmark in the repo emits one
+/// BENCH_<name>.json with this schema (version 1), and tools/bench_compare
+/// diffs consecutive artifacts into a perf trajectory across PRs.
+///
+/// Schema v1 layout:
+///   {
+///     "schema_version": 1,
+///     "bench": "<name>",
+///     "header": { git_sha, build_type, compiler, host, arch,
+///                 created_unix, created_iso },
+///     "rows": [ { "label": "...", "scenario": "...",
+///                 "params": {...}, "metrics": {"qps": ..., ...} }, ... ],
+///     "process": { peak_rss_bytes, cpu_user_seconds, ... },
+///     "metrics_dump": [ ...MetricsRegistry::DumpJson()... ]
+///   }
+/// Row labels are unique within an artifact; the comparator joins rows of
+/// two artifacts by label and metrics by name. See docs/benchmarking.md.
+
+/// The artifact schema version this library writes and validates.
+inline constexpr int64_t kArtifactSchemaVersion = 1;
+
+/// The repo's default artifact directory (relative to the repo root;
+/// working copies are gitignored).
+inline constexpr const char* kDefaultArtifactDir = "bench/artifacts";
+
+/// One artifact row: a labeled (params -> metrics) record.
+struct CaseResult {
+  /// Unique row key, e.g. "serve/music/t4/cache". The comparator matches
+  /// rows across artifacts by this label.
+  std::string label;
+  std::string scenario;
+  /// Input parameters that produced the row (informational).
+  obs::Json params = obs::Json::Object();
+  /// Measured values; numeric members only. Metric names carry their unit
+  /// suffix (_us, _ms, _seconds, _bytes, qps, *_per_sec).
+  obs::Json metrics = obs::Json::Object();
+};
+
+/// Environment header stamped into every artifact: git SHA (from
+/// CGKGR_GIT_SHA or .git/HEAD discovery upward from the cwd), CMake build
+/// type, compiler version, host name, architecture, and creation time.
+obs::Json RunHeader();
+
+/// Assembles a schema-v1 artifact document. `header` is RunHeader() in
+/// production; tests pass a pinned header for golden stability. The
+/// process section and `metrics_dump` come from the caller (typically
+/// SampleProcessStats() + MetricsRegistry::DumpJson() parsed back).
+obs::Json BuildArtifact(const std::string& bench_name,
+                        const std::vector<CaseResult>& rows,
+                        const obs::Json& header,
+                        const obs::Json& metrics_dump);
+
+/// Validates the schema-v1 invariants: version match, bench name, header
+/// presence, rows with unique labels and numeric-only metrics.
+Status ValidateArtifact(const obs::Json& artifact);
+
+/// The artifact file name for a bench name: BENCH_<name>.json.
+std::string ArtifactFileName(const std::string& bench_name);
+
+/// Atomically publishes `artifact` at `path` (temp + fsync + rename via
+/// ckpt::AtomicWriteFile). Refuses to silently clobber: when `path`
+/// already exists and `overwrite` is false, returns AlreadyExists and
+/// leaves the prior artifact untouched.
+Status WriteArtifact(const obs::Json& artifact, const std::string& path,
+                     bool overwrite = false);
+
+/// Reads and validates an artifact file.
+Result<obs::Json> ReadArtifact(const std::string& path);
+
+}  // namespace exp
+}  // namespace cgkgr
+
+#endif  // CGKGR_EXP_ARTIFACT_H_

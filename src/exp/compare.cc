@@ -1,0 +1,209 @@
+#include "exp/compare.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "exp/artifact.h"
+
+namespace cgkgr {
+namespace exp {
+
+namespace {
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+/// label -> (metric name -> value), both in artifact order via std::map
+/// for deterministic iteration.
+std::map<std::string, std::map<std::string, double>> IndexRows(
+    const obs::Json& artifact) {
+  std::map<std::string, std::map<std::string, double>> index;
+  for (const obs::Json& row : artifact.Get("rows")->items()) {
+    auto& metrics = index[row.GetString("label", "")];
+    for (const auto& [name, value] : row.Get("metrics")->members()) {
+      metrics[name] = value.AsDouble();
+    }
+  }
+  return index;
+}
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk:
+      return "ok";
+    case Verdict::kImproved:
+      return "IMPROVED";
+    case Verdict::kRegressed:
+      return "REGRESSED";
+    case Verdict::kMissing:
+      return "MISSING";
+    case Verdict::kNew:
+      return "new";
+    case Verdict::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+}  // namespace
+
+MetricDirection ClassifyMetric(const std::string& name) {
+  if (name == "bit_identical") return MetricDirection::kExact;
+  if (name == "qps" || EndsWith(name, "_per_sec") ||
+      EndsWith(name, "_mbps") || EndsWith(name, "_rate")) {
+    return MetricDirection::kHigherIsBetter;
+  }
+  if (EndsWith(name, "_us") || EndsWith(name, "_micros") ||
+      EndsWith(name, "_ms") || EndsWith(name, "_seconds") ||
+      EndsWith(name, "_bytes")) {
+    return MetricDirection::kLowerIsBetter;
+  }
+  return MetricDirection::kInformational;
+}
+
+double MetricNoiseFloor(const std::string& name) {
+  // Sub-floor magnitudes on both sides are timer/allocator noise at smoke
+  // scale; relative deltas there would flap the gate.
+  if (EndsWith(name, "_us") || EndsWith(name, "_micros")) return 5.0;
+  if (EndsWith(name, "_ms")) return 0.5;
+  if (EndsWith(name, "_seconds")) return 1e-3;
+  if (EndsWith(name, "_bytes")) return 1 << 16;
+  return 0.0;
+}
+
+std::string CompareReport::ToTable() const {
+  TablePrinter table({"Row", "Metric", "Old", "New", "Change", "Verdict"});
+  for (const CompareEntry& e : entries) {
+    if (e.verdict == Verdict::kSkipped) continue;
+    table.AddRow(
+        {e.label, e.metric, StrFormat("%.4g", e.old_value),
+         StrFormat("%.4g", e.new_value),
+         e.verdict == Verdict::kMissing || e.verdict == Verdict::kNew
+             ? "-"
+             : StrFormat("%+.1f%%", 100.0 * e.relative_change),
+         VerdictName(e.verdict)});
+  }
+  std::string out = table.ToString();
+  out += StrFormat(
+      "regressions: %lld, improvements: %lld, missing: %lld\n",
+      static_cast<long long>(num_regressed),
+      static_cast<long long>(num_improved),
+      static_cast<long long>(num_missing));
+  return out;
+}
+
+Result<CompareReport> CompareArtifacts(const obs::Json& old_artifact,
+                                       const obs::Json& new_artifact,
+                                       const CompareOptions& options) {
+  CGKGR_RETURN_NOT_OK(ValidateArtifact(old_artifact));
+  CGKGR_RETURN_NOT_OK(ValidateArtifact(new_artifact));
+
+  const auto old_rows = IndexRows(old_artifact);
+  const auto new_rows = IndexRows(new_artifact);
+  CompareReport report;
+
+  for (const auto& [label, old_metrics] : old_rows) {
+    const auto new_it = new_rows.find(label);
+    if (new_it == new_rows.end()) {
+      CompareEntry entry;
+      entry.label = label;
+      entry.metric = "(row)";
+      entry.verdict = Verdict::kMissing;
+      if (options.require_all_rows) ++report.num_missing;
+      report.entries.push_back(std::move(entry));
+      continue;
+    }
+    for (const auto& [metric, old_value] : old_metrics) {
+      CompareEntry entry;
+      entry.label = label;
+      entry.metric = metric;
+      entry.old_value = old_value;
+      entry.direction = ClassifyMetric(metric);
+
+      const auto value_it = new_it->second.find(metric);
+      if (value_it == new_it->second.end()) {
+        entry.verdict = Verdict::kMissing;
+        ++report.num_missing;
+        report.entries.push_back(std::move(entry));
+        continue;
+      }
+      entry.new_value = value_it->second;
+
+      if (entry.direction == MetricDirection::kInformational) {
+        entry.verdict = Verdict::kSkipped;
+        report.entries.push_back(std::move(entry));
+        continue;
+      }
+      if (entry.direction == MetricDirection::kExact) {
+        // An invariant (e.g. bit_identical): any loss of the property is a
+        // regression regardless of tolerance.
+        const bool held = entry.new_value >= entry.old_value;
+        entry.relative_change = held ? 0.0 : -1.0;
+        entry.verdict = held ? Verdict::kOk : Verdict::kRegressed;
+        if (!held) ++report.num_regressed;
+        report.entries.push_back(std::move(entry));
+        continue;
+      }
+
+      const double floor = MetricNoiseFloor(metric);
+      if (std::abs(old_value) < floor &&
+          std::abs(entry.new_value) < floor) {
+        entry.verdict = Verdict::kSkipped;
+        report.entries.push_back(std::move(entry));
+        continue;
+      }
+      const double base = std::abs(old_value);
+      double change = 0.0;
+      if (base > 0.0) {
+        change = (entry.new_value - old_value) / base;
+      } else if (entry.new_value != 0.0) {
+        change = entry.new_value > 0.0 ? 1.0 : -1.0;
+      }
+      // Normalize so positive = improvement for both directions.
+      if (entry.direction == MetricDirection::kLowerIsBetter) {
+        change = -change;
+      }
+      entry.relative_change = change;
+      if (change < -options.tolerance) {
+        entry.verdict = Verdict::kRegressed;
+        ++report.num_regressed;
+      } else if (change > options.tolerance) {
+        entry.verdict = Verdict::kImproved;
+        ++report.num_improved;
+      } else {
+        entry.verdict = Verdict::kOk;
+      }
+      report.entries.push_back(std::move(entry));
+    }
+  }
+
+  // Rows/metrics only present in the new artifact are informational.
+  for (const auto& [label, new_metrics] : new_rows) {
+    const auto old_it = old_rows.find(label);
+    for (const auto& [metric, value] : new_metrics) {
+      if (old_it != old_rows.end() &&
+          old_it->second.count(metric) != 0) {
+        continue;
+      }
+      CompareEntry entry;
+      entry.label = label;
+      entry.metric = metric;
+      entry.new_value = value;
+      entry.direction = ClassifyMetric(metric);
+      entry.verdict = Verdict::kNew;
+      report.entries.push_back(std::move(entry));
+    }
+  }
+  return report;
+}
+
+}  // namespace exp
+}  // namespace cgkgr

@@ -1,0 +1,92 @@
+#ifndef CGKGR_EXP_COMPARE_H_
+#define CGKGR_EXP_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace cgkgr {
+namespace exp {
+
+/// \file
+/// The perf-regression comparator behind tools/bench_compare: joins two
+/// schema-v1 artifacts (see exp/artifact.h) row-by-label and metric-by-
+/// name, applies per-metric direction + tolerance rules, and reports
+/// regressions. tools/check.sh runs it behind CGKGR_CHECK_BENCH=1 against
+/// the previous BENCH_*.json so "PR N made serving slower" is a failing
+/// check, not an anecdote.
+
+/// Which direction of change is an improvement for a metric.
+enum class MetricDirection {
+  kHigherIsBetter,  // qps, samples_per_sec, *_per_sec, *_mbps, *_rate
+  kLowerIsBetter,   // *_us, *_micros, *_ms, *_seconds, *_bytes
+  kExact,           // bit_identical and other invariants: any drop fails
+  kInformational,   // everything else: reported, never gated
+};
+
+/// Classifies a metric name by its unit suffix / well-known name.
+MetricDirection ClassifyMetric(const std::string& name);
+
+/// Absolute noise floor per metric: when both old and new magnitudes sit
+/// below it, relative deltas are timer noise and the pair is skipped
+/// (e.g. sub-5us latencies, sub-1ms walls on smoke-scale specs).
+double MetricNoiseFloor(const std::string& name);
+
+struct CompareOptions {
+  /// Relative worsening tolerated before a gated metric regresses
+  /// (0.25 = 25%). Generous by default: the repo's reference container is
+  /// a single shared core.
+  double tolerance = 0.25;
+  /// When true, a row label present in the old artifact but missing from
+  /// the new one is a failure (metrics missing from a surviving row
+  /// always are).
+  bool require_all_rows = true;
+};
+
+/// Verdict for one (row label, metric) pair.
+enum class Verdict {
+  kOk,           // within tolerance, or improved
+  kImproved,     // better by more than the tolerance
+  kRegressed,    // worse by more than the tolerance
+  kMissing,      // present in old, absent in new
+  kNew,          // absent in old, present in new (informational)
+  kSkipped,      // informational metric or below the noise floor
+};
+
+struct CompareEntry {
+  std::string label;
+  std::string metric;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  /// Signed relative change in the "goodness" of the metric: positive =
+  /// improvement, negative = regression (direction already applied).
+  double relative_change = 0.0;
+  MetricDirection direction = MetricDirection::kInformational;
+  Verdict verdict = Verdict::kOk;
+};
+
+struct CompareReport {
+  std::vector<CompareEntry> entries;
+  int64_t num_regressed = 0;
+  int64_t num_improved = 0;
+  int64_t num_missing = 0;
+
+  /// True when nothing regressed and nothing required went missing.
+  bool ok() const { return num_regressed == 0 && num_missing == 0; }
+
+  /// Human-readable table of every non-skipped entry plus a summary line.
+  std::string ToTable() const;
+};
+
+/// Compares two validated artifacts (old first). Returns InvalidArgument
+/// when either document fails schema validation.
+Result<CompareReport> CompareArtifacts(const obs::Json& old_artifact,
+                                       const obs::Json& new_artifact,
+                                       const CompareOptions& options = {});
+
+}  // namespace exp
+}  // namespace cgkgr
+
+#endif  // CGKGR_EXP_COMPARE_H_

@@ -1,0 +1,587 @@
+// Scenario implementations behind exp::RunCase: one function per entry of
+// ScenarioNames(), each producing labeled CaseResult rows with unit-suffixed
+// metric names (the comparator's direction rules key off those suffixes) and
+// wall / CPU / peak-RSS measurements bracketed by obs::ProcessStats samples.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "ckpt/io.h"
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "data/dataset.h"
+#include "data/presets.h"
+#include "data/synthetic.h"
+#include "exp/artifact.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
+#include "graph/knowledge_graph.h"
+#include "graph/sampler.h"
+#include "models/recommender.h"
+#include "models/registry.h"
+#include "obs/json.h"
+#include "obs/process_stats.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+#include "serve/stats.h"
+#include "tensor/init.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace cgkgr {
+namespace exp {
+
+namespace {
+
+/// Brackets one measured row: wall clock plus the CPU-seconds delta and
+/// process peak RSS from obs::ProcessStats, published to the default
+/// registry gauges at the closing boundary.
+class RowProbe {
+ public:
+  RowProbe() : before_(obs::ProcessStats::Sample()) {}
+
+  /// Stops the probe and stamps wall_seconds / cpu_seconds /
+  /// peak_rss_bytes into `metrics`.
+  void Finish(obs::Json* metrics) {
+    const double wall = timer_.ElapsedSeconds();
+    const obs::ProcessStats after = obs::SampleProcessStats();
+    metrics->Set("wall_seconds", obs::Json::Double(wall));
+    metrics->Set("cpu_seconds",
+                 obs::Json::Double(after.CpuSeconds() - before_.CpuSeconds()));
+    metrics->Set("peak_rss_bytes",
+                 obs::Json::Int(after.peak_rss_bytes));
+  }
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  obs::ProcessStats before_;
+  WallTimer timer_;
+};
+
+/// Seed for trial `trial` of a case seeded with `seed`.
+uint64_t TrialSeed(uint64_t seed, int64_t trial) {
+  return seed + 7919ULL * static_cast<uint64_t>(trial);
+}
+
+/// "/r<trial>" suffix, emitted only for multi-trial cases so the common
+/// trials=1 labels stay short and stable.
+std::string TrialSuffix(const CaseSpec& spec, int64_t trial) {
+  return spec.trials > 1 ? StrFormat("/r%lld", static_cast<long long>(trial))
+                         : std::string();
+}
+
+models::TrainOptions MakeTrainOptions(const CaseSpec& spec,
+                                      const data::Preset& preset,
+                                      uint64_t seed, int64_t threads) {
+  models::TrainOptions train;
+  train.max_epochs = spec.epochs;
+  train.patience = 1000;  // never early-stop: every run sees every epoch
+  train.batch_size = preset.hparams.batch_size;
+  train.seed = seed;
+  train.num_threads = threads;
+  train.run_label = spec.model;
+  return train;
+}
+
+/// train: ParallelTrainer thread sweep. Reports samples/sec per thread
+/// count plus bit_identical, the determinism contract (the loss curve must
+/// match the sweep's first configuration exactly).
+Status RunTrainCase(const CaseSpec& spec, uint64_t seed,
+                    const RunnerOptions& options,
+                    std::vector<CaseResult>* rows) {
+  const data::Preset preset = data::GetPreset(spec.dataset, spec.scale);
+  for (int64_t trial = 0; trial < spec.trials; ++trial) {
+    const uint64_t trial_seed = TrialSeed(seed, trial);
+    const data::Dataset dataset =
+        data::GenerateSyntheticDataset(preset.data, trial_seed);
+    std::vector<double> reference_losses;
+    for (const int64_t threads : spec.threads) {
+      std::unique_ptr<models::RecommenderModel> model =
+          models::CreateModel(spec.model, preset.hparams);
+      const models::TrainOptions train =
+          MakeTrainOptions(spec, preset, trial_seed, threads);
+
+      RowProbe probe;
+      CGKGR_RETURN_NOT_OK(model->Fit(dataset, train));
+
+      const models::TrainStats& stats = model->train_stats();
+      const int64_t samples =
+          static_cast<int64_t>(dataset.train.size()) * stats.epochs_run;
+      const bool bit_identical =
+          reference_losses.empty() ||
+          stats.epoch_losses == reference_losses;
+      if (reference_losses.empty()) {
+        reference_losses = stats.epoch_losses;
+      }
+
+      CaseResult row;
+      row.label = StrFormat("train/%s/%s/t%lld", spec.model.c_str(),
+                            spec.dataset.c_str(),
+                            static_cast<long long>(threads)) +
+                  TrialSuffix(spec, trial);
+      row.scenario = "train";
+      row.params.Set("model", obs::Json::Str(spec.model));
+      row.params.Set("dataset", obs::Json::Str(spec.dataset));
+      row.params.Set("scale", obs::Json::Double(spec.scale));
+      row.params.Set("threads", obs::Json::Int(threads));
+      row.params.Set("epochs", obs::Json::Int(stats.epochs_run));
+      row.params.Set("trial", obs::Json::Int(trial));
+      row.metrics.Set(
+          "samples_per_sec",
+          obs::Json::Double(static_cast<double>(samples) /
+                            std::max(1e-12, probe.ElapsedSeconds())));
+      row.metrics.Set("final_loss",
+                      obs::Json::Double(stats.epoch_losses.empty()
+                                            ? 0.0
+                                            : stats.epoch_losses.back()));
+      row.metrics.Set("bit_identical",
+                      obs::Json::Int(bit_identical ? 1 : 0));
+      probe.Finish(&row.metrics);
+      if (options.verbose) {
+        CGKGR_LOG(Info) << "exp.train " << row.label << Kv(
+            "samples_per_sec",
+            row.metrics.GetDouble("samples_per_sec", 0.0));
+      }
+      rows->push_back(std::move(row));
+    }
+  }
+  return Status::OK();
+}
+
+/// serve: trains once per trial, freezes a snapshot, then sweeps
+/// cache x threads over one fixed zipf-skewed request stream (half the
+/// traffic on ~1/16 of users) through Engine::TopKBatch.
+Status RunServeCase(const CaseSpec& spec, uint64_t seed,
+                    const RunnerOptions& options,
+                    std::vector<CaseResult>* rows) {
+  const data::Preset preset = data::GetPreset(spec.dataset, spec.scale);
+  for (int64_t trial = 0; trial < spec.trials; ++trial) {
+    const uint64_t trial_seed = TrialSeed(seed, trial);
+    const data::Dataset dataset =
+        data::GenerateSyntheticDataset(preset.data, trial_seed);
+    std::unique_ptr<models::RecommenderModel> model =
+        models::CreateModel(spec.model, preset.hparams);
+    CGKGR_RETURN_NOT_OK(model->Fit(
+        dataset, MakeTrainOptions(spec, preset, trial_seed, /*threads=*/1)));
+    auto snapshot = std::make_shared<const serve::Snapshot>(
+        serve::BuildSnapshot(model.get(), dataset));
+
+    std::vector<serve::TopKRequest> requests;
+    requests.reserve(static_cast<size_t>(spec.queries));
+    Rng rng(trial_seed ^ 0x5E2F);
+    const uint64_t hot_users = static_cast<uint64_t>(
+        std::max<int64_t>(1, snapshot->num_users / 16));
+    for (int64_t q = 0; q < spec.queries; ++q) {
+      const int64_t user =
+          rng.Bernoulli(0.5)
+              ? static_cast<int64_t>(rng.UniformInt(hot_users))
+              : static_cast<int64_t>(rng.UniformInt(
+                    static_cast<uint64_t>(snapshot->num_users)));
+      requests.push_back({user, spec.k});
+    }
+
+    for (const bool cache : spec.cache) {
+      for (const int64_t threads : spec.threads) {
+        serve::EngineOptions engine_options;
+        engine_options.num_threads = threads;
+        engine_options.cache_capacity = cache ? 4096 : 0;
+        serve::Engine engine(snapshot, engine_options);
+
+        // Untimed warmup over one batch to touch the snapshot pages.
+        const size_t warm = std::min(requests.size(),
+                                     static_cast<size_t>(spec.batch));
+        engine.TopKBatch(std::vector<serve::TopKRequest>(
+            requests.begin(), requests.begin() + warm));
+        engine.ResetStats();
+
+        RowProbe probe;
+        for (size_t begin = 0; begin < requests.size();
+             begin += static_cast<size_t>(spec.batch)) {
+          const size_t end = std::min(
+              requests.size(), begin + static_cast<size_t>(spec.batch));
+          engine.TopKBatch(std::vector<serve::TopKRequest>(
+              requests.begin() + begin, requests.begin() + end));
+        }
+        const double seconds = probe.ElapsedSeconds();
+        const serve::EngineStats stats = engine.stats();
+
+        CaseResult row;
+        row.label = StrFormat("serve/%s/%s/t%lld", spec.dataset.c_str(),
+                              cache ? "cache" : "nocache",
+                              static_cast<long long>(threads)) +
+                    TrialSuffix(spec, trial);
+        row.scenario = "serve";
+        row.params.Set("model", obs::Json::Str(spec.model));
+        row.params.Set("dataset", obs::Json::Str(spec.dataset));
+        row.params.Set("scale", obs::Json::Double(spec.scale));
+        row.params.Set("threads", obs::Json::Int(threads));
+        row.params.Set("cache", obs::Json::Bool(cache));
+        row.params.Set("queries", obs::Json::Int(spec.queries));
+        row.params.Set("batch", obs::Json::Int(spec.batch));
+        row.params.Set("k", obs::Json::Int(spec.k));
+        row.params.Set("trial", obs::Json::Int(trial));
+        row.metrics.Set(
+            "qps", obs::Json::Double(static_cast<double>(requests.size()) /
+                                     std::max(1e-12, seconds)));
+        row.metrics.Set("latency_p50_us",
+                        obs::Json::Double(stats.p50_micros));
+        row.metrics.Set("latency_p95_us",
+                        obs::Json::Double(stats.p95_micros));
+        row.metrics.Set("latency_p99_us",
+                        obs::Json::Double(stats.p99_micros));
+        row.metrics.Set("cache_hit_rate",
+                        obs::Json::Double(stats.CacheHitRate()));
+        probe.Finish(&row.metrics);
+        if (options.verbose) {
+          CGKGR_LOG(Info) << "exp.serve " << row.label
+                          << Kv("qps", row.metrics.GetDouble("qps", 0.0));
+        }
+        rows->push_back(std::move(row));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double MedianSeconds(std::vector<double>* samples) {
+  std::sort(samples->begin(), samples->end());
+  return (*samples)[samples->size() / 2];
+}
+
+/// ckpt: checkpoint publish / open / load median latency vs embedding dim
+/// (model size). Mirrors TrainOptions::checkpoint cost at interval 1.
+Status RunCkptCase(const CaseSpec& spec, uint64_t seed,
+                   const RunnerOptions& options,
+                   std::vector<CaseResult>* rows) {
+  CGKGR_RETURN_NOT_OK(EnsureDirectory(options.scratch_dir));
+  const data::Preset preset = data::GetPreset(spec.dataset, spec.scale);
+  for (int64_t trial = 0; trial < spec.trials; ++trial) {
+    const uint64_t trial_seed = TrialSeed(seed, trial);
+    const data::Dataset dataset =
+        data::GenerateSyntheticDataset(preset.data, trial_seed);
+    for (const int64_t dim : spec.dims) {
+      data::PresetHyperParams hparams = preset.hparams;
+      hparams.embedding_dim = dim;
+      std::unique_ptr<models::RecommenderModel> model =
+          models::CreateModel(spec.model, hparams);
+      {
+        data::Preset sized = preset;
+        sized.hparams = hparams;
+        CGKGR_RETURN_NOT_OK(model->Fit(
+            dataset, MakeTrainOptions(spec, sized, trial_seed, 1)));
+      }
+      const std::string path =
+          options.scratch_dir +
+          StrFormat("/cgkgr_exp_ckpt_p%lld_d%lld.ckpt",
+                    static_cast<long long>(::getpid()),
+                    static_cast<long long>(dim));
+
+      RowProbe probe;
+      int64_t payload_bytes = 0;
+      std::vector<double> write_s;
+      std::vector<double> open_s;
+      std::vector<double> load_s;
+      for (int64_t rep = 0; rep < spec.reps; ++rep) {
+        {
+          WallTimer timer;
+          CGKGR_RETURN_NOT_OK(models::SaveModelState(*model, path));
+          write_s.push_back(timer.ElapsedSeconds());
+        }
+        {
+          WallTimer timer;
+          Result<ckpt::Reader> reader = ckpt::Reader::Open(path);
+          if (!reader.ok()) return reader.status();
+          open_s.push_back(timer.ElapsedSeconds());
+          payload_bytes =
+              static_cast<int64_t>(reader.value().payload().size());
+        }
+        {
+          WallTimer timer;
+          CGKGR_RETURN_NOT_OK(models::LoadModelState(model.get(), path));
+          load_s.push_back(timer.ElapsedSeconds());
+        }
+      }
+      const double write_ms = 1e3 * MedianSeconds(&write_s);
+      const double open_ms = 1e3 * MedianSeconds(&open_s);
+      const double mb = static_cast<double>(payload_bytes) / (1 << 20);
+
+      CaseResult row;
+      row.label = StrFormat("ckpt/%s/d%lld", spec.dataset.c_str(),
+                            static_cast<long long>(dim)) +
+                  TrialSuffix(spec, trial);
+      row.scenario = "ckpt";
+      row.params.Set("model", obs::Json::Str(spec.model));
+      row.params.Set("dataset", obs::Json::Str(spec.dataset));
+      row.params.Set("scale", obs::Json::Double(spec.scale));
+      row.params.Set("dim", obs::Json::Int(dim));
+      row.params.Set("reps", obs::Json::Int(spec.reps));
+      row.params.Set("trial", obs::Json::Int(trial));
+      row.metrics.Set("payload_bytes", obs::Json::Int(payload_bytes));
+      row.metrics.Set("publish_ms", obs::Json::Double(write_ms));
+      row.metrics.Set("open_ms", obs::Json::Double(open_ms));
+      row.metrics.Set("load_ms",
+                      obs::Json::Double(1e3 * MedianSeconds(&load_s)));
+      row.metrics.Set(
+          "write_mbps",
+          obs::Json::Double(write_ms > 0.0 ? mb / (write_ms / 1e3) : 0.0));
+      row.metrics.Set(
+          "open_mbps",
+          obs::Json::Double(open_ms > 0.0 ? mb / (open_ms / 1e3) : 0.0));
+      probe.Finish(&row.metrics);
+      if (options.verbose) {
+        CGKGR_LOG(Info) << "exp.ckpt " << row.label
+                        << Kv("publish_ms", write_ms);
+      }
+      rows->push_back(std::move(row));
+    }
+  }
+  return Status::OK();
+}
+
+// --- micro_ops kernels -----------------------------------------------------
+// Fixed-shape versions of the substrate microbenchmarks (formerly the
+// Google Benchmark bench_micro_ops). Each kernel runs `iters` timed
+// iterations after one untimed warmup and reports items/sec plus per-
+// iteration latency. The returned checksum defeats dead-code elimination
+// and doubles as a determinism witness (recorded informationally).
+
+tensor::Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed) {
+  Rng rng(seed);
+  tensor::Tensor t(std::move(shape));
+  tensor::UniformInit(&t, &rng, -1.0f, 1.0f);
+  return t;
+}
+
+struct KernelRun {
+  /// Items processed per iteration (feeds items_per_sec).
+  int64_t items_per_iter = 0;
+  /// Anti-DCE witness accumulated across iterations.
+  double checksum = 0.0;
+};
+
+using KernelFn = KernelRun (*)(int64_t iters, uint64_t seed);
+
+KernelRun KernelGemm(int64_t iters, uint64_t seed) {
+  const int64_t n = 64;
+  tensor::Tensor a = RandomTensor({n, n}, seed);
+  tensor::Tensor b = RandomTensor({n, n}, seed + 1);
+  tensor::Tensor c({n, n});
+  KernelRun run;
+  run.items_per_iter = n * n * n;
+  for (int64_t it = -1; it < iters; ++it) {
+    tensor::Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+                 c.data());
+    if (it >= 0) run.checksum += static_cast<double>(c.data()[0]);
+  }
+  return run;
+}
+
+KernelRun KernelSegmentSoftmax(int64_t iters, uint64_t seed) {
+  const int64_t segments = 4096;
+  const int64_t width = 8;
+  tensor::Tensor x = RandomTensor({segments * width}, seed);
+  tensor::Tensor out({segments * width});
+  KernelRun run;
+  run.items_per_iter = segments * width;
+  for (int64_t it = -1; it < iters; ++it) {
+    tensor::SegmentSoftmax(segments, width, x.data(), out.data());
+    if (it >= 0) run.checksum += static_cast<double>(out.data()[0]);
+  }
+  return run;
+}
+
+KernelRun KernelGatherFwdBwd(int64_t iters, uint64_t seed) {
+  const int64_t rows = 100000;
+  const int64_t count = 1024;
+  autograd::Variable table(RandomTensor({rows, 16}, seed), true);
+  Rng rng(seed + 1);
+  std::vector<int64_t> indices(static_cast<size_t>(count));
+  for (auto& idx : indices) {
+    idx = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(rows)));
+  }
+  KernelRun run;
+  run.items_per_iter = count;
+  for (int64_t it = -1; it < iters; ++it) {
+    autograd::Variable loss =
+        autograd::SumAll(autograd::Gather(table, indices));
+    loss.Backward();
+    table.ZeroGrad();
+    if (it >= 0) run.checksum += static_cast<double>(loss.value().data()[0]);
+  }
+  return run;
+}
+
+KernelRun KernelRelationMatMul(int64_t iters, uint64_t seed) {
+  const int64_t n = 512;
+  autograd::Variable x(RandomTensor({n, 16}, seed), true);
+  autograd::Variable mats(RandomTensor({8, 16, 16}, seed + 1), true);
+  Rng rng(seed + 2);
+  std::vector<int64_t> rels(static_cast<size_t>(n));
+  for (auto& r : rels) r = static_cast<int64_t>(rng.UniformInt(8));
+  KernelRun run;
+  run.items_per_iter = n;
+  for (int64_t it = -1; it < iters; ++it) {
+    autograd::Variable loss =
+        autograd::SumAll(autograd::RelationMatMul(x, rels, mats));
+    loss.Backward();
+    x.ZeroGrad();
+    mats.ZeroGrad();
+    if (it >= 0) run.checksum += static_cast<double>(loss.value().data()[0]);
+  }
+  return run;
+}
+
+KernelRun KernelNodeFlowSampling(int64_t iters, uint64_t seed) {
+  Rng build_rng(seed);
+  std::vector<graph::Triplet> triplets;
+  triplets.reserve(20000);
+  for (int64_t i = 0; i < 20000; ++i) {
+    triplets.push_back({static_cast<int64_t>(build_rng.UniformInt(5000)),
+                        static_cast<int64_t>(build_rng.UniformInt(10)),
+                        static_cast<int64_t>(build_rng.UniformInt(5000))});
+  }
+  graph::KnowledgeGraph kg(5000, 10, std::move(triplets));
+  std::vector<int64_t> seeds(256);
+  for (auto& s : seeds) {
+    s = static_cast<int64_t>(build_rng.UniformInt(5000));
+  }
+  Rng rng(seed + 1);
+  KernelRun run;
+  run.items_per_iter = static_cast<int64_t>(seeds.size());
+  for (int64_t it = -1; it < iters; ++it) {
+    graph::NodeFlow flow =
+        graph::NeighborSampler::SampleNodeFlow(kg, seeds, /*depth=*/2,
+                                               /*sample_size=*/4, &rng);
+    if (it >= 0) {
+      run.checksum += static_cast<double>(flow.entities.back().back());
+    }
+  }
+  return run;
+}
+
+KernelRun KernelSegmentAttention(int64_t iters, uint64_t seed) {
+  // The hot path of every attention op in the repo: softmax + weighted sum
+  // over fixed-size neighbor segments, forward + backward.
+  const int64_t batch = 1024;
+  const int64_t segment = 8;
+  autograd::Variable values(RandomTensor({batch * segment, 16}, seed), true);
+  autograd::Variable logits(RandomTensor({batch * segment}, seed + 1), true);
+  KernelRun run;
+  run.items_per_iter = batch * segment;
+  for (int64_t it = -1; it < iters; ++it) {
+    autograd::Variable weights = autograd::SegmentSoftmax(logits, segment);
+    autograd::Variable pooled =
+        autograd::SegmentWeightedSum(values, weights, segment);
+    autograd::Variable loss = autograd::SumAll(pooled);
+    loss.Backward();
+    values.ZeroGrad();
+    logits.ZeroGrad();
+    if (it >= 0) run.checksum += static_cast<double>(loss.value().data()[0]);
+  }
+  return run;
+}
+
+struct KernelEntry {
+  const char* name;
+  KernelFn fn;
+};
+
+constexpr KernelEntry kKernels[] = {
+    {"gemm64", &KernelGemm},
+    {"segment_softmax", &KernelSegmentSoftmax},
+    {"gather_fwd_bwd", &KernelGatherFwdBwd},
+    {"relation_matmul", &KernelRelationMatMul},
+    {"node_flow_sampling", &KernelNodeFlowSampling},
+    {"segment_attention", &KernelSegmentAttention},
+};
+
+Status RunMicroOpsCase(const CaseSpec& spec, uint64_t seed,
+                       const RunnerOptions& options,
+                       std::vector<CaseResult>* rows) {
+  std::vector<std::string> wanted =
+      spec.kernels.empty() ? MicroKernelNames() : spec.kernels;
+  for (const std::string& name : wanted) {
+    const KernelEntry* entry = nullptr;
+    for (const KernelEntry& candidate : kKernels) {
+      if (name == candidate.name) {
+        entry = &candidate;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      return Status::InvalidArgument(
+          "unknown micro_ops kernel \"" + name + "\" (known: " +
+          Join(MicroKernelNames(), ", ") + ")");
+    }
+    RowProbe probe;
+    const KernelRun run = entry->fn(spec.iters, seed);
+    const double seconds = probe.ElapsedSeconds();
+
+    CaseResult row;
+    row.label = std::string("micro/") + entry->name;
+    row.scenario = "micro_ops";
+    row.params.Set("kernel", obs::Json::Str(entry->name));
+    row.params.Set("iters", obs::Json::Int(spec.iters));
+    row.metrics.Set(
+        "items_per_sec",
+        obs::Json::Double(
+            static_cast<double>(run.items_per_iter * spec.iters) /
+            std::max(1e-12, seconds)));
+    row.metrics.Set(
+        "iter_us",
+        obs::Json::Double(1e6 * seconds /
+                          static_cast<double>(std::max<int64_t>(
+                              1, spec.iters))));
+    row.metrics.Set("checksum", obs::Json::Double(run.checksum));
+    probe.Finish(&row.metrics);
+    if (options.verbose) {
+      CGKGR_LOG(Info) << "exp.micro " << row.label
+                      << Kv("iter_us", row.metrics.GetDouble("iter_us", 0.0));
+    }
+    rows->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<std::string> MicroKernelNames() {
+  std::vector<std::string> names;
+  for (const KernelEntry& entry : kKernels) names.push_back(entry.name);
+  return names;
+}
+
+Status RunCase(const CaseSpec& spec, uint64_t seed,
+               const RunnerOptions& options, std::vector<CaseResult>* rows) {
+  CGKGR_CHECK(rows != nullptr);
+  if (spec.scenario == "train") {
+    return RunTrainCase(spec, seed, options, rows);
+  }
+  if (spec.scenario == "serve") {
+    return RunServeCase(spec, seed, options, rows);
+  }
+  if (spec.scenario == "ckpt") {
+    return RunCkptCase(spec, seed, options, rows);
+  }
+  if (spec.scenario == "micro_ops") {
+    return RunMicroOpsCase(spec, seed, options, rows);
+  }
+  return Status::InvalidArgument("unknown scenario \"" + spec.scenario +
+                                 "\"");
+}
+
+}  // namespace exp
+}  // namespace cgkgr

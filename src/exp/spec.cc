@@ -1,0 +1,267 @@
+#include "exp/spec.h"
+
+#include <algorithm>
+
+#include "ckpt/io.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "data/presets.h"
+#include "exp/runner.h"
+#include "models/registry.h"
+
+namespace cgkgr {
+namespace exp {
+
+namespace {
+
+bool Contains(const std::vector<std::string>& names,
+              const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+Status CaseError(size_t index, const std::string& message) {
+  return Status::InvalidArgument(
+      StrFormat("spec case %zu: %s", index, message.c_str()));
+}
+
+/// Reads an int64 array field that also accepts a bare integer.
+Status ReadIntList(const obs::Json& value, const std::string& key,
+                   std::vector<int64_t>* out) {
+  out->clear();
+  if (value.is_int()) {
+    out->push_back(value.AsInt());
+    return Status::OK();
+  }
+  if (!value.is_array()) {
+    return Status::InvalidArgument("\"" + key +
+                                   "\" must be an integer or integer array");
+  }
+  for (const obs::Json& item : value.items()) {
+    if (!item.is_int()) {
+      return Status::InvalidArgument("\"" + key +
+                                     "\" entries must be integers");
+    }
+    out->push_back(item.AsInt());
+  }
+  if (out->empty()) {
+    return Status::InvalidArgument("\"" + key + "\" must not be empty");
+  }
+  return Status::OK();
+}
+
+/// Reads a bool array field that also accepts a bare bool.
+Status ReadBoolList(const obs::Json& value, const std::string& key,
+                    std::vector<bool>* out) {
+  out->clear();
+  if (value.is_bool()) {
+    out->push_back(value.AsBool());
+    return Status::OK();
+  }
+  if (!value.is_array()) {
+    return Status::InvalidArgument("\"" + key +
+                                   "\" must be a bool or bool array");
+  }
+  for (const obs::Json& item : value.items()) {
+    if (!item.is_bool()) {
+      return Status::InvalidArgument("\"" + key + "\" entries must be bools");
+    }
+    out->push_back(item.AsBool());
+  }
+  if (out->empty()) {
+    return Status::InvalidArgument("\"" + key + "\" must not be empty");
+  }
+  return Status::OK();
+}
+
+Status ReadStringList(const obs::Json& value, const std::string& key,
+                      std::vector<std::string>* out) {
+  out->clear();
+  if (value.is_string()) {
+    out->push_back(value.AsString());
+    return Status::OK();
+  }
+  if (!value.is_array()) {
+    return Status::InvalidArgument("\"" + key +
+                                   "\" must be a string or string array");
+  }
+  for (const obs::Json& item : value.items()) {
+    if (!item.is_string()) {
+      return Status::InvalidArgument("\"" + key +
+                                     "\" entries must be strings");
+    }
+    out->push_back(item.AsString());
+  }
+  return Status::OK();
+}
+
+Status ParseCase(const obs::Json& json, size_t index, CaseSpec* out) {
+  if (!json.is_object()) {
+    return CaseError(index, "must be a JSON object");
+  }
+  for (const auto& [key, value] : json.members()) {
+    if (key == "scenario" || key == "model" || key == "dataset") {
+      if (!value.is_string()) {
+        return CaseError(index, "\"" + key + "\" must be a string");
+      }
+      if (key == "scenario") out->scenario = value.AsString();
+      if (key == "model") out->model = value.AsString();
+      if (key == "dataset") out->dataset = value.AsString();
+    } else if (key == "scale") {
+      if (!value.is_number()) {
+        return CaseError(index, "\"scale\" must be a number");
+      }
+      out->scale = value.AsDouble();
+    } else if (key == "trials" || key == "epochs" || key == "queries" ||
+               key == "batch" || key == "k" || key == "reps" ||
+               key == "iters") {
+      if (!value.is_int()) {
+        return CaseError(index, "\"" + key + "\" must be an integer");
+      }
+      const int64_t v = value.AsInt();
+      if (key == "trials") out->trials = v;
+      if (key == "epochs") out->epochs = v;
+      if (key == "queries") out->queries = v;
+      if (key == "batch") out->batch = v;
+      if (key == "k") out->k = v;
+      if (key == "reps") out->reps = v;
+      if (key == "iters") out->iters = v;
+    } else if (key == "threads") {
+      CGKGR_RETURN_NOT_OK(ReadIntList(value, key, &out->threads));
+    } else if (key == "dims") {
+      CGKGR_RETURN_NOT_OK(ReadIntList(value, key, &out->dims));
+    } else if (key == "cache") {
+      CGKGR_RETURN_NOT_OK(ReadBoolList(value, key, &out->cache));
+    } else if (key == "kernels") {
+      CGKGR_RETURN_NOT_OK(ReadStringList(value, key, &out->kernels));
+    } else {
+      return CaseError(index, "unknown key \"" + key + "\"");
+    }
+  }
+
+  if (!Contains(ScenarioNames(), out->scenario)) {
+    return CaseError(index, "unknown scenario \"" + out->scenario +
+                                "\" (want one of: " +
+                                Join(ScenarioNames(), ", ") + ")");
+  }
+  const bool needs_model =
+      out->scenario == "train" || out->scenario == "serve";
+  const bool needs_dataset = out->scenario != "micro_ops";
+  if (needs_model && !Contains(models::AllModelNames(), out->model)) {
+    return CaseError(index, "unknown model \"" + out->model +
+                                "\" (want one of: " +
+                                Join(models::AllModelNames(), ", ") + ")");
+  }
+  if (needs_dataset && !Contains(data::PresetNames(), out->dataset)) {
+    return CaseError(index, "unknown dataset \"" + out->dataset +
+                                "\" (want one of: " +
+                                Join(data::PresetNames(), ", ") + ")");
+  }
+  if (!(out->scale > 0.0)) {
+    return CaseError(index, "\"scale\" must be > 0");
+  }
+  if (out->trials < 1) return CaseError(index, "\"trials\" must be >= 1");
+  if (out->epochs < 1) return CaseError(index, "\"epochs\" must be >= 1");
+  if (out->queries < 1) return CaseError(index, "\"queries\" must be >= 1");
+  if (out->batch < 1) return CaseError(index, "\"batch\" must be >= 1");
+  if (out->k < 1) return CaseError(index, "\"k\" must be >= 1");
+  if (out->reps < 1) return CaseError(index, "\"reps\" must be >= 1");
+  if (out->iters < 1) return CaseError(index, "\"iters\" must be >= 1");
+  for (const int64_t t : out->threads) {
+    if (t < 1) return CaseError(index, "\"threads\" entries must be >= 1");
+  }
+  for (const int64_t d : out->dims) {
+    if (d < 1) return CaseError(index, "\"dims\" entries must be >= 1");
+  }
+  if (out->scenario == "micro_ops") {
+    for (const std::string& kernel : out->kernels) {
+      if (!Contains(MicroKernelNames(), kernel)) {
+        return CaseError(index, "unknown kernel \"" + kernel +
+                                    "\" (want one of: " +
+                                    Join(MicroKernelNames(), ", ") + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool ValidSpecName(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> ScenarioNames() {
+  return {"train", "serve", "ckpt", "micro_ops"};
+}
+
+Result<ExperimentSpec> ParseSpec(const obs::Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("spec must be a JSON object");
+  }
+  ExperimentSpec spec;
+  const obs::Json* cases = nullptr;
+  for (const auto& [key, value] : json.members()) {
+    if (key == "name") {
+      if (!value.is_string()) {
+        return Status::InvalidArgument("spec \"name\" must be a string");
+      }
+      spec.name = value.AsString();
+    } else if (key == "seed") {
+      if (!value.is_int() || value.AsInt() < 0) {
+        return Status::InvalidArgument(
+            "spec \"seed\" must be a non-negative integer");
+      }
+      spec.seed = static_cast<uint64_t>(value.AsInt());
+    } else if (key == "cases") {
+      if (!value.is_array()) {
+        return Status::InvalidArgument("spec \"cases\" must be an array");
+      }
+      cases = &value;
+    } else {
+      return Status::InvalidArgument("spec: unknown key \"" + key + "\"");
+    }
+  }
+  if (!ValidSpecName(spec.name)) {
+    return Status::InvalidArgument(
+        "spec \"name\" is required and restricted to [A-Za-z0-9._-] "
+        "(it names the BENCH_<name>.json artifact)");
+  }
+  if (cases == nullptr || cases->items().empty()) {
+    return Status::InvalidArgument("spec needs a non-empty \"cases\" array");
+  }
+  for (size_t i = 0; i < cases->items().size(); ++i) {
+    CaseSpec parsed;
+    CGKGR_RETURN_NOT_OK(ParseCase(cases->items()[i], i, &parsed));
+    spec.cases.push_back(std::move(parsed));
+  }
+  return spec;
+}
+
+Result<ExperimentSpec> ParseSpecString(std::string_view text) {
+  Result<obs::Json> json = obs::Json::Parse(text);
+  CGKGR_RETURN_NOT_OK(json.status());
+  return ParseSpec(json.value());
+}
+
+Result<ExperimentSpec> ParseSpecFile(const std::string& path) {
+  Result<std::string> contents = ckpt::ReadFileToString(path);
+  if (!contents.ok()) {
+    return Status::NotFound("cannot read spec file " + path + ": " +
+                            contents.status().ToString());
+  }
+  Result<ExperimentSpec> spec = ParseSpecString(contents.value());
+  if (!spec.ok()) {
+    return Status::InvalidArgument(path + ": " + spec.status().ToString());
+  }
+  return spec;
+}
+
+}  // namespace exp
+}  // namespace cgkgr

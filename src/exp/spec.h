@@ -1,0 +1,89 @@
+#ifndef CGKGR_EXP_SPEC_H_
+#define CGKGR_EXP_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace cgkgr {
+namespace exp {
+
+/// \file
+/// Declarative experiment specs: what the unified bench runner executes.
+/// A spec is a JSON document (committed under bench/specs/) naming the
+/// experiment and a list of cases — scenario x model x dataset preset x
+/// trials x threads — that exp::RunSpec turns into one schema-v1 artifact.
+/// See docs/benchmarking.md for the format reference.
+
+/// The benchmark scenarios the runner knows how to execute.
+///   train     — ParallelTrainer thread sweep: samples/sec + bit-identity.
+///   serve     — serve::Engine qps/latency sweep over a frozen snapshot.
+///   ckpt      — checkpoint publish / open / load latency vs model size.
+///   micro_ops — kernel microbenchmarks of the tensor/autograd substrate.
+std::vector<std::string> ScenarioNames();
+
+/// One experiment case. Fields irrelevant to a case's scenario keep their
+/// defaults and are ignored by the runner.
+struct CaseSpec {
+  std::string scenario;
+
+  /// Registry model name (train and serve scenarios).
+  std::string model = "BPRMF";
+  /// Dataset preset name (train, serve, ckpt scenarios).
+  std::string dataset = "music";
+  /// Dataset scale factor, > 0.
+  double scale = 1.0;
+  /// Repeated trials; trial t reshifts every seed.
+  int64_t trials = 1;
+  /// Thread counts swept (train: TrainOptions::num_threads; serve: engine
+  /// lanes). Each entry produces one artifact row.
+  std::vector<int64_t> threads = {1};
+  /// Training epochs (train scenario; serve uses it for the offline
+  /// warm-up fit before the freeze).
+  int64_t epochs = 1;
+
+  // Serve-scenario knobs.
+  int64_t queries = 10000;
+  int64_t batch = 256;
+  int64_t k = 20;
+  /// Cache configurations swept (off/on); each produces one row per
+  /// thread count.
+  std::vector<bool> cache = {false};
+
+  // Ckpt-scenario knobs.
+  std::vector<int64_t> dims = {8};
+  int64_t reps = 5;
+
+  // Micro-ops knobs: iterations per kernel and the kernels to run (empty =
+  // all registered kernels; see exp::MicroKernelNames()).
+  int64_t iters = 50;
+  std::vector<std::string> kernels;
+};
+
+/// A named list of cases plus the base seed every case derives from.
+struct ExperimentSpec {
+  /// Lands in the artifact file name (BENCH_<name>.json): restricted to
+  /// [A-Za-z0-9._-].
+  std::string name;
+  uint64_t seed = 17;
+  std::vector<CaseSpec> cases;
+};
+
+/// Parses and validates a spec document. Unknown keys, unknown
+/// scenario/model/dataset names, and out-of-range values all produce a
+/// clean InvalidArgument Status (never a crash) naming the offending case.
+Result<ExperimentSpec> ParseSpec(const obs::Json& json);
+
+/// ParseSpec over a JSON string.
+Result<ExperimentSpec> ParseSpecString(std::string_view text);
+
+/// ParseSpec over a file.
+Result<ExperimentSpec> ParseSpecFile(const std::string& path);
+
+}  // namespace exp
+}  // namespace cgkgr
+
+#endif  // CGKGR_EXP_SPEC_H_

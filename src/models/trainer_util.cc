@@ -18,6 +18,7 @@
 #include "nn/adam.h"
 #include "obs/jsonl.h"
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
 #include "obs/trace.h"
 
 namespace cgkgr {
@@ -426,6 +427,9 @@ Status RunTrainingLoop(RecommenderModel* model, nn::ParameterStore* store,
     epoch_loss->Set(loss);
     eval_metric_gauge->Set(metric);
     samples_per_sec->Set(samples_rate);
+    // Epoch boundary: refresh the process_* gauges (peak RSS, CPU time) so
+    // training artifacts and metric dumps carry the memory footprint.
+    obs::SampleProcessStats();
     const bool improved = metric > state.best_metric;
     if (improved) {
       state.best_metric = metric;

@@ -1,0 +1,495 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace cgkgr {
+namespace obs {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(
+                                          static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Json Json::Bool(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::Int(int64_t value) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = value;
+  return j;
+}
+
+Json Json::Double(double value) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = value;
+  return j;
+}
+
+Json Json::Str(std::string value) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::AsBool() const {
+  CGKGR_CHECK_MSG(kind_ == Kind::kBool, "Json::AsBool on non-bool");
+  return bool_;
+}
+
+int64_t Json::AsInt() const {
+  CGKGR_CHECK_MSG(kind_ == Kind::kInt, "Json::AsInt on non-int");
+  return int_;
+}
+
+double Json::AsDouble() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  CGKGR_CHECK_MSG(kind_ == Kind::kDouble, "Json::AsDouble on non-number");
+  return double_;
+}
+
+const std::string& Json::AsString() const {
+  CGKGR_CHECK_MSG(kind_ == Kind::kString, "Json::AsString on non-string");
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  CGKGR_CHECK_MSG(kind_ == Kind::kArray, "Json::items on non-array");
+  return items_;
+}
+
+Json& Json::Append(Json value) {
+  CGKGR_CHECK_MSG(kind_ == Kind::kArray, "Json::Append on non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  CGKGR_CHECK_MSG(kind_ == Kind::kObject, "Json::members on non-object");
+  return members_;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  CGKGR_CHECK_MSG(kind_ == Kind::kObject, "Json::Set on non-object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::Get(std::string_view key) const {
+  CGKGR_CHECK_MSG(kind_ == Kind::kObject, "Json::Get on non-object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Json::GetDouble(std::string_view key, double fallback) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->is_number()) ? v->AsDouble() : fallback;
+}
+
+int64_t Json::GetInt(std::string_view key, int64_t fallback) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->is_int()) ? v->AsInt() : fallback;
+}
+
+std::string Json::GetString(std::string_view key,
+                            const std::string& fallback) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : fallback;
+}
+
+namespace {
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt:
+      *out += StrFormat("%lld", static_cast<long long>(int_));
+      return;
+    case Kind::kDouble:
+      *out += std::isfinite(double_) ? StrFormat("%.10g", double_)
+                                     : std::string("null");
+      return;
+    case Kind::kString:
+      *out += "\"" + JsonEscape(string_) + "\"";
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) *out += indent > 0 ? "," : ", ";
+        AppendIndent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      AppendIndent(out, indent, depth);
+      *out += "]";
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) *out += indent > 0 ? "," : ", ";
+        AppendIndent(out, indent, depth + 1);
+        *out += "\"" + JsonEscape(members_[i].first) + "\": ";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      AppendIndent(out, indent, depth);
+      *out += "}";
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent > 0) out += "\n";
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a byte cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    Json value;
+    CGKGR_RETURN_NOT_OK(ParseValue(&value, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_,
+                  message.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      std::string s;
+      CGKGR_RETURN_NOT_OK(ParseString(&s));
+      *out = Json::Str(std::move(s));
+      return Status::OK();
+    }
+    if (ConsumeLiteral("true")) {
+      *out = Json::Bool(true);
+      return Status::OK();
+    }
+    if (ConsumeLiteral("false")) {
+      *out = Json::Bool(false);
+      return Status::OK();
+    }
+    if (ConsumeLiteral("null")) {
+      *out = Json::Null();
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(Json* out, int depth) {
+    ++pos_;  // '{'
+    *out = Json::Object();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      CGKGR_RETURN_NOT_OK(ParseString(&key));
+      if (out->Get(key) != nullptr) {
+        return Error("duplicate object key \"" + key + "\"");
+      }
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Error("expected ':' after object key");
+      }
+      ++pos_;
+      Json value;
+      CGKGR_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(Json* out, int depth) {
+    ++pos_;  // '['
+    *out = Json::Array();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      Json value;
+      CGKGR_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) return Error("truncated escape");
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the code point (surrogate pairs are not combined;
+          // the writer only emits \u00XX for control characters).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(Json* out) {
+    const size_t start = pos_;
+    bool is_int = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_int = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    if (is_int) {
+      int64_t value = 0;
+      if (ParseInt64(token, &value)) {
+        *out = Json::Int(value);
+        return Status::OK();
+      }
+      // Integer overflow: fall through to double.
+    }
+    double value = 0.0;
+    if (!ParseDouble(token, &value)) {
+      pos_ = start;
+      return Error("malformed number \"" + token + "\"");
+    }
+    *out = Json::Double(value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace obs
+}  // namespace cgkgr

@@ -1,0 +1,108 @@
+#ifndef CGKGR_OBS_JSON_H_
+#define CGKGR_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cgkgr {
+namespace obs {
+
+/// \file
+/// The repo's one JSON library: a small value model with a serializer that
+/// escapes correctly (quotes, backslashes, control characters — the
+/// hand-rolled string concatenation it replaced produced invalid JSON for
+/// dataset names or paths containing any of those) and a strict parser.
+/// Every JSON sink in the repo goes through this: the bench artifact writer
+/// (exp::WriteArtifact), the JSONL learning-curve rows (obs::JsonlRow), and
+/// the metrics exposition embed. See docs/benchmarking.md for the artifact
+/// schema built on top.
+
+/// Escapes `text` for inclusion inside a JSON string literal (no
+/// surrounding quotes added): `"` and `\` are backslash-escaped, control
+/// characters use the two-character forms (\n, \t, \r, \b, \f) or \u00XX.
+std::string JsonEscape(std::string_view text);
+
+/// An immutable-kind, mutable-value JSON document node. Objects preserve
+/// insertion order so serialized artifacts diff cleanly and golden tests
+/// stay stable. Integers are kept distinct from doubles so counters
+/// round-trip exactly.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  /// Default-constructs null.
+  Json() = default;
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool value);
+  static Json Int(int64_t value);
+  static Json Double(double value);
+  static Json Str(std::string value);
+  static Json Array();
+  static Json Object();
+
+  /// Strict parse of a complete JSON document (trailing non-whitespace is
+  /// an error). Parse errors carry the byte offset.
+  static Result<Json> Parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  /// True for both kInt and kDouble (any JSON number).
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Value accessors; fatal on kind mismatch (AsDouble accepts kInt).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Array access. Append is fatal on non-arrays.
+  const std::vector<Json>& items() const;
+  Json& Append(Json value);
+
+  /// Object access, insertion-ordered. Set replaces an existing key in
+  /// place; Get returns nullptr when absent. Fatal on non-objects.
+  const std::vector<std::pair<std::string, Json>>& members() const;
+  Json& Set(std::string key, Json value);
+  const Json* Get(std::string_view key) const;
+
+  /// Convenience typed lookups: value of `key` when present and of the
+  /// right kind, `fallback` otherwise.
+  double GetDouble(std::string_view key, double fallback) const;
+  int64_t GetInt(std::string_view key, int64_t fallback) const;
+  std::string GetString(std::string_view key,
+                        const std::string& fallback) const;
+
+  /// Serializes the document. `indent` == 0 renders one line; > 0 pretty
+  /// prints with that many spaces per level. Doubles render with %.10g
+  /// (NaN/Inf, which JSON cannot carry, render as null).
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace obs
+}  // namespace cgkgr
+
+#endif  // CGKGR_OBS_JSON_H_

@@ -4,37 +4,10 @@
 
 #include "common/mutex.h"
 #include "common/string_util.h"
+#include "obs/json.h"
 
 namespace cgkgr {
 namespace obs {
-
-namespace {
-
-std::string JsonEscape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 JsonlRow& JsonlRow::AddRaw(std::string_view key, const std::string& rendered) {
   if (!body_.empty()) body_ += ", ";

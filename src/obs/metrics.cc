@@ -7,6 +7,7 @@
 #include "common/mutex.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "obs/json.h"
 
 namespace cgkgr {
 namespace obs {
@@ -45,16 +46,6 @@ std::string FormatValue(double value) {
   while (!s.empty() && s.back() == '0') s.pop_back();
   if (!s.empty() && s.back() == '.') s.pop_back();
   return s;
-}
-
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+#include "obs/process_stats.h"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cgkgr {
+namespace obs {
+
+namespace {
+
+double TimevalSeconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+/// Parses the "Key:   <value> kB" lines of /proc/self/status we care
+/// about. Missing file or keys leave the fields untouched.
+void ReadProcSelfStatus(ProcessStats* stats) {
+  std::ifstream in("/proc/self/status");
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto parse_kb = [&line](const char* key, int64_t* out) {
+      const size_t key_len = std::string(key).size();
+      if (line.compare(0, key_len, key) != 0) return;
+      long long kb = 0;
+      if (std::sscanf(line.c_str() + key_len, "%lld", &kb) == 1) {
+        *out = static_cast<int64_t>(kb) * 1024;
+      }
+    };
+    parse_kb("VmRSS:", &stats->current_rss_bytes);
+    parse_kb("VmHWM:", &stats->peak_rss_bytes);
+    if (line.compare(0, 8, "Threads:") == 0) {
+      long long threads = 0;
+      if (std::sscanf(line.c_str() + 8, "%lld", &threads) == 1 &&
+          threads > 0) {
+        stats->num_threads = static_cast<int64_t>(threads);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ProcessStats ProcessStats::Sample() {
+  ProcessStats stats;
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is KiB on Linux.
+    stats.peak_rss_bytes = static_cast<int64_t>(usage.ru_maxrss) * 1024;
+    stats.cpu_user_seconds = TimevalSeconds(usage.ru_utime);
+    stats.cpu_system_seconds = TimevalSeconds(usage.ru_stime);
+  }
+  ReadProcSelfStatus(&stats);
+  if (stats.current_rss_bytes == 0) {
+    stats.current_rss_bytes = stats.peak_rss_bytes;
+  }
+  if (stats.peak_rss_bytes < stats.current_rss_bytes) {
+    stats.peak_rss_bytes = stats.current_rss_bytes;
+  }
+  return stats;
+}
+
+ProcessStats SampleProcessStats(MetricsRegistry* registry) {
+  const ProcessStats stats = ProcessStats::Sample();
+  MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::Default();
+  // Pointers are registry-owned and stable, but SampleProcessStats is a
+  // cold phase-boundary call, so the name lookups stay inline.
+  reg.GetGauge("process_current_rss_bytes")
+      ->Set(static_cast<double>(stats.current_rss_bytes));
+  reg.GetGauge("process_peak_rss_bytes")
+      ->Set(static_cast<double>(stats.peak_rss_bytes));
+  reg.GetGauge("process_cpu_seconds")->Set(stats.CpuSeconds());
+  reg.GetGauge("process_num_threads")
+      ->Set(static_cast<double>(stats.num_threads));
+  return stats;
+}
+
+}  // namespace obs
+}  // namespace cgkgr

@@ -1,0 +1,51 @@
+#ifndef CGKGR_OBS_PROCESS_STATS_H_
+#define CGKGR_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+
+namespace cgkgr {
+namespace obs {
+
+class MetricsRegistry;
+
+/// \file
+/// Process-level resource accounting: peak/current RSS, CPU time, thread
+/// count. One Sample() reads getrusage(RUSAGE_SELF) and /proc/self/status;
+/// SampleProcessStats() additionally publishes the sample as process_*
+/// gauges in a MetricsRegistry. The exp runner samples at phase
+/// boundaries, the training loop per epoch, and serve::Engine on snapshot
+/// install, so every bench artifact and metrics dump carries the memory
+/// footprint the ROADMAP's scale items are judged by.
+
+/// One point-in-time sample of the process's resource usage.
+struct ProcessStats {
+  /// Resident set size right now (bytes; 0 when /proc is unavailable).
+  int64_t current_rss_bytes = 0;
+  /// High-water-mark RSS since process start (bytes). Monotone
+  /// non-decreasing across samples.
+  int64_t peak_rss_bytes = 0;
+  /// User-mode CPU seconds consumed since process start.
+  double cpu_user_seconds = 0.0;
+  /// Kernel-mode CPU seconds consumed since process start.
+  double cpu_system_seconds = 0.0;
+  /// Live threads (1 when /proc is unavailable).
+  int64_t num_threads = 1;
+
+  /// Total CPU seconds (user + system). Monotone non-decreasing.
+  double CpuSeconds() const { return cpu_user_seconds + cpu_system_seconds; }
+
+  /// Reads the current process's usage. Never fails: fields degrade to
+  /// their defaults when a source is missing (getrusage always works on
+  /// Linux; /proc/self/status supplies current RSS and thread count).
+  static ProcessStats Sample();
+};
+
+/// Samples and publishes into `registry` (the process-wide default when
+/// null) as gauges: process_current_rss_bytes, process_peak_rss_bytes,
+/// process_cpu_seconds, process_num_threads. Returns the sample.
+ProcessStats SampleProcessStats(MetricsRegistry* registry = nullptr);
+
+}  // namespace obs
+}  // namespace cgkgr
+
+#endif  // CGKGR_OBS_PROCESS_STATS_H_

@@ -9,6 +9,7 @@
 #include "common/macros.h"
 #include "common/mutex.h"
 #include "common/string_util.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 
 namespace cgkgr {
@@ -19,16 +20,6 @@ namespace {
 /// Per-thread buffer cap; spans past it are dropped (and counted in the
 /// `obs_trace_dropped_spans_total` metric) rather than growing unboundedly.
 constexpr size_t kMaxSpansPerThread = size_t{1} << 20;
-
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
 
 void ExportAtExit() {
   if (!TraceCollector::IsEnabled()) return;

@@ -12,6 +12,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
 #include "obs/trace.h"
 
 namespace cgkgr {
@@ -229,6 +230,9 @@ void Engine::InstallSnapshot(std::shared_ptr<const Snapshot> snapshot,
   // in-flight queries against the old snapshot cannot serve future hits.
   if (cache_ != nullptr) cache_->Clear();
   snapshot_reloads_->Increment();
+  // Snapshot install is the engine's phase boundary: refresh the process_*
+  // gauges so reload-time RSS/CPU land next to the serving counters.
+  obs::SampleProcessStats();
 }
 
 void Engine::ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot) {
@@ -280,6 +284,7 @@ EngineStats Engine::stats() const {
   stats.snapshot_reloads = snapshot_reloads_->value();
   const obs::HistogramSnapshot latency = latency_->Snapshot();
   stats.p50_micros = latency.Percentile(0.50);
+  stats.p95_micros = latency.Percentile(0.95);
   stats.p99_micros = latency.Percentile(0.99);
   return stats;
 }

@@ -17,6 +17,7 @@ std::string EngineStats::ToTable() const {
   table.AddRow(
       {"snapshot reloads", StrFormat("%lld", (long long)snapshot_reloads)});
   table.AddRow({"p50 latency", StrFormat("%.0f us", p50_micros)});
+  table.AddRow({"p95 latency", StrFormat("%.0f us", p95_micros)});
   table.AddRow({"p99 latency", StrFormat("%.0f us", p99_micros)});
   return table.ToString();
 }

@@ -29,6 +29,7 @@ struct EngineStats {
   int64_t cache_evictions = 0;
   int64_t snapshot_reloads = 0;
   double p50_micros = 0.0;
+  double p95_micros = 0.0;
   double p99_micros = 0.0;
 
   double CacheHitRate() const {

@@ -1,0 +1,122 @@
+// Perf-regression comparator over unified bench artifacts.
+//
+//   bench_compare [options] OLD.json NEW.json
+//
+// Joins the two schema-v1 artifacts row-by-label, applies the per-metric
+// direction + tolerance rules of exp::CompareArtifacts, prints the verdict
+// table, and exits:
+//   0  no regression (also: OLD.json absent — first run, nothing to diff)
+//   1  at least one regression, or a row/metric present in OLD disappeared
+//   2  usage error, unreadable file, or schema validation failure
+//
+// tools/check.sh wires this behind CGKGR_CHECK_BENCH=1 against the previous
+// smoke artifact, turning "this PR made serving slower" into a failing
+// check. See docs/benchmarking.md.
+//
+// Options:
+//   --tolerance=X           relative worsening allowed on gated metrics
+//                           (default 0.25; the reference container is one
+//                           shared core, so keep this generous)
+//   --ignore-missing-rows   rows absent from NEW are reported, not failed
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/artifact.h"
+#include "exp/compare.h"
+#include "obs/json.h"
+
+namespace cgkgr {
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--tolerance=X] [--ignore-missing-rows] "
+               "OLD.json NEW.json\n",
+               argv0);
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  exp::CompareOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    }
+    if (arg == "--ignore-missing-rows") {
+      options.require_all_rows = false;
+      continue;
+    }
+    if (arg.rfind("--tolerance=", 0) == 0) {
+      char* end = nullptr;
+      options.tolerance = std::strtod(arg.c_str() + 12, &end);
+      if (end == arg.c_str() + 12 || *end != '\0' ||
+          options.tolerance < 0.0) {
+        std::fprintf(stderr, "invalid %s\n", arg.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+    paths.push_back(arg);
+  }
+  if (paths.size() != 2) return Usage(argv[0]);
+
+  // First run: no baseline yet. Not a failure — the new artifact becomes
+  // the baseline for the next comparison.
+  if (!FileExists(paths[0])) {
+    std::printf("no baseline at %s; nothing to compare (first run)\n",
+                paths[0].c_str());
+    return 0;
+  }
+
+  Result<obs::Json> old_artifact = exp::ReadArtifact(paths[0]);
+  if (!old_artifact.ok()) {
+    std::fprintf(stderr, "%s\n", old_artifact.status().ToString().c_str());
+    return 2;
+  }
+  Result<obs::Json> new_artifact = exp::ReadArtifact(paths[1]);
+  if (!new_artifact.ok()) {
+    std::fprintf(stderr, "%s\n", new_artifact.status().ToString().c_str());
+    return 2;
+  }
+
+  Result<exp::CompareReport> report = exp::CompareArtifacts(
+      old_artifact.value(), new_artifact.value(), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+
+  std::printf("%s vs %s (tolerance %.0f%%)\n", paths[0].c_str(),
+              paths[1].c_str(), 100.0 * options.tolerance);
+  std::printf("%s", report.value().ToTable().c_str());
+  if (!report.value().ok()) {
+    std::printf("FAIL: performance regression against %s\n",
+                paths[0].c_str());
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cgkgr
+
+int main(int argc, char** argv) { return cgkgr::Main(argc, argv); }

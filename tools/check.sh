@@ -20,6 +20,13 @@
 #        CGKGR_CHECK_UBSAN=1 UndefinedBehaviorSanitizer over the numeric
 #                            core (tensor_test, autograd_test,
 #                            cgkgr_model_test).
+#   4. Perf-regression gate, opt-in because it runs real training:
+#        CGKGR_CHECK_BENCH=1 runs cgkgr_bench on the committed smoke spec
+#                            (bench/specs/smoke.json), then diffs the new
+#                            artifact against the previous one with
+#                            tools/bench_compare. First run passes (no
+#                            baseline); after that a >60% drop on a
+#                            direction-tracked metric fails the gate.
 #
 # Exit status: 0 iff every available check passed.
 set -u
@@ -107,6 +114,33 @@ if [ "${CGKGR_CHECK_UBSAN:-0}" = "1" ]; then
     tensor_test autograd_test cgkgr_model_test
 else
   echo "== UndefinedBehaviorSanitizer: SKIPPED (set CGKGR_CHECK_UBSAN=1 to enable) =="
+fi
+
+if [ "${CGKGR_CHECK_BENCH:-0}" = "1" ]; then
+  echo "== bench smoke + perf comparator =="
+  cmake -B build -S . > /dev/null && \
+    cmake --build build -j"$(nproc)" --target cgkgr_bench bench_compare \
+      > /dev/null || fail=1
+  if [ "$fail" -eq 0 ]; then
+    art_dir=bench/artifacts
+    art="$art_dir/BENCH_smoke.json"
+    prev="$art_dir/BENCH_smoke.prev.json"
+    mkdir -p "$art_dir"
+    # Rotate the last artifact aside so the run always has a baseline to
+    # diff against; the very first run passes trivially.
+    [ -f "$art" ] && mv -f "$art" "$prev"
+    if build/bench/cgkgr_bench --spec bench/specs/smoke.json \
+         --out "$art_dir" > /dev/null; then
+      # The smoke spec is tiny, so timings are noisy on a loaded 1-core
+      # machine; 0.6 only catches collapses, not jitter.
+      build/tools/bench_compare --tolerance=0.6 "$prev" "$art" || fail=1
+    else
+      echo "  cgkgr_bench failed"
+      fail=1
+    fi
+  fi
+else
+  echo "== bench smoke + perf comparator: SKIPPED (set CGKGR_CHECK_BENCH=1 to enable) =="
 fi
 
 if [ "$fail" -eq 0 ]; then
