@@ -18,14 +18,6 @@ namespace internal {
 
 namespace {
 
-/// Zero literals that start a classic serial accumulator.
-bool IsZeroLiteral(const Token& tok) {
-  if (tok.kind != TokKind::kNumber) return false;
-  const std::string& t = tok.text;
-  return t == "0" || t == "0.0" || t == "0." || t == "0.f" || t == "0.0f" ||
-         t == "0.F" || t == "0.0F";
-}
-
 /// Variables in this TU declared with an unordered container type (or an
 /// alias of one). Declaration shape: TypeName[<args>] [&|*|const] name.
 std::set<std::string> CollectUnorderedVars(const RepoModel& repo,
@@ -169,21 +161,44 @@ void AccumulateRule(const TranslationUnit& tu, Emitter* emitter) {
   }
 }
 
-/// det-naive-float-sum, part 2: `float x = 0...;` followed in the same
-/// scope by a loop whose body does `x += ...`. The sanctioned forms are a
-/// double accumulator (SegmentSoftmax-style) or tensor::Sum's cascade.
+/// det-naive-float-sum, part 2: `float x = <constant>;` followed in the
+/// same scope by a loop whose body does `x += ...`. The sanctioned forms
+/// are a double accumulator (SegmentSoftmax-style), tensor::Sum's cascade,
+/// and the blocked-accumulator pattern the vectorized kernels use: a float
+/// register seeded from *live data* (`float acc = c_row[j];` ... `acc +=`),
+/// which merely continues an existing element's fixed-association sum and
+/// writes it back, so no new ordering freedom is introduced. Seeding from
+/// any expression that references an identifier counts as live data;
+/// zero or constant-literal seeds start a fresh order-sensitive reduction
+/// and stay flagged.
 void NaiveFloatSumRule(const TranslationUnit& tu, Emitter* emitter) {
   const std::vector<Token>& toks = tu.lex.tokens;
   for (size_t i = 0; i + 3 < toks.size(); ++i) {
     if (!TokIs(toks, i, "float")) continue;
-    if (toks[i + 1].kind != TokKind::kIdent || toks[i + 2].text != "=" ||
-        !IsZeroLiteral(toks[i + 3]) || !TokIs(toks, i + 4, ";")) {
+    if (toks[i + 1].kind != TokKind::kIdent || toks[i + 2].text != "=") {
       continue;
     }
+    // Walk the initializer up to the terminating ';' (single-declarator
+    // form only, matching the accumulator idiom).
+    size_t init_end = i + 3;
+    bool seeded_from_live_data = false;
+    int depth = 0;
+    for (; init_end < toks.size(); ++init_end) {
+      const std::string& t = toks[init_end].text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      else if (t == ")" || t == "]" || t == "}") --depth;
+      else if (t == ";" && depth == 0) break;
+      else if (t == "," && depth == 0) { init_end = toks.size(); break; }
+      if (toks[init_end].kind == TokKind::kIdent) {
+        seeded_from_live_data = true;  // sanctioned blocked accumulator
+      }
+    }
+    if (init_end >= toks.size() || init_end == i + 3) continue;
+    if (seeded_from_live_data) continue;
     const std::string name = toks[i + 1].text;
     const int scope_depth = toks[i].brace_depth;
     // Scan the rest of the declaring scope for loops accumulating into it.
-    for (size_t j = i + 5; j < toks.size(); ++j) {
+    for (size_t j = init_end + 1; j < toks.size(); ++j) {
       if (toks[j].text == "}" && toks[j].brace_depth == scope_depth) break;
       if (!TokIs(toks, j, "for") && !TokIs(toks, j, "while")) continue;
       if (j + 1 >= toks.size() || toks[j + 1].text != "(" ||

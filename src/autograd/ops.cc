@@ -94,6 +94,9 @@ Variable MatMul(const Variable& a, const Variable& b) {
                out.data());
   return MakeOpResult(
       "MatMul", std::move(out), {a, b}, [m, n, k](Node* node) {
+        // Both backward Gemms accumulate (beta=1) into grad buffers that
+        // other ops also feed; bit-identity relies on tensor::Gemm's fixed
+        // per-element association (docs/kernels.md), not on this call site.
         const NodePtr& na = node->inputs[0];
         const NodePtr& nb = node->inputs[1];
         const float* g = node->grad.data();

@@ -31,6 +31,7 @@
 #include "graph/sampler.h"
 #include "models/recommender.h"
 #include "models/registry.h"
+#include "nn/adam.h"
 #include "obs/json.h"
 #include "obs/process_stats.h"
 #include "serve/engine.h"
@@ -494,6 +495,106 @@ KernelRun KernelSegmentAttention(int64_t iters, uint64_t seed) {
   return run;
 }
 
+KernelRun KernelGemmTransA(int64_t iters, uint64_t seed) {
+  // Backward-pass shape: dB = A^T * dC goes through the trans_a path.
+  const int64_t n = 64;
+  tensor::Tensor a = RandomTensor({n, n}, seed);
+  tensor::Tensor b = RandomTensor({n, n}, seed + 1);
+  tensor::Tensor c({n, n});
+  KernelRun run;
+  run.items_per_iter = n * n * n;
+  for (int64_t it = -1; it < iters; ++it) {
+    tensor::Gemm(true, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+                 c.data());
+    if (it >= 0) run.checksum += static_cast<double>(c.data()[0]);
+  }
+  return run;
+}
+
+KernelRun KernelGemmTransB(int64_t iters, uint64_t seed) {
+  // Backward-pass shape: dA = dC * B^T goes through the blocked
+  // column-major-B path.
+  const int64_t n = 64;
+  tensor::Tensor a = RandomTensor({n, n}, seed);
+  tensor::Tensor b = RandomTensor({n, n}, seed + 1);
+  tensor::Tensor c({n, n});
+  KernelRun run;
+  run.items_per_iter = n * n * n;
+  for (int64_t it = -1; it < iters; ++it) {
+    tensor::Gemm(false, true, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+                 c.data());
+    if (it >= 0) run.checksum += static_cast<double>(c.data()[0]);
+  }
+  return run;
+}
+
+KernelRun KernelElementwise(int64_t iters, uint64_t seed) {
+  // The restrict-qualified elementwise family chained the way the autograd
+  // tape chains them: mul, add, axpy, row scale.
+  const int64_t rows = 1024;
+  const int64_t cols = 64;
+  const int64_t n = rows * cols;
+  tensor::Tensor a = RandomTensor({n}, seed);
+  tensor::Tensor b = RandomTensor({n}, seed + 1);
+  tensor::Tensor s = RandomTensor({rows}, seed + 2);
+  tensor::Tensor t1({n});
+  tensor::Tensor t2({n});
+  KernelRun run;
+  run.items_per_iter = n;
+  for (int64_t it = -1; it < iters; ++it) {
+    tensor::Mul(n, a.data(), b.data(), t1.data());
+    tensor::Add(n, t1.data(), a.data(), t2.data());
+    tensor::Axpy(n, 0.5f, b.data(), t2.data());
+    tensor::RowScale(rows, cols, t2.data(), s.data(), t1.data());
+    if (it >= 0) run.checksum += static_cast<double>(t1.data()[0]);
+  }
+  return run;
+}
+
+KernelRun KernelAdamStep(int64_t iters, uint64_t seed) {
+  const int64_t n = 65536;
+  autograd::Variable param(RandomTensor({n}, seed), true);
+  tensor::Tensor grads = RandomTensor({n}, seed + 1);
+  nn::AdamOptions options;
+  nn::AdamOptimizer optimizer({param}, options);
+  KernelRun run;
+  run.items_per_iter = n;
+  for (int64_t it = -1; it < iters; ++it) {
+    // Refill grads every iteration: Step() zeroes them in-pass.
+    std::copy(grads.data(), grads.data() + n, param.grad().data());
+    optimizer.Step();
+    if (it >= 0) run.checksum += static_cast<double>(param.value().data()[0]);
+  }
+  return run;
+}
+
+KernelRun KernelServeTopK(int64_t iters, uint64_t seed) {
+  // Uncached single-user blocked top-k over a mid-size catalog; exercises
+  // BlockTopK candidate collection plus the heap merge.
+  const int64_t num_items = 65536;
+  serve::Snapshot snapshot;
+  snapshot.num_users = 1;
+  snapshot.num_items = num_items;
+  tensor::Tensor scores = RandomTensor({num_items}, seed);
+  snapshot.scores.assign(scores.data(), scores.data() + num_items);
+  snapshot.seen.resize(1);
+  for (int64_t item = 0; item < num_items; item += 37) {
+    snapshot.seen[0].push_back(item);
+  }
+  serve::EngineOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 0;  // measure compute, not the cache
+  serve::Engine engine(
+      std::make_shared<const serve::Snapshot>(std::move(snapshot)), options);
+  KernelRun run;
+  run.items_per_iter = num_items;
+  for (int64_t it = -1; it < iters; ++it) {
+    const std::vector<serve::ScoredItem> top = engine.TopK(0, 50);
+    if (it >= 0) run.checksum += static_cast<double>(top.front().score);
+  }
+  return run;
+}
+
 struct KernelEntry {
   const char* name;
   KernelFn fn;
@@ -501,6 +602,11 @@ struct KernelEntry {
 
 constexpr KernelEntry kKernels[] = {
     {"gemm64", &KernelGemm},
+    {"gemm64_tn", &KernelGemmTransA},
+    {"gemm64_nt", &KernelGemmTransB},
+    {"elementwise", &KernelElementwise},
+    {"adam_step", &KernelAdamStep},
+    {"serve_topk", &KernelServeTopK},
     {"segment_softmax", &KernelSegmentSoftmax},
     {"gather_fwd_bwd", &KernelGatherFwdBwd},
     {"relation_matmul", &KernelRelationMatMul},

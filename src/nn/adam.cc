@@ -11,6 +11,35 @@
 namespace cgkgr {
 namespace nn {
 
+namespace {
+
+/// One contiguous chunk of the Adam elementwise step. A free function with
+/// `__restrict` pointers (w/g/m/v are distinct tensors) so the loop
+/// vectorizes; the file is built with -fno-math-errno so std::sqrt lowers
+/// to the hardware sqrt instruction instead of a libm call. Per-element
+/// math never reassociates, so any chunking of [0, n) produces the same
+/// bits as the serial loop. Grads are zeroed in-pass: the per-chunk write
+/// replaces grad.Zero().
+void AdamStepChunk(int64_t begin, int64_t end, const AdamOptions& options,
+                   float bias1, float bias2, float* __restrict w,
+                   float* __restrict g, float* __restrict m,
+                   float* __restrict v) {
+  const float beta1 = options.beta1;
+  const float beta2 = options.beta2;
+  for (int64_t i = begin; i < end; ++i) {
+    const float gi = g[i] + options.l2 * w[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;
+    const float m_hat = m[i] / bias1;
+    const float v_hat = v[i] / bias2;
+    w[i] -= options.learning_rate * m_hat /
+            (std::sqrt(v_hat) + options.epsilon);
+    g[i] = 0.0f;
+  }
+}
+
+}  // namespace
+
 AdamOptimizer::AdamOptimizer(std::vector<autograd::Variable> parameters,
                              AdamOptions options)
     : parameters_(std::move(parameters)), options_(options) {
@@ -40,20 +69,9 @@ void AdamOptimizer::Step(ThreadPool* pool) {
     float* m = m_[p].data();
     float* v = v_[p].data();
     const int64_t n = value.size();
-    // Per-element updates touch disjoint memory and never reassociate, so
-    // any chunking of [0, n) produces the same bits as the serial loop.
-    // Grads are zeroed in-pass: the per-chunk write replaces grad.Zero().
     const auto update = [&](int64_t chunk_begin, int64_t chunk_end) {
-      for (int64_t i = chunk_begin; i < chunk_end; ++i) {
-        const float gi = g[i] + options_.l2 * w[i];
-        m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * gi;
-        v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * gi * gi;
-        const float m_hat = m[i] / bias1;
-        const float v_hat = v[i] / bias2;
-        w[i] -= options_.learning_rate * m_hat /
-                (std::sqrt(v_hat) + options_.epsilon);
-        g[i] = 0.0f;
-      }
+      AdamStepChunk(chunk_begin, chunk_end, options_, bias1, bias2, w, g, m,
+                    v);
     };
     constexpr int64_t kStepGrain = 8192;
     if (pool != nullptr && pool->num_threads() > 1 && n > kStepGrain) {

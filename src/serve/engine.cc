@@ -36,26 +36,43 @@ inline bool Ranks(const ScoredItem& a, const ScoredItem& b) {
   return a.item < b.item;
 }
 
+/// Appends candidates for items [run_begin, run_end) — a run known to
+/// contain no seen items, so the inner loop is branch-free.
+inline void AppendRun(const float* row, int64_t run_begin, int64_t run_end,
+                      std::vector<ScoredItem>* block) {
+  for (int64_t item = run_begin; item < run_end; ++item) {
+    block->push_back({item, row[item]});
+  }
+}
+
 /// Collects the top-k of one item block [begin, end) into `out` (appended).
 void BlockTopK(const Snapshot& snapshot, int64_t user, int64_t begin,
                int64_t end, int64_t k, bool filter_seen,
                std::vector<ScoredItem>* out) {
   const float* row = snapshot.UserScores(user);
-  const auto& seen = snapshot.seen[static_cast<size_t>(user)];
-  // Seen ids are sorted: walk the sub-range overlapping this block instead
-  // of binary-searching per item.
-  auto seen_it = filter_seen
-                     ? std::lower_bound(seen.begin(), seen.end(), begin)
-                     : seen.end();
   std::vector<ScoredItem> block;
   block.reserve(static_cast<size_t>(end - begin));
-  for (int64_t item = begin; item < end; ++item) {
-    if (seen_it != seen.end() && *seen_it == item) {
+  if (filter_seen) {
+    // Seen ids are sorted: split the block into runs between consecutive
+    // seen ids (instead of testing every item against the cursor) so the
+    // per-run copy loop carries no filter branch.
+    const auto& seen = snapshot.seen[static_cast<size_t>(user)];
+    auto seen_it = std::lower_bound(seen.begin(), seen.end(), begin);
+    int64_t run_begin = begin;
+    while (run_begin < end) {
+      const int64_t run_end =
+          (seen_it != seen.end() && *seen_it < end) ? *seen_it : end;
+      AppendRun(row, run_begin, run_end, &block);
+      if (run_end == end) break;
+      run_begin = run_end + 1;
       ++seen_it;
-      continue;
     }
-    block.push_back({item, row[item]});
+  } else {
+    AppendRun(row, begin, end, &block);
   }
+  // Clamp before partial_sort: the last block of the catalog (or a catalog
+  // smaller than k, or a block thinned below k by the seen filter) yields
+  // fewer than k candidates, and partial_sort with middle > end() is UB.
   const size_t keep = std::min<size_t>(block.size(), static_cast<size_t>(k));
   std::partial_sort(block.begin(), block.begin() + keep, block.end(), Ranks);
   out->insert(out->end(), block.begin(), block.begin() + keep);

@@ -2,81 +2,305 @@
 
 #include <cmath>
 
+#include "tensor/vec.h"
+
 namespace cgkgr {
 namespace tensor {
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Gemm inner kernels.
+//
+// Both variants preserve the per-element association of the original scalar
+// kernel exactly: each c[i,j] starts from its beta-scaled value and
+// accumulates a_ik * b_kj with kk ascending. That is what keeps every model
+// golden stable across this rewrite (docs/kernels.md, "association policy").
+// The old `a_ik == 0.0f` early-continue is gone: it silently turned
+// 0*inf / 0*nan into a skip instead of NaN and its branch defeated
+// vectorization. Adding an exact +0.0f term is bit-preserving for every
+// finite accumulator value, so dropping the skip only changes results when
+// the IEEE semantics say it must.
+// ---------------------------------------------------------------------------
+
+// B row-major (trans_b == false): sweep full contiguous rows of B and C.
+// The j loop is a clean fused multiply-add stream the compiler vectorizes.
+template <bool kTransA>
+void GemmRowMajorB(int64_t m, int64_t n, int64_t k, float alpha,
+                   const float* __restrict a, const float* __restrict b,
+                   float* __restrict c) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* __restrict c_row = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float a_ik = alpha * (kTransA ? a[kk * m + i] : a[i * k + kk]);
+      const float* __restrict b_row = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+    }
+  }
+}
+
+// B column-major in memory (trans_b == true): rows of op(B) are columns of
+// the stored matrix, so instead of striding we block j by 4 and give each
+// output its own register accumulator; the kk loop then reads four
+// contiguous B rows. Accumulators are seeded from c_row (live data, not
+// zero) and run kk-ascending, matching the old kernel bit for bit.
+template <bool kTransA>
+void GemmColMajorB(int64_t m, int64_t n, int64_t k, float alpha,
+                   const float* __restrict a, const float* __restrict b,
+                   float* __restrict c) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* __restrict c_row = c + i * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* __restrict b0 = b + (j + 0) * k;
+      const float* __restrict b1 = b + (j + 1) * k;
+      const float* __restrict b2 = b + (j + 2) * k;
+      const float* __restrict b3 = b + (j + 3) * k;
+      float acc0 = c_row[j + 0];
+      float acc1 = c_row[j + 1];
+      float acc2 = c_row[j + 2];
+      float acc3 = c_row[j + 3];
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float a_ik = alpha * (kTransA ? a[kk * m + i] : a[i * k + kk]);
+        acc0 += a_ik * b0[kk];
+        acc1 += a_ik * b1[kk];
+        acc2 += a_ik * b2[kk];
+        acc3 += a_ik * b3[kk];
+      }
+      c_row[j + 0] = acc0;
+      c_row[j + 1] = acc1;
+      c_row[j + 2] = acc2;
+      c_row[j + 3] = acc3;
+    }
+    for (; j < n; ++j) {
+      const float* __restrict bj = b + j * k;
+      float acc = c_row[j];
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += (alpha * (kTransA ? a[kk * m + i] : a[i * k + kk])) * bj[kk];
+      }
+      c_row[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c) {
-  // Scale or clear the destination first.
+  // Scale or clear the destination first; the inner kernels accumulate.
   if (beta == 0.0f) {
     for (int64_t i = 0; i < m * n; ++i) c[i] = 0.0f;
   } else if (beta != 1.0f) {
     ScaleInPlace(m * n, beta, c);
   }
-  // i-k-j loop order keeps the inner loop contiguous for the common
-  // non-transposed case.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float a_ik =
-          alpha * (trans_a ? a[kk * m + i] : a[i * k + kk]);
-      if (a_ik == 0.0f) continue;
-      const float* b_row = trans_b ? nullptr : b + kk * n;
-      float* c_row = c + i * n;
-      if (!trans_b) {
-        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
-      } else {
-        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ik * b[j * k + kk];
-      }
+  if (!trans_b) {
+    if (!trans_a) {
+      GemmRowMajorB<false>(m, n, k, alpha, a, b, c);
+    } else {
+      GemmRowMajorB<true>(m, n, k, alpha, a, b, c);
+    }
+  } else {
+    if (!trans_a) {
+      GemmColMajorB<false>(m, n, k, alpha, a, b, c);
+    } else {
+      GemmColMajorB<true>(m, n, k, alpha, a, b, c);
     }
   }
 }
 
-void Axpy(int64_t n, float alpha, const float* x, float* y) {
+void Axpy(int64_t n, float alpha, const float* __restrict x,
+          float* __restrict y) {
   for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
-void ScaleInPlace(int64_t n, float alpha, float* x) {
+void ScaleInPlace(int64_t n, float alpha, float* __restrict x) {
   for (int64_t i = 0; i < n; ++i) x[i] *= alpha;
 }
 
-void Add(int64_t n, const float* a, const float* b, float* out) {
+void Add(int64_t n, const float* __restrict a, const float* __restrict b,
+         float* __restrict out) {
   for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
 }
 
-void Sub(int64_t n, const float* a, const float* b, float* out) {
+void Sub(int64_t n, const float* __restrict a, const float* __restrict b,
+         float* __restrict out) {
   for (int64_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
 }
 
-void Mul(int64_t n, const float* a, const float* b, float* out) {
+void Mul(int64_t n, const float* __restrict a, const float* __restrict b,
+         float* __restrict out) {
   for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
 }
 
-void AddRowVector(int64_t rows, int64_t cols, const float* v, float* x) {
+void AddRowVector(int64_t rows, int64_t cols, const float* __restrict v,
+                  float* __restrict x) {
   for (int64_t r = 0; r < rows; ++r) {
-    float* row = x + r * cols;
+    float* __restrict row = x + r * cols;
     for (int64_t c = 0; c < cols; ++c) row[c] += v[c];
   }
 }
 
-void RowDot(int64_t rows, int64_t cols, const float* a, const float* b,
-            float* out) {
+void RowDot(int64_t rows, int64_t cols, const float* __restrict a,
+            const float* __restrict b, float* __restrict out) {
+  // Each row goes through Dot so the serial left-to-right association stays
+  // pinned (see Dot below); only the row loop is restructured.
   for (int64_t r = 0; r < rows; ++r) {
     out[r] = Dot(cols, a + r * cols, b + r * cols);
   }
 }
 
-void RowScale(int64_t rows, int64_t cols, const float* x, const float* s,
-              float* out) {
+void RowScale(int64_t rows, int64_t cols, const float* __restrict x,
+              const float* __restrict s, float* __restrict out) {
   for (int64_t r = 0; r < rows; ++r) {
     const float factor = s[r];
-    const float* in_row = x + r * cols;
-    float* out_row = out + r * cols;
+    const float* __restrict in_row = x + r * cols;
+    float* __restrict out_row = out + r * cols;
     for (int64_t c = 0; c < cols; ++c) out_row[c] = factor * in_row[c];
   }
 }
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// SegmentSoftmax.
+//
+// The widths the models actually use (4, 8, 16 — the sampled-neighbor
+// fan-outs) get fused vector paths: one sweep does max, exp, and the
+// normalizer with no trip back to memory. The normalizer stays a double
+// accumulator as documented, summed pairwise over lanes (the fixed
+// association is documented in docs/kernels.md; in double the association
+// is 11 guard bits below float resolution for these widths anyway).
+// Other widths keep the original scalar code — and the original libm exp —
+// so odd-width callers see the exact historical numerics.
+// ---------------------------------------------------------------------------
+
+// One width-8 segment; shared by the interleaved loop's tail.
+inline void SoftmaxOneW8(const float* __restrict in, float* __restrict o) {
+  const V4f a = LoadV4f(in);
+  const V4f b = LoadV4f(in + 4);
+  const V4f m = HorizontalMaxV4f(MaxV4f(a, b));
+  const V4f ea = FastExpV4f(a - m);
+  const V4f eb = FastExpV4f(b - m);
+  const V2d lo = WidenLoV2d(ea) + WidenLoV2d(eb);
+  const V2d hi = WidenHiV2d(ea) + WidenHiV2d(eb);
+  const V2d pair = lo + hi;
+  const float inv = 1.0f / static_cast<float>(pair[0] + pair[1]);
+  StoreV4f(o, ea * inv);
+  StoreV4f(o + 4, eb * inv);
+}
+
+void SegmentSoftmaxW8(int64_t segments, const float* __restrict x,
+                      float* __restrict out) {
+  // Two segments per iteration: each segment's max -> exp -> sum -> divide
+  // chain is serial, so interleaving two keeps the pipeline full.
+  int64_t s = 0;
+  for (; s + 2 <= segments; s += 2) {
+    const float* __restrict in = x + s * 8;
+    float* __restrict o = out + s * 8;
+    const V4f a0 = LoadV4f(in);
+    const V4f b0 = LoadV4f(in + 4);
+    const V4f a1 = LoadV4f(in + 8);
+    const V4f b1 = LoadV4f(in + 12);
+    const V4f m0 = HorizontalMaxV4f(MaxV4f(a0, b0));
+    const V4f m1 = HorizontalMaxV4f(MaxV4f(a1, b1));
+    const V4f ea0 = FastExpV4f(a0 - m0);
+    const V4f eb0 = FastExpV4f(b0 - m0);
+    const V4f ea1 = FastExpV4f(a1 - m1);
+    const V4f eb1 = FastExpV4f(b1 - m1);
+    const V2d lo0 = WidenLoV2d(ea0) + WidenLoV2d(eb0);
+    const V2d hi0 = WidenHiV2d(ea0) + WidenHiV2d(eb0);
+    const V2d lo1 = WidenLoV2d(ea1) + WidenLoV2d(eb1);
+    const V2d hi1 = WidenHiV2d(ea1) + WidenHiV2d(eb1);
+    const V2d pair0 = lo0 + hi0;
+    const V2d pair1 = lo1 + hi1;
+    const float inv0 = 1.0f / static_cast<float>(pair0[0] + pair0[1]);
+    const float inv1 = 1.0f / static_cast<float>(pair1[0] + pair1[1]);
+    StoreV4f(o, ea0 * inv0);
+    StoreV4f(o + 4, eb0 * inv0);
+    StoreV4f(o + 8, ea1 * inv1);
+    StoreV4f(o + 12, eb1 * inv1);
+  }
+  for (; s < segments; ++s) SoftmaxOneW8(x + s * 8, out + s * 8);
+}
+
+inline void SoftmaxOneW4(const float* __restrict in, float* __restrict o) {
+  const V4f a = LoadV4f(in);
+  const V4f m = HorizontalMaxV4f(a);
+  const V4f e = FastExpV4f(a - m);
+  const V2d pair = WidenLoV2d(e) + WidenHiV2d(e);
+  const float inv = 1.0f / static_cast<float>(pair[0] + pair[1]);
+  StoreV4f(o, e * inv);
+}
+
+void SegmentSoftmaxW4(int64_t segments, const float* __restrict x,
+                      float* __restrict out) {
+  int64_t s = 0;
+  for (; s + 2 <= segments; s += 2) {
+    const V4f a0 = LoadV4f(x + s * 4);
+    const V4f a1 = LoadV4f(x + s * 4 + 4);
+    const V4f m0 = HorizontalMaxV4f(a0);
+    const V4f m1 = HorizontalMaxV4f(a1);
+    const V4f e0 = FastExpV4f(a0 - m0);
+    const V4f e1 = FastExpV4f(a1 - m1);
+    const V2d pair0 = WidenLoV2d(e0) + WidenHiV2d(e0);
+    const V2d pair1 = WidenLoV2d(e1) + WidenHiV2d(e1);
+    const float inv0 = 1.0f / static_cast<float>(pair0[0] + pair0[1]);
+    const float inv1 = 1.0f / static_cast<float>(pair1[0] + pair1[1]);
+    StoreV4f(out + s * 4, e0 * inv0);
+    StoreV4f(out + s * 4 + 4, e1 * inv1);
+  }
+  for (; s < segments; ++s) SoftmaxOneW4(x + s * 4, out + s * 4);
+}
+
+void SegmentSoftmaxW16(int64_t segments, const float* __restrict x,
+                       float* __restrict out) {
+  // Four vectors per segment already provide the instruction-level
+  // parallelism the width-8 path gets from interleaving two segments.
+  for (int64_t s = 0; s < segments; ++s) {
+    const float* __restrict in = x + s * 16;
+    float* __restrict o = out + s * 16;
+    const V4f a = LoadV4f(in);
+    const V4f b = LoadV4f(in + 4);
+    const V4f c = LoadV4f(in + 8);
+    const V4f d = LoadV4f(in + 12);
+    const V4f m = HorizontalMaxV4f(MaxV4f(MaxV4f(a, b), MaxV4f(c, d)));
+    const V4f ea = FastExpV4f(a - m);
+    const V4f eb = FastExpV4f(b - m);
+    const V4f ec = FastExpV4f(c - m);
+    const V4f ed = FastExpV4f(d - m);
+    const V2d lo = (WidenLoV2d(ea) + WidenLoV2d(eb)) +
+                   (WidenLoV2d(ec) + WidenLoV2d(ed));
+    const V2d hi = (WidenHiV2d(ea) + WidenHiV2d(eb)) +
+                   (WidenHiV2d(ec) + WidenHiV2d(ed));
+    const V2d pair = lo + hi;
+    const float inv = 1.0f / static_cast<float>(pair[0] + pair[1]);
+    StoreV4f(o, ea * inv);
+    StoreV4f(o + 4, eb * inv);
+    StoreV4f(o + 8, ec * inv);
+    StoreV4f(o + 12, ed * inv);
+  }
+}
+
+}  // namespace
+
 void SegmentSoftmax(int64_t segments, int64_t segment, const float* x,
                     float* out) {
+  // Zero-width (or zero-count) calls are well-defined no-ops. The old code
+  // read in[0] before checking the width, which was UB for segment == 0.
+  if (segments <= 0 || segment <= 0) return;
+  switch (segment) {
+    case 4:
+      SegmentSoftmaxW4(segments, x, out);
+      return;
+    case 8:
+      SegmentSoftmaxW8(segments, x, out);
+      return;
+    case 16:
+      SegmentSoftmaxW16(segments, x, out);
+      return;
+    default:
+      break;
+  }
   for (int64_t s = 0; s < segments; ++s) {
     const float* in = x + s * segment;
     float* o = out + s * segment;

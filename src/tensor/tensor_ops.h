@@ -9,49 +9,67 @@ namespace cgkgr {
 namespace tensor {
 
 /// \file
-/// Numeric kernels shared by the autograd ops. All kernels are plain
-/// single-threaded loops; shapes are validated by CGKGR_CHECK.
+/// Numeric kernels shared by the autograd ops. Kernels are single-threaded,
+/// blocked, compiler-vectorized loops (see docs/kernels.md for the blocking
+/// scheme and the association policy); shapes are validated by CGKGR_CHECK.
+///
+/// Pointer parameters are `__restrict`-qualified: an output buffer must not
+/// alias any input buffer. Two read-only inputs may alias each other (e.g.
+/// `Add(n, x, x, out)`), which the restrict contract permits because no
+/// store goes through those pointers.
 
 /// C = alpha * op(A) * op(B) + beta * C, where op transposes when the flag is
-/// set. A is (m, k) pre-op, B is (k, n) pre-op, C is (m, n).
+/// set. A is (m, k) pre-op, B is (k, n) pre-op, C is (m, n). Each C element
+/// accumulates with a fixed kk-ascending association, so results are
+/// bit-identical for any blocking and any thread count. IEEE special values
+/// propagate: 0 * inf and 0 * nan contribute NaN rather than being skipped.
 void Gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c);
 
 /// y += alpha * x over n elements.
-void Axpy(int64_t n, float alpha, const float* x, float* y);
+void Axpy(int64_t n, float alpha, const float* __restrict x,
+          float* __restrict y);
 
 /// x *= alpha over n elements.
-void ScaleInPlace(int64_t n, float alpha, float* x);
+void ScaleInPlace(int64_t n, float alpha, float* __restrict x);
 
 /// out[i] = a[i] + b[i].
-void Add(int64_t n, const float* a, const float* b, float* out);
+void Add(int64_t n, const float* __restrict a, const float* __restrict b,
+         float* __restrict out);
 
 /// out[i] = a[i] - b[i].
-void Sub(int64_t n, const float* a, const float* b, float* out);
+void Sub(int64_t n, const float* __restrict a, const float* __restrict b,
+         float* __restrict out);
 
 /// out[i] = a[i] * b[i].
-void Mul(int64_t n, const float* a, const float* b, float* out);
+void Mul(int64_t n, const float* __restrict a, const float* __restrict b,
+         float* __restrict out);
 
 /// Adds row vector `v` (length cols) to every row of `x` (rows x cols).
-void AddRowVector(int64_t rows, int64_t cols, const float* v, float* x);
+void AddRowVector(int64_t rows, int64_t cols, const float* __restrict v,
+                  float* __restrict x);
 
 /// out[r] = dot(a_row_r, b_row_r) for row-major (rows x cols) inputs.
-void RowDot(int64_t rows, int64_t cols, const float* a, const float* b,
-            float* out);
+/// Association per row matches Dot (serial left-to-right, pinned).
+void RowDot(int64_t rows, int64_t cols, const float* __restrict a,
+            const float* __restrict b, float* __restrict out);
 
 /// Scales row r of `x` (rows x cols) by s[r], writing into out.
-void RowScale(int64_t rows, int64_t cols, const float* x, const float* s,
-              float* out);
+void RowScale(int64_t rows, int64_t cols, const float* __restrict x,
+              const float* __restrict s, float* __restrict out);
 
 /// Numerically stable softmax over each consecutive segment of length
-/// `segment` in `x` (total length = segments * segment).
+/// `segment` in `x` (total length = segments * segment). Zero segments or
+/// zero width is a no-op. Widths 4/8/16 take a fused vector path with a
+/// fast exp (max relative error ~5e-6, see tensor/vec.h); other widths use
+/// libm exp. The normalizer is double-accumulated in both paths.
 void SegmentSoftmax(int64_t segments, int64_t segment, const float* x,
                     float* out);
 
-/// Sum of all n elements.
+/// Sum of all n elements (pairwise cascade, fixed association).
 float Sum(int64_t n, const float* x);
 
-/// Dot product of two length-n vectors.
+/// Dot product of two length-n vectors (serial, fixed association).
 float Dot(int64_t n, const float* a, const float* b);
 
 /// Squared L2 norm of a length-n vector.

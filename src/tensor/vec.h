@@ -1,0 +1,143 @@
+#ifndef CGKGR_TENSOR_VEC_H_
+#define CGKGR_TENSOR_VEC_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace cgkgr {
+namespace tensor {
+
+/// \file
+/// Small fixed-width vector helpers for the hot kernels.
+///
+/// These use the GCC/Clang generic vector extensions
+/// (`__attribute__((vector_size)))`, `__builtin_shufflevector`,
+/// `__builtin_convertvector`) rather than target intrinsics, so the same
+/// source compiles for any SSE2-class (or NEON-class) baseline and the
+/// compiler picks the instruction encoding. Everything here is branch-free
+/// and has a fixed association, which is what the bit-identity contract
+/// (docs/determinism.md) needs: results do not depend on num_threads
+/// because kernels run per-shard and each lane's math is fixed at compile
+/// time.
+
+typedef float V4f __attribute__((vector_size(16)));
+typedef std::int32_t V4i __attribute__((vector_size(16)));
+typedef double V2d __attribute__((vector_size(16)));
+
+inline V4f LoadV4f(const float* p) {
+  V4f v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreV4f(float* p, V4f v) { std::memcpy(p, &v, sizeof(v)); }
+
+inline V4f BroadcastV4f(float x) { return V4f{x, x, x, x}; }
+
+inline V4f MaxV4f(V4f a, V4f b) { return a > b ? a : b; }
+
+/// Horizontal max: returns a vector with every lane equal to the max lane.
+inline V4f HorizontalMaxV4f(V4f v) {
+  V4f s = __builtin_shufflevector(v, v, 2, 3, 0, 1);
+  v = MaxV4f(v, s);
+  s = __builtin_shufflevector(v, v, 1, 0, 3, 2);
+  return MaxV4f(v, s);
+}
+
+/// Widen lanes {0,1} (resp. {2,3}) of a float vector to doubles. Compiles
+/// to a single cvtps2pd-class instruction.
+inline V2d WidenLoV2d(V4f v) {
+  return __builtin_convertvector(__builtin_shufflevector(v, v, 0, 1), V2d);
+}
+inline V2d WidenHiV2d(V4f v) {
+  return __builtin_convertvector(__builtin_shufflevector(v, v, 2, 3), V2d);
+}
+
+namespace fastexp_detail {
+// Cody-Waite range reduction: x = n*ln2 + r with |r| <= ln2/2, where n is
+// recovered from the mantissa bits of (x*log2e + 1.5*2^23) — the magic-add
+// trick rounds to nearest integer without a cvt instruction. ln2 is split
+// into a high part exact in float and a low correction so r stays accurate.
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kMagic = 12582912.0f;  // 1.5 * 2^23
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+// Clamp bounds: below kMinX expf underflows toward 0, above kMaxX it
+// overflows; we clamp the *input* so the bit arithmetic never sees an
+// exponent out of range. exp(-inf) therefore returns exp(kMinX) ~= 1.2e-38
+// instead of 0 — callers that care (softmax) divide by the normalizer, so
+// the residual weight is at most ~1e-38 of the total.
+constexpr float kMinX = -87.3365478515625f;
+constexpr float kMaxX = 88.3762626647949f;
+// Degree-4 minimax polynomial for exp(r) = 1 + r + r^2*(c2 + c3*r + c4*r^2)
+// on [-ln2/2, ln2/2]; max relative error ~5.4e-6 (measured against libm,
+// see tests/tensor_test.cc FastExpAccuracy). Two Horner steps shorter than
+// the float-exact degree-5 fit; softmax outputs feed attention weights and
+// scores where 1e-5 relative is far below every model tolerance.
+constexpr float kC4 = 4.12580802e-2f;
+constexpr float kC3 = 1.67533187e-1f;
+constexpr float kC2 = 5.00052990e-1f;
+constexpr std::int32_t kMagicBits = 0x4B400000;  // bit pattern of kMagic
+}  // namespace fastexp_detail
+
+/// Fast vectorized expf. NaN propagates (the clamp compares are false for
+/// NaN so the input passes through and poisons the result); +/-inf clamp to
+/// the finite bounds. Max relative error ~5.4e-6 in [-87.33, 88.37].
+inline V4f FastExpV4f(V4f x) {
+  using namespace fastexp_detail;
+  // Branchless clamp via integer mask-select: a float ternary clamp defeats
+  // GCC's if-conversion under strict NaN ordering ("control flow in loop"),
+  // the mask form vectorizes and leaves NaN untouched.
+  V4i xb = std::bit_cast<V4i>(x);
+  const V4i lo = x < BroadcastV4f(kMinX);  // all-ones lanes where true
+  const V4i hi = x > BroadcastV4f(kMaxX);
+  xb = (xb & ~lo) | (std::bit_cast<V4i>(BroadcastV4f(kMinX)) & lo);
+  xb = (xb & ~hi) | (std::bit_cast<V4i>(BroadcastV4f(kMaxX)) & hi);
+  x = std::bit_cast<V4f>(xb);
+  const V4f t = x * BroadcastV4f(kLog2e);
+  const V4f rounded = t + BroadcastV4f(kMagic);
+  const V4i n = std::bit_cast<V4i>(rounded) - kMagicBits;
+  const V4f fn = rounded - BroadcastV4f(kMagic);
+  V4f r = x - fn * BroadcastV4f(kLn2Hi);
+  r = r - fn * BroadcastV4f(kLn2Lo);
+  const V4f z = r * r;
+  V4f p = r * 0.0f + kC4;
+  p = p * r + kC3;
+  p = p * r + kC2;
+  const V4f e = p * z + r + 1.0f;
+  // 2^n assembled directly in the exponent field; n is in [-126, 128] after
+  // the clamp so the shift cannot overflow into the sign bit.
+  const V4f scale = std::bit_cast<V4f>((n + 127) << 23);
+  return e * scale;
+}
+
+/// Scalar twin of FastExpV4f — identical bits lane-for-lane, used by tests
+/// and by odd-width tails.
+inline float FastExp(float x) {
+  using namespace fastexp_detail;
+  std::int32_t xb = std::bit_cast<std::int32_t>(x);
+  const std::int32_t lo = -static_cast<std::int32_t>(x < kMinX);
+  const std::int32_t hi = -static_cast<std::int32_t>(x > kMaxX);
+  xb = (xb & ~lo) | (std::bit_cast<std::int32_t>(kMinX) & lo);
+  xb = (xb & ~hi) | (std::bit_cast<std::int32_t>(kMaxX) & hi);
+  x = std::bit_cast<float>(xb);
+  const float t = x * kLog2e;
+  const float rounded = t + kMagic;
+  const std::int32_t n = std::bit_cast<std::int32_t>(rounded) - kMagicBits;
+  const float fn = rounded - kMagic;
+  float r = x - fn * kLn2Hi;
+  r = r - fn * kLn2Lo;
+  const float z = r * r;
+  float p = kC4;
+  p = p * r + kC3;
+  p = p * r + kC2;
+  const float e = p * z + r + 1.0f;
+  const float scale = std::bit_cast<float>((n + 127) << 23);
+  return e * scale;
+}
+
+}  // namespace tensor
+}  // namespace cgkgr
+
+#endif  // CGKGR_TENSOR_VEC_H_

@@ -268,6 +268,33 @@ TEST(EngineTest, ShortCandidateListsReturnFewerThanK) {
   EXPECT_EQ(result, expected);
 }
 
+TEST(EngineTest, TinyCatalogBlocksSmallerThanKAreClamped) {
+  // Regression coverage for the BlockTopK keep-clamp audit: with a block
+  // size of 3, k = 10 exceeds every block's candidate count (and the seen
+  // filter thins one block further). An unclamped partial_sort middle
+  // iterator would walk past block.end().
+  Snapshot snapshot;
+  snapshot.model_name = "m";
+  snapshot.dataset_name = "d";
+  snapshot.num_users = 1;
+  snapshot.num_items = 7;  // blocks: [0,3) [3,6) [6,7) — all smaller than k
+  snapshot.scores = {1.0f, 7.0f, 3.0f, 6.0f, 2.0f, 5.0f, 4.0f};
+  snapshot.seen = {{3, 4, 5}};  // empties most of the middle block
+  EngineOptions options;
+  options.block_size = 3;
+  options.cache_capacity = 0;
+  Engine engine(std::make_shared<const Snapshot>(std::move(snapshot)),
+                options);
+  const auto result = engine.TopK(0, 10);
+  const std::vector<ScoredItem> expected = {
+      {1, 7.0f}, {6, 4.0f}, {2, 3.0f}, {0, 1.0f}};
+  EXPECT_EQ(result, expected);
+  // k smaller than the surviving candidate count still truncates correctly.
+  const auto top2 = engine.TopK(0, 2);
+  const std::vector<ScoredItem> expected2 = {{1, 7.0f}, {6, 4.0f}};
+  EXPECT_EQ(top2, expected2);
+}
+
 // --- LRU cache ---
 
 TEST(LruCacheTest, EvictsLeastRecentlyUsedInOrder) {

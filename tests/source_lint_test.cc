@@ -275,6 +275,32 @@ TEST(DeterminismRulesTest, NaiveFloatSumFires) {
   EXPECT_TRUE(good.clean()) << OnlyRule(good);
 }
 
+TEST(DeterminismRulesTest, ConstantSeededFloatSumFires) {
+  // A nonzero constant seed is still a fresh order-sensitive reduction.
+  const SourceLintReport bad = Analyze({{"src/m/a.cc",
+                                         "float SumPlusOne(const float* x, int n) {\n"
+                                         "  float total = 1.0f;\n"
+                                         "  for (int i = 0; i < n; ++i) total += x[i];\n"
+                                         "  return total;\n"
+                                         "}\n"}});
+  EXPECT_EQ(CountRule(bad, "det-naive-float-sum"), 1) << OnlyRule(bad);
+}
+
+TEST(DeterminismRulesTest, BlockedAccumulatorSanctioned) {
+  // The blocked-kernel idiom: a register accumulator seeded from live data
+  // (`float acc = c[j];` ... `acc += ...;` ... `c[j] = acc;`) continues an
+  // existing element's fixed-association sum — same bits as updating the
+  // element in place — so the rule must not fire on it. This is the twin of
+  // NaiveFloatSumFires: identical loop, only the seed differs.
+  const SourceLintReport good = Analyze({{"src/m/a.cc",
+                                          "void Accum(const float* x, int n, float* c, int j) {\n"
+                                          "  float acc = c[j];\n"
+                                          "  for (int i = 0; i < n; ++i) acc += x[i];\n"
+                                          "  c[j] = acc;\n"
+                                          "}\n"}});
+  EXPECT_TRUE(good.clean()) << OnlyRule(good);
+}
+
 TEST(DeterminismRulesTest, StdAccumulateFires) {
   const SourceLintReport bad = Analyze({{"src/m/a.cc",
                                          "#include <numeric>\n"

@@ -4,13 +4,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.h"
 #include "tensor/init.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
+#include "tensor/vec.h"
 
 namespace cgkgr {
 namespace tensor {
@@ -254,6 +260,320 @@ TEST(KernelTest, SumExactForOddAndTinySizes) {
     }
     EXPECT_FLOAT_EQ(Sum(n, x.data()), expected) << "n=" << n;
   }
+}
+
+// --- kernel boundary and IEEE-semantics coverage ---
+//
+// The blocked kernel rewrite (docs/kernels.md) promises two things per op:
+// either bit-identical results to the historical scalar loop (association
+// preserved), or an explicitly documented numeric change bounded in ulps
+// (SegmentSoftmax's fast-exp widths). These tests pin both, at sizes that
+// straddle every block width and the PairwiseSum base case.
+
+constexpr int64_t kBoundarySizes[] = {0, 1, 7, 8, 9, 63, 64, 65};
+
+/// Ulp distance between two floats of the same sign regime; NaN/inf -> huge.
+int64_t UlpDiff(float a, float b) {
+  if (std::isnan(a) || std::isnan(b) || std::isinf(a) || std::isinf(b)) {
+    return a == b ? 0 : (1ll << 40);
+  }
+  auto ordered = [](float x) {
+    int32_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    // Map to a monotone integer line so distances work across zero.
+    return bits < 0 ? static_cast<int64_t>(INT32_MIN) - bits
+                    : static_cast<int64_t>(bits);
+  };
+  const int64_t d = ordered(a) - ordered(b);
+  return d < 0 ? -d : d;
+}
+
+void ExpectNearUlps(float actual, float expected, int64_t max_ulps,
+                    const std::string& what) {
+  EXPECT_LE(UlpDiff(actual, expected), max_ulps)
+      << what << ": actual=" << actual << " expected=" << expected;
+}
+
+/// The pre-rewrite scalar Gemm, minus the IEEE-breaking zero-skip: the
+/// association (beta prepass, then kk-ascending accumulation per element)
+/// is what the blocked kernel must reproduce bit for bit.
+void ReferenceGemm(bool trans_a, bool trans_b, int64_t m, int64_t n,
+                   int64_t k, float alpha, const float* a, const float* b,
+                   float beta, float* c) {
+  if (beta == 0.0f) {
+    for (int64_t i = 0; i < m * n; ++i) c[i] = 0.0f;
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float a_ik = alpha * (trans_a ? a[kk * m + i] : a[i * k + kk]);
+      for (int64_t j = 0; j < n; ++j) {
+        c[i * n + j] += a_ik * (trans_b ? b[j * k + kk] : b[kk * n + j]);
+      }
+    }
+  }
+}
+
+/// The pre-rewrite scalar SegmentSoftmax (libm exp, serial double
+/// normalizer) — still the exact semantics of the generic-width path.
+void ReferenceSegmentSoftmax(int64_t segments, int64_t segment,
+                             const float* x, float* out) {
+  for (int64_t s = 0; s < segments; ++s) {
+    const float* in = x + s * segment;
+    float* o = out + s * segment;
+    float max_value = in[0];
+    for (int64_t i = 1; i < segment; ++i) {
+      if (in[i] > max_value) max_value = in[i];
+    }
+    double total = 0.0;
+    for (int64_t i = 0; i < segment; ++i) {
+      o[i] = std::exp(in[i] - max_value);
+      total += o[i];
+    }
+    const float inv = 1.0f / static_cast<float>(total);
+    for (int64_t i = 0; i < segment; ++i) o[i] *= inv;
+  }
+}
+
+Tensor RandomFilled(int64_t size, uint64_t seed, float scale = 2.0f) {
+  Tensor t({std::max<int64_t>(size, 1)});
+  Rng rng(seed);
+  for (int64_t i = 0; i < size; ++i) {
+    t[i] = scale * (rng.UniformFloat() - 0.5f);
+  }
+  return t;
+}
+
+TEST(KernelTest, GemmPropagatesNanAndInf) {
+  // The old kernel skipped a_ik == 0 terms, silently turning 0*inf and
+  // 0*nan into 0 contributions; IEEE says they are NaN and the product
+  // matrix must reflect that.
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a({1, 2}, {0.0f, 1.0f});
+  Tensor b({2, 2}, {inf, nan, 1.0f, 1.0f});
+  Tensor c({1, 2});
+  Gemm(false, false, 1, 2, 2, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  EXPECT_TRUE(std::isnan(c[0])) << "0*inf must contribute NaN, got " << c[0];
+  EXPECT_TRUE(std::isnan(c[1])) << "0*nan must contribute NaN, got " << c[1];
+  // Same through the transposed-B (blocked accumulator) path.
+  Tensor bt({2, 2}, {inf, 1.0f, nan, 1.0f});
+  Tensor ct({1, 2});
+  Gemm(false, true, 1, 2, 2, 1.0f, a.data(), bt.data(), 0.0f, ct.data());
+  EXPECT_TRUE(std::isnan(ct[0]));
+  EXPECT_TRUE(std::isnan(ct[1]));
+  // And rows untouched by specials stay clean.
+  Tensor a2({1, 2}, {1.0f, 1.0f});
+  Tensor b2({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  Tensor c2({1, 2});
+  Gemm(false, false, 1, 2, 2, 1.0f, a2.data(), b2.data(), 0.0f, c2.data());
+  EXPECT_FLOAT_EQ(c2[0], 4.0f);
+  EXPECT_FLOAT_EQ(c2[1], 6.0f);
+}
+
+TEST(KernelTest, GemmBitIdenticalToReferenceAtBoundarySizes) {
+  for (const int64_t n : kBoundarySizes) {
+    for (const bool trans_a : {false, true}) {
+      for (const bool trans_b : {false, true}) {
+        for (const float beta : {0.0f, 1.0f, 0.5f}) {
+          Tensor a = RandomFilled(n * n, 100 + static_cast<uint64_t>(n));
+          Tensor b = RandomFilled(n * n, 200 + static_cast<uint64_t>(n));
+          Tensor c = RandomFilled(n * n, 300 + static_cast<uint64_t>(n));
+          Tensor expected({std::max<int64_t>(n * n, 1)});
+          for (int64_t i = 0; i < n * n; ++i) expected[i] = c[i];
+          ReferenceGemm(trans_a, trans_b, n, n, n, 1.25f, a.data(), b.data(),
+                        beta, expected.data());
+          Gemm(trans_a, trans_b, n, n, n, 1.25f, a.data(), b.data(), beta,
+               c.data());
+          for (int64_t i = 0; i < n * n; ++i) {
+            ASSERT_EQ(c[i], expected[i])
+                << "n=" << n << " ta=" << trans_a << " tb=" << trans_b
+                << " beta=" << beta << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelTest, ElementwiseBitIdenticalAtBoundarySizes) {
+  for (const int64_t n : kBoundarySizes) {
+    Tensor a = RandomFilled(n, 400 + static_cast<uint64_t>(n));
+    Tensor b = RandomFilled(n, 500 + static_cast<uint64_t>(n));
+    Tensor out({std::max<int64_t>(n, 1)});
+    Add(n, a.data(), b.data(), out.data());
+    for (int64_t i = 0; i < n; ++i) ASSERT_EQ(out[i], a[i] + b[i]);
+    Sub(n, a.data(), b.data(), out.data());
+    for (int64_t i = 0; i < n; ++i) ASSERT_EQ(out[i], a[i] - b[i]);
+    Mul(n, a.data(), b.data(), out.data());
+    for (int64_t i = 0; i < n; ++i) ASSERT_EQ(out[i], a[i] * b[i]);
+    Tensor y = b.Clone();
+    Axpy(n, 0.75f, a.data(), y.data());
+    for (int64_t i = 0; i < n; ++i) ASSERT_EQ(y[i], b[i] + 0.75f * a[i]);
+    Tensor z = a.Clone();
+    ScaleInPlace(n, -1.5f, z.data());
+    for (int64_t i = 0; i < n; ++i) ASSERT_EQ(z[i], a[i] * -1.5f);
+  }
+}
+
+TEST(KernelTest, RowKernelsBitIdenticalAtBoundarySizes) {
+  const int64_t rows = 3;
+  for (const int64_t cols : kBoundarySizes) {
+    Tensor a = RandomFilled(rows * cols, 600 + static_cast<uint64_t>(cols));
+    Tensor b = RandomFilled(rows * cols, 700 + static_cast<uint64_t>(cols));
+    Tensor s = RandomFilled(rows, 800 + static_cast<uint64_t>(cols));
+    Tensor out({std::max<int64_t>(rows * cols, 1)});
+    Tensor rdots({rows});
+    RowDot(rows, cols, a.data(), b.data(), rdots.data());
+    for (int64_t r = 0; r < rows; ++r) {
+      float expected = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        expected += a[r * cols + c] * b[r * cols + c];
+      }
+      ASSERT_EQ(rdots[r], expected) << "cols=" << cols << " r=" << r;
+    }
+    RowScale(rows, cols, a.data(), s.data(), out.data());
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) {
+        ASSERT_EQ(out[r * cols + c], s[r] * a[r * cols + c]);
+      }
+    }
+    Tensor x = a.Clone();
+    Tensor v = RandomFilled(cols, 900 + static_cast<uint64_t>(cols));
+    AddRowVector(rows, cols, v.data(), x.data());
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) {
+        ASSERT_EQ(x[r * cols + c], a[r * cols + c] + v[c]);
+      }
+    }
+  }
+}
+
+TEST(KernelTest, SumAndDotStableAtBoundarySizes) {
+  for (const int64_t n : kBoundarySizes) {
+    Tensor a = RandomFilled(n, 1000 + static_cast<uint64_t>(n));
+    Tensor b = RandomFilled(n, 1100 + static_cast<uint64_t>(n));
+    // Dot's association is pinned serial left-to-right.
+    float dot = 0.0f;
+    for (int64_t i = 0; i < n; ++i) dot += a[i] * b[i];
+    ASSERT_EQ(Dot(n, a.data(), b.data()), dot) << "n=" << n;
+    // Sum's association is the pairwise cascade with base case 8.
+    struct Cascade {
+      static float Run(int64_t len, const float* x) {
+        if (len <= 8) {
+          float total = 0.0f;
+          for (int64_t i = 0; i < len; ++i) total += x[i];
+          return total;
+        }
+        const int64_t half = len / 2;
+        return Run(half, x) + Run(len - half, x + half);
+      }
+    };
+    ASSERT_EQ(Sum(n, a.data()), Cascade::Run(n, a.data())) << "n=" << n;
+  }
+}
+
+TEST(KernelTest, SegmentSoftmaxZeroWidthAndZeroCountAreNoOps) {
+  // The old kernel read in[0] before checking the width: UB on width 0.
+  SegmentSoftmax(0, 0, nullptr, nullptr);
+  SegmentSoftmax(0, 8, nullptr, nullptr);
+  Tensor x({4}, {1.0f, 2.0f, 3.0f, 4.0f});
+  Tensor out({4}, {9.0f, 9.0f, 9.0f, 9.0f});
+  SegmentSoftmax(4, 0, x.data(), out.data());
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i], 9.0f) << "zero-width call must not touch the output";
+  }
+}
+
+TEST(KernelTest, SegmentSoftmaxGenericWidthsBitIdenticalToReference) {
+  // Widths without a fused vector path (everything but 4/8/16) must keep
+  // the exact historical numerics: libm exp, serial double normalizer.
+  for (const int64_t width : {1, 2, 3, 5, 7, 9, 63, 64, 65}) {
+    const int64_t segments = 5;
+    Tensor x = RandomFilled(segments * width,
+                            1200 + static_cast<uint64_t>(width), 8.0f);
+    Tensor got({segments * width});
+    Tensor expected({segments * width});
+    SegmentSoftmax(segments, width, x.data(), got.data());
+    ReferenceSegmentSoftmax(segments, width, x.data(), expected.data());
+    for (int64_t i = 0; i < segments * width; ++i) {
+      ASSERT_EQ(got[i], expected[i]) << "width=" << width << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelTest, SegmentSoftmaxFastWidthsWithinUlpBudget) {
+  // Widths 4/8/16 run the fused fast-exp path. The documented contract
+  // (docs/kernels.md): within 256 ulps of the libm reference per weight —
+  // fast exp's ~5.4e-6 relative error (~90 ulps) plus normalizer rounding —
+  // and each segment still sums to 1.
+  for (const int64_t width : {4, 8, 16}) {
+    const int64_t segments = 64;  // exercises the interleave and its tail
+    Tensor x = RandomFilled(segments * width,
+                            1300 + static_cast<uint64_t>(width), 8.0f);
+    Tensor got({segments * width});
+    Tensor expected({segments * width});
+    SegmentSoftmax(segments, width, x.data(), got.data());
+    ReferenceSegmentSoftmax(segments, width, x.data(), expected.data());
+    for (int64_t i = 0; i < segments * width; ++i) {
+      ExpectNearUlps(got[i], expected[i], 256,
+                     "width=" + std::to_string(width) +
+                         " i=" + std::to_string(i));
+    }
+    for (int64_t s = 0; s < segments; ++s) {
+      float total = 0.0f;
+      for (int64_t i = 0; i < width; ++i) total += got[s * width + i];
+      EXPECT_NEAR(total, 1.0f, 1e-5f) << "width=" << width << " s=" << s;
+    }
+  }
+}
+
+TEST(KernelTest, SegmentSoftmaxFastPathHandlesSpecialValues) {
+  // NaN in a segment poisons that segment (as the old kernel's normalizer
+  // did) and leaves its neighbors alone; a large negative outlier gets a
+  // tiny-but-harmless weight (fast exp clamps instead of flushing to 0).
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor x({16}, {nan, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f,
+                  0.0f, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f});
+  Tensor out({16});
+  SegmentSoftmax(2, 8, x.data(), out.data());
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(std::isnan(out[i])) << "i=" << i;
+  }
+  float total = 0.0f;
+  for (int64_t i = 8; i < 16; ++i) {
+    EXPECT_FALSE(std::isnan(out[i])) << "i=" << i;
+    total += out[i];
+  }
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+}
+
+TEST(KernelTest, FastExpAccuracy) {
+  // The vector fast exp and its scalar twin against libm over the clamp
+  // range, plus the special values the kernels rely on.
+  int64_t worst_ulps = 0;
+  for (float x = -87.0f; x <= 20.0f; x += 0.0173f) {
+    const float got = FastExp(x);
+    const float want = std::exp(x);
+    const double rel =
+        std::abs(static_cast<double>(got) - want) / std::max(want, 1e-38f);
+    EXPECT_LT(rel, 1e-5) << "x=" << x;
+    V4f v = {x, x, x, x};
+    const V4f gv = FastExpV4f(v);
+    EXPECT_EQ(gv[0], got) << "vector/scalar twin mismatch at x=" << x;
+    worst_ulps = std::max(worst_ulps, UlpDiff(got, want));
+  }
+  EXPECT_LE(worst_ulps, 128);
+  EXPECT_TRUE(std::isnan(FastExp(std::numeric_limits<float>::quiet_NaN())));
+  // -inf clamps to exp(-87.34) ~= 1.2e-38: tiny, positive, finite.
+  const float tiny = FastExp(-std::numeric_limits<float>::infinity());
+  EXPECT_GT(tiny, 0.0f);
+  EXPECT_LT(tiny, 1e-37f);
+  // +inf clamps to exp(88.38): huge but still finite.
+  const float huge = FastExp(std::numeric_limits<float>::infinity());
+  EXPECT_FALSE(std::isinf(huge));
+  EXPECT_GT(huge, 1e38f);
 }
 
 // --- initializers ---
