@@ -1,0 +1,97 @@
+// Frontend reload-under-load: the async Submit -> micro-batch -> Router
+// path driven with the serving engine's zipf request stream while a second
+// snapshot is published mid-stream — as a full `.snap` rewrite and as a
+// `.delta` touching only the cold half of the user space. A thin CLI over
+// the exp::RunCase "serve_frontend" scenario; results publish as the
+// unified BENCH_serve_frontend.json artifact.
+//
+//   ./build/bench/bench_serve_frontend
+//   ./build/bench/bench_serve_frontend --scale 4 --queries 100000 --overwrite
+//
+// The headline comparison is the cache hit rate of the "delta" row against
+// the "full" row: row-level invalidation keeps the hot users' cached lists
+// across the reload, whole-snapshot installs do not. `all_served` is the
+// dropped-request invariant — every submission must come back served,
+// shed, or expired.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/runner.h"
+#include "exp/spec.h"
+
+namespace cgkgr {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  flags.DefineString("model", "BPRMF", "registry model to freeze");
+  flags.DefineString("dataset", "music", "dataset preset to freeze");
+  flags.DefineInt64("epochs", 2, "training epochs before the freeze");
+  flags.DefineInt64("seed", 17, "base random seed");
+  flags.DefineDouble("scale", 2.0, "dataset scale factor");
+  flags.DefineInt64("queries", 50000, "queries per configuration");
+  flags.DefineInt64("batch", 64, "max requests per dispatched micro-batch");
+  flags.DefineInt64("k", 20, "items returned per query");
+  flags.DefineInt64("queue_cap", 1024, "admission queue bound");
+  flags.DefineInt64("deadline_us", 0,
+                    "per-request deadline in micros (0 = none)");
+  flags.DefineString("threads", "1,2", "engine lane counts to sweep");
+  flags.DefineString("reloads", "none,full,delta",
+                     "mid-stream reload modes to sweep");
+  AddArtifactFlags(&flags);
+  ParseFlagsOrDie(&flags, argc, argv);
+
+  exp::CaseSpec spec;
+  spec.scenario = "serve_frontend";
+  spec.model = flags.GetString("model");
+  spec.dataset = flags.GetString("dataset");
+  spec.scale = flags.GetDouble("scale");
+  spec.epochs = flags.GetInt64("epochs");
+  spec.queries = flags.GetInt64("queries");
+  spec.batch = flags.GetInt64("batch");
+  spec.k = flags.GetInt64("k");
+  spec.queue_cap = flags.GetInt64("queue_cap");
+  spec.deadline_us = flags.GetInt64("deadline_us");
+  spec.threads =
+      ParsePositiveInt64ListOrDie(flags.GetString("threads"), "threads");
+  spec.reloads = Split(flags.GetString("reloads"), ',');
+
+  std::vector<exp::CaseResult> rows;
+  const Status st =
+      exp::RunCase(spec, static_cast<uint64_t>(flags.GetInt64("seed")),
+                   exp::RunnerOptions{}, &rows);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"Reload", "Threads", "Queries/s", "Hit rate", "Shed",
+                      "Expired", "p99", "All served"});
+  for (const exp::CaseResult& row : rows) {
+    table.AddRow(
+        {row.params.GetString("reload", "?"),
+         StrFormat("%lld", (long long)row.params.GetInt("threads", 0)),
+         StrFormat("%.0f", row.metrics.GetDouble("qps", 0.0)),
+         StrFormat("%.1f%%",
+                   100.0 * row.metrics.GetDouble("cache_hit_rate", 0.0)),
+         StrFormat("%.2f%%",
+                   100.0 * row.metrics.GetDouble("shed_frac", 0.0)),
+         StrFormat("%.2f%%",
+                   100.0 * row.metrics.GetDouble("expired_frac", 0.0)),
+         StrFormat("%.0f us", row.metrics.GetDouble("latency_p99_us", 0.0)),
+         row.metrics.GetInt("all_served", 0) == 1 ? "yes" : "NO"});
+  }
+  table.Print();
+
+  return EmitBenchArtifact(flags, "serve_frontend", rows);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace cgkgr
+
+int main(int argc, char** argv) { return cgkgr::bench::Main(argc, argv); }

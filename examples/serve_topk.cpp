@@ -1,6 +1,8 @@
-// Serving demo: train a model on a small preset, freeze it into an
-// embedding snapshot on disk, then answer Top-K queries from the snapshot
-// at interactive latency — model code never runs on the request path.
+// Serving-plane demo: train a model on a small preset, freeze it into a
+// score snapshot on disk, then stand up the full online stack — a Router
+// hosting the snapshot as a tenant, an async Frontend micro-batching
+// admissions in front of it — and hot-publish a *delta* snapshot while
+// traffic flows. Model code never runs on the request path.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -18,9 +20,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <memory>
 #include <string>
 #include <system_error>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -30,7 +34,11 @@
 #include "models/registry.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/delta.h"
 #include "serve/engine.h"
+#include "serve/frontend.h"
+#include "serve/request.h"
+#include "serve/router.h"
 #include "serve/snapshot.h"
 
 int main(int argc, char** argv) {
@@ -95,7 +103,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 3. A serving process would start here: load the snapshot, no model.
+  // 3. A serving process would start here: load the snapshot (no model
+  // code), host it behind a Router tenant, and put the async Frontend's
+  // admission queue in front.
   Result<serve::Snapshot> loaded = serve::LoadSnapshot(path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "load failed: %s\n", loaded.status().ToString().c_str());
@@ -103,25 +113,48 @@ int main(int argc, char** argv) {
   }
   serve::EngineOptions options;
   options.num_threads = flags.GetInt64("threads");
-  serve::Engine engine(
-      std::make_shared<const serve::Snapshot>(std::move(loaded).value()),
-      options);
+  serve::Router router;
+  st = router.AddTenant("main",
+                        std::make_shared<const serve::Snapshot>(
+                            std::move(loaded).value()),
+                        options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "tenant failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  serve::FrontendOptions admission;
+  admission.max_batch = 64;
+  admission.max_queue = 4096;
+  Result<std::unique_ptr<serve::Frontend>> frontend =
+      serve::Frontend::Create(&router, admission);
+  if (!frontend.ok()) {
+    std::fprintf(stderr, "frontend failed: %s\n",
+                 frontend.status().ToString().c_str());
+    return 1;
+  }
 
-  // 4. Show a few recommendation lists.
+  // 4. Show a few recommendation lists through the unified Request API.
   for (int64_t user = 0; user < std::min<int64_t>(3, dataset.num_users);
        ++user) {
+    serve::Request request;
+    request.user = user;
+    request.k = 5;
+    const serve::Response response = router.Handle(request);
     std::printf("user %lld top-5:", (long long)user);
-    for (const serve::ScoredItem& rec : engine.TopK(user, 5)) {
+    for (const serve::ScoredItem& rec : response.items) {
       std::printf("  item %lld (%.3f)", (long long)rec.item, rec.score);
     }
     std::printf("\n");
   }
 
-  // 5. Serve a batched demo workload; repeats make the LRU cache earn hits.
+  // 5. Serve a demo workload through the Frontend: producers Submit() and
+  // block on futures while dispatchers coalesce the queue into
+  // micro-batches. Repeats make the LRU cache earn hits.
   const int64_t num_queries = flags.GetInt64("queries");
-  std::vector<serve::TopKRequest> requests;
-  requests.reserve(static_cast<size_t>(num_queries));
   Rng rng(static_cast<uint64_t>(flags.GetInt64("seed")) ^ 0xC0FFEE);
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(static_cast<size_t>(num_queries));
+  timer.Restart();
   for (int64_t q = 0; q < num_queries; ++q) {
     // Zipf-ish skew: half the traffic hits a small head of hot users.
     const int64_t user =
@@ -131,13 +164,18 @@ int main(int argc, char** argv) {
                       1, dataset.num_users / 16))))
             : static_cast<int64_t>(rng.UniformInt(
                   static_cast<uint64_t>(dataset.num_users)));
-    requests.push_back({user, 20});
+    serve::Request request;
+    request.user = user;
+    request.k = 20;
+    futures.push_back(frontend.value()->Submit(std::move(request)));
   }
-  timer.Restart();
-  const auto results = engine.TopKBatch(requests);
+  int64_t served = 0;
+  for (std::future<serve::Response>& future : futures) {
+    if (future.get().ok()) ++served;
+  }
   const double seconds = timer.ElapsedSeconds();
-  std::printf("served %lld queries in %.3f s (%.0f queries/s, %lld lanes)\n",
-              (long long)num_queries, seconds,
+  std::printf("served %lld/%lld queries in %.3f s (%.0f queries/s, %lld lanes)\n",
+              (long long)served, (long long)num_queries, seconds,
               static_cast<double>(num_queries) / seconds,
               (long long)options.num_threads);
 
@@ -145,23 +183,49 @@ int main(int argc, char** argv) {
   // directory (atomic rename, so a reader never sees a torn file) and the
   // engine picks up the newest valid one. A half-written file is skipped
   // with a logged warning — corruption never takes the engine down.
+  serve::Engine* engine = router.GetEngine("main");
   const std::string watch_dir = path + ".d";
   std::error_code ec;
   std::filesystem::create_directories(watch_dir, ec);
   st = serve::SaveSnapshot(snapshot, watch_dir + "/snap-000001.snap");
   if (st.ok()) {
     { std::ofstream torn(watch_dir + "/snap-000002.snap"); torn << "CGKG"; }
-    st = engine.ReloadFromDir(watch_dir);
+    st = engine->ReloadFromDir(watch_dir);
     std::printf("hot-reload from %s: %s (reloads=%lld)\n", watch_dir.c_str(),
                 st.ok() ? "picked newest valid snapshot"
                         : st.ToString().c_str(),
-                (long long)engine.stats().snapshot_reloads);
+                (long long)engine->stats().snapshot_reloads);
   }
 
-  // 7. Serving counters.
-  std::printf("%s", engine.stats().ToTable().c_str());
+  // 7. Delta publish: an online updater that only moved some users ships
+  // the changed rows as a `.delta` — a fraction of the full snapshot's
+  // bytes — and only those users' cached lists are invalidated on apply.
+  serve::Snapshot updated = snapshot;
+  for (int64_t user = 0; user < updated.num_users; user += 7) {
+    for (int64_t item = 0; item < updated.num_items; ++item) {
+      updated.scores[static_cast<size_t>(user * updated.num_items + item)] +=
+          0.01f;
+    }
+  }
+  Result<serve::SnapshotDelta> delta = serve::BuildDelta(snapshot, updated);
+  if (delta.ok()) {
+    st = serve::SaveDelta(delta.value(), watch_dir + "/snap-000003.delta");
+    if (st.ok()) st = engine->ReloadFromDir(watch_dir);
+    std::printf("delta publish (%zu/%lld users changed): %s "
+                "(delta reloads=%lld, generation=%llu)\n",
+                delta.value().rows.size(), (long long)updated.num_users,
+                st.ok() ? "applied with row-level cache invalidation"
+                        : st.ToString().c_str(),
+                (long long)engine->stats().snapshot_delta_reloads,
+                (unsigned long long)engine->generation());
+  }
 
-  // 8. Whole-process telemetry: every instrument (trainer, serve engine,
+  // 8. Serving counters: per-engine scoring/cache stats and the
+  // frontend's admission stats.
+  std::printf("%s", engine->stats().ToTable().c_str());
+  std::printf("%s", frontend.value()->stats().ToTable().c_str());
+
+  // 9. Whole-process telemetry: every instrument (trainer, serve engine,
   // LRU cache, thread pool) that accumulated during the run.
   if (flags.GetBool("metrics")) {
     std::printf("\n== metrics registry ==\n%s",
@@ -171,5 +235,5 @@ int main(int argc, char** argv) {
     std::printf("trace spans will be written to %s at exit\n",
                 obs::TraceCollector::Default().output_path().c_str());
   }
-  return results.empty() ? 1 : 0;
+  return served > 0 ? 0 : 1;
 }

@@ -261,6 +261,16 @@ const std::vector<IwyuSymbol>& IwyuTable() {
       {"ReadArtifact", false, "exp/artifact.h"},
       {"CompareArtifacts", false, "exp/compare.h"},
       {"RunSpec", false, "exp/runner.h"},
+      {"ListFilesWithSuffixes", false, "ckpt/io.h"},
+      {"SnapshotDelta", false, "serve/delta.h"},
+      {"BuildDelta", false, "serve/delta.h"},
+      {"ApplyDelta", false, "serve/delta.h"},
+      {"SnapshotFingerprint", false, "serve/delta.h"},
+      {"ResponseStatusName", false, "serve/request.h"},
+      {"Router", false, "serve/router.h"},
+      {"Frontend", false, "serve/frontend.h"},
+      {"EngineStats", false, "serve/stats.h"},
+      {"FrontendStats", false, "serve/stats.h"},
   };
   return kTable;
 }

@@ -511,8 +511,8 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return contents;
 }
 
-Result<std::vector<std::string>> ListFilesWithSuffix(
-    const std::string& dir, const std::string& suffix) {
+Result<std::vector<std::string>> ListFilesWithSuffixes(
+    const std::string& dir, const std::vector<std::string>& suffixes) {
   DIR* handle = ::opendir(dir.c_str());
   if (handle == nullptr) {
     return Status::NotFound("cannot open directory " + dir + ": " +
@@ -522,16 +522,23 @@ Result<std::vector<std::string>> ListFilesWithSuffix(
   for (struct dirent* entry = ::readdir(handle); entry != nullptr;
        entry = ::readdir(handle)) {
     const std::string name = entry->d_name;
-    if (name.size() < suffix.size() ||
-        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
-            0) {
-      continue;
+    for (const std::string& suffix : suffixes) {
+      if (name.size() >= suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        names.push_back(name);
+        break;
+      }
     }
-    names.push_back(name);
   }
   ::closedir(handle);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+Result<std::vector<std::string>> ListFilesWithSuffix(
+    const std::string& dir, const std::string& suffix) {
+  return ListFilesWithSuffixes(dir, {suffix});
 }
 
 }  // namespace ckpt

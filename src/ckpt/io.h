@@ -138,6 +138,12 @@ Result<std::string> ReadFileToString(const std::string& path);
 Result<std::vector<std::string>> ListFilesWithSuffix(const std::string& dir,
                                                      const std::string& suffix);
 
+/// ListFilesWithSuffix over several suffixes at once, merged into one
+/// ascending name order (how the serve engine interleaves `.snap` and
+/// `.delta` publications into a single reload timeline).
+Result<std::vector<std::string>> ListFilesWithSuffixes(
+    const std::string& dir, const std::vector<std::string>& suffixes);
+
 }  // namespace ckpt
 }  // namespace cgkgr
 

@@ -56,7 +56,9 @@ const char* VerdictName(Verdict verdict) {
 }  // namespace
 
 MetricDirection ClassifyMetric(const std::string& name) {
-  if (name == "bit_identical") return MetricDirection::kExact;
+  if (name == "bit_identical" || name == "all_served") {
+    return MetricDirection::kExact;
+  }
   if (name == "qps" || EndsWith(name, "_per_sec") ||
       EndsWith(name, "_mbps") || EndsWith(name, "_rate")) {
     return MetricDirection::kHigherIsBetter;

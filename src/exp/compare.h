@@ -22,7 +22,7 @@ namespace exp {
 enum class MetricDirection {
   kHigherIsBetter,  // qps, samples_per_sec, *_per_sec, *_mbps, *_rate
   kLowerIsBetter,   // *_us, *_micros, *_ms, *_seconds, *_bytes
-  kExact,           // bit_identical and other invariants: any drop fails
+  kExact,           // bit_identical / all_served invariants: any drop fails
   kInformational,   // everything else: reported, never gated
 };
 

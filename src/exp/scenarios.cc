@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <string>
 #include <utility>
@@ -34,7 +35,11 @@
 #include "nn/adam.h"
 #include "obs/json.h"
 #include "obs/process_stats.h"
+#include "serve/delta.h"
 #include "serve/engine.h"
+#include "serve/frontend.h"
+#include "serve/request.h"
+#include "serve/router.h"
 #include "serve/snapshot.h"
 #include "serve/stats.h"
 #include "tensor/init.h"
@@ -180,18 +185,20 @@ Status RunServeCase(const CaseSpec& spec, uint64_t seed,
     auto snapshot = std::make_shared<const serve::Snapshot>(
         serve::BuildSnapshot(model.get(), dataset));
 
-    std::vector<serve::TopKRequest> requests;
+    std::vector<serve::Request> requests;
     requests.reserve(static_cast<size_t>(spec.queries));
     Rng rng(trial_seed ^ 0x5E2F);
     const uint64_t hot_users = static_cast<uint64_t>(
         std::max<int64_t>(1, snapshot->num_users / 16));
     for (int64_t q = 0; q < spec.queries; ++q) {
-      const int64_t user =
+      serve::Request request;
+      request.user =
           rng.Bernoulli(0.5)
               ? static_cast<int64_t>(rng.UniformInt(hot_users))
               : static_cast<int64_t>(rng.UniformInt(
                     static_cast<uint64_t>(snapshot->num_users)));
-      requests.push_back({user, spec.k});
+      request.k = spec.k;
+      requests.push_back(std::move(request));
     }
 
     for (const bool cache : spec.cache) {
@@ -199,25 +206,27 @@ Status RunServeCase(const CaseSpec& spec, uint64_t seed,
         serve::EngineOptions engine_options;
         engine_options.num_threads = threads;
         engine_options.cache_capacity = cache ? 4096 : 0;
-        serve::Engine engine(snapshot, engine_options);
+        Result<std::unique_ptr<serve::Engine>> engine =
+            serve::Engine::Create(snapshot, engine_options);
+        CGKGR_RETURN_NOT_OK(engine.status());
 
         // Untimed warmup over one batch to touch the snapshot pages.
         const size_t warm = std::min(requests.size(),
                                      static_cast<size_t>(spec.batch));
-        engine.TopKBatch(std::vector<serve::TopKRequest>(
+        engine.value()->HandleBatch(std::vector<serve::Request>(
             requests.begin(), requests.begin() + warm));
-        engine.ResetStats();
+        engine.value()->ResetStats();
 
         RowProbe probe;
         for (size_t begin = 0; begin < requests.size();
              begin += static_cast<size_t>(spec.batch)) {
           const size_t end = std::min(
               requests.size(), begin + static_cast<size_t>(spec.batch));
-          engine.TopKBatch(std::vector<serve::TopKRequest>(
+          engine.value()->HandleBatch(std::vector<serve::Request>(
               requests.begin() + begin, requests.begin() + end));
         }
         const double seconds = probe.ElapsedSeconds();
-        const serve::EngineStats stats = engine.stats();
+        const serve::EngineStats stats = engine.value()->stats();
 
         CaseResult row;
         row.label = StrFormat("serve/%s/%s/t%lld", spec.dataset.c_str(),
@@ -249,6 +258,200 @@ Status RunServeCase(const CaseSpec& spec, uint64_t seed,
         if (options.verbose) {
           CGKGR_LOG(Info) << "exp.serve " << row.label
                           << Kv("qps", row.metrics.GetDouble("qps", 0.0));
+        }
+        rows->push_back(std::move(row));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// serve_frontend: trains once per trial, publishes the frozen snapshot as
+/// snap-000001.snap, then drives the async Frontend -> Router -> Engine
+/// stack with the serve scenario's zipf stream in closed-loop waves. For
+/// the "full" and "delta" reload modes a second artifact touching only the
+/// upper half of the user space is published and hot-reloaded while a wave
+/// is in flight, so each row captures shed/expired accounting plus the
+/// cache-survival difference between whole-cache and row-level
+/// invalidation (the zipf-hot users are the low ids the delta spares).
+Status RunServeFrontendCase(const CaseSpec& spec, uint64_t seed,
+                            const RunnerOptions& options,
+                            std::vector<CaseResult>* rows) {
+  CGKGR_RETURN_NOT_OK(EnsureDirectory(options.scratch_dir));
+  const data::Preset preset = data::GetPreset(spec.dataset, spec.scale);
+  for (int64_t trial = 0; trial < spec.trials; ++trial) {
+    const uint64_t trial_seed = TrialSeed(seed, trial);
+    const data::Dataset dataset =
+        data::GenerateSyntheticDataset(preset.data, trial_seed);
+    std::unique_ptr<models::RecommenderModel> model =
+        models::CreateModel(spec.model, preset.hparams);
+    CGKGR_RETURN_NOT_OK(model->Fit(
+        dataset, MakeTrainOptions(spec, preset, trial_seed, /*threads=*/1)));
+    auto base = std::make_shared<const serve::Snapshot>(
+        serve::BuildSnapshot(model.get(), dataset));
+
+    // The retrained artifact published mid-stream: only the upper half of
+    // the user space moves, so the hot users keep their rows — and, under
+    // delta reload, their cached lists — across the reload.
+    serve::Snapshot target = *base;
+    for (int64_t user = base->num_users / 2; user < base->num_users;
+         ++user) {
+      float* row = target.scores.data() + user * target.num_items;
+      for (int64_t item = 0; item < target.num_items; ++item) {
+        row[item] += 1.0f;
+      }
+    }
+
+    std::vector<serve::Request> requests;  // the serve scenario's stream
+    requests.reserve(static_cast<size_t>(spec.queries));
+    Rng rng(trial_seed ^ 0xF307);
+    const uint64_t hot_users = static_cast<uint64_t>(
+        std::max<int64_t>(1, base->num_users / 16));
+    for (int64_t q = 0; q < spec.queries; ++q) {
+      serve::Request request;
+      request.user =
+          rng.Bernoulli(0.5)
+              ? static_cast<int64_t>(rng.UniformInt(hot_users))
+              : static_cast<int64_t>(rng.UniformInt(
+                    static_cast<uint64_t>(base->num_users)));
+      request.k = spec.k;
+      requests.push_back(std::move(request));
+    }
+
+    for (const std::string& reload : spec.reloads) {
+      for (const int64_t threads : spec.threads) {
+        const std::string dir =
+            options.scratch_dir +
+            StrFormat("/cgkgr_exp_frontend_p%lld_r%lld_%s_t%lld",
+                      static_cast<long long>(::getpid()),
+                      static_cast<long long>(trial), reload.c_str(),
+                      static_cast<long long>(threads));
+        CGKGR_RETURN_NOT_OK(EnsureDirectory(dir));
+        CGKGR_RETURN_NOT_OK(
+            serve::SaveSnapshot(*base, dir + "/snap-000001.snap"));
+
+        serve::EngineOptions engine_options;
+        engine_options.num_threads = threads;
+        engine_options.cache_capacity = 4096;
+        serve::Router router;
+        CGKGR_RETURN_NOT_OK(router.AddTenant("main", base, engine_options));
+        serve::Engine* engine = router.GetEngine("main");
+        // Anchor the engine on snap-000001 so the mid-stream publication
+        // below is picked up incrementally.
+        CGKGR_RETURN_NOT_OK(engine->ReloadFromDir(dir));
+        engine->ResetStats();
+        const uint64_t generation_before = engine->generation();
+
+        serve::FrontendOptions frontend_options;
+        frontend_options.max_batch = spec.batch;
+        frontend_options.max_queue = spec.queue_cap;
+        frontend_options.default_deadline_micros = spec.deadline_us;
+        Result<std::unique_ptr<serve::Frontend>> frontend =
+            serve::Frontend::Create(&router, frontend_options);
+        CGKGR_RETURN_NOT_OK(frontend.status());
+
+        const size_t wave_size =
+            static_cast<size_t>(std::min<int64_t>(spec.queue_cap, 256));
+        int64_t served_ok = 0;
+        int64_t mis_served = 0;  // any status besides ok/shed/expired
+        bool reloaded = false;
+
+        RowProbe probe;
+        for (size_t begin = 0; begin < requests.size();
+             begin += wave_size) {
+          const size_t end = std::min(requests.size(), begin + wave_size);
+          std::vector<std::future<serve::Response>> wave;
+          wave.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            wave.push_back(frontend.value()->Submit(requests[i]));
+          }
+          if (!reloaded && reload != "none" && end * 2 >= requests.size()) {
+            // Publish while the wave is in flight: the reload races live
+            // traffic exactly as it would in production.
+            if (reload == "full") {
+              CGKGR_RETURN_NOT_OK(
+                  serve::SaveSnapshot(target, dir + "/snap-000002.snap"));
+            } else {
+              Result<serve::SnapshotDelta> delta =
+                  serve::BuildDelta(*base, target);
+              CGKGR_RETURN_NOT_OK(delta.status());
+              CGKGR_RETURN_NOT_OK(serve::SaveDelta(
+                  delta.value(), dir + "/snap-000002.delta"));
+            }
+            CGKGR_RETURN_NOT_OK(engine->ReloadFromDir(dir));
+            reloaded = true;
+          }
+          for (std::future<serve::Response>& pending : wave) {
+            const serve::Response response = pending.get();
+            switch (response.status) {
+              case serve::ResponseStatus::kOk:
+                ++served_ok;
+                break;
+              case serve::ResponseStatus::kShedQueueFull:
+              case serve::ResponseStatus::kDeadlineExpired:
+                break;  // reported load shedding, not a drop
+              default:
+                ++mis_served;
+                break;
+            }
+          }
+        }
+        const double seconds = probe.ElapsedSeconds();
+        const serve::EngineStats engine_stats = engine->stats();
+        const serve::FrontendStats frontend_stats =
+            frontend.value()->stats();
+        // The invariant the comparator gates on: every submission got a
+        // real answer (served, shed, or expired — never lost or errored)
+        // and the mid-stream publication actually installed.
+        const bool all_served =
+            mis_served == 0 &&
+            frontend_stats.submitted ==
+                static_cast<int64_t>(requests.size()) &&
+            (!reloaded || engine->generation() > generation_before);
+
+        CaseResult row;
+        row.label = StrFormat("serve_frontend/%s/%s/t%lld",
+                              spec.dataset.c_str(), reload.c_str(),
+                              static_cast<long long>(threads)) +
+                    TrialSuffix(spec, trial);
+        row.scenario = "serve_frontend";
+        row.params.Set("model", obs::Json::Str(spec.model));
+        row.params.Set("dataset", obs::Json::Str(spec.dataset));
+        row.params.Set("scale", obs::Json::Double(spec.scale));
+        row.params.Set("threads", obs::Json::Int(threads));
+        row.params.Set("reload", obs::Json::Str(reload));
+        row.params.Set("queries", obs::Json::Int(spec.queries));
+        row.params.Set("batch", obs::Json::Int(spec.batch));
+        row.params.Set("k", obs::Json::Int(spec.k));
+        row.params.Set("queue_cap", obs::Json::Int(spec.queue_cap));
+        row.params.Set("deadline_us", obs::Json::Int(spec.deadline_us));
+        row.params.Set("trial", obs::Json::Int(trial));
+        row.metrics.Set(
+            "qps", obs::Json::Double(static_cast<double>(requests.size()) /
+                                     std::max(1e-12, seconds)));
+        row.metrics.Set("latency_p50_us",
+                        obs::Json::Double(engine_stats.p50_micros));
+        row.metrics.Set("latency_p95_us",
+                        obs::Json::Double(engine_stats.p95_micros));
+        row.metrics.Set("latency_p99_us",
+                        obs::Json::Double(engine_stats.p99_micros));
+        row.metrics.Set("cache_hit_rate",
+                        obs::Json::Double(engine_stats.CacheHitRate()));
+        row.metrics.Set("shed_frac",
+                        obs::Json::Double(frontend_stats.ShedFraction()));
+        row.metrics.Set(
+            "expired_frac",
+            obs::Json::Double(frontend_stats.ExpiredFraction()));
+        row.metrics.Set("queue_peak",
+                        obs::Json::Int(frontend_stats.queue_peak));
+        row.metrics.Set("served_ok", obs::Json::Int(served_ok));
+        row.metrics.Set("all_served",
+                        obs::Json::Int(all_served ? 1 : 0));
+        probe.Finish(&row.metrics);
+        if (options.verbose) {
+          CGKGR_LOG(Info) << "exp.serve_frontend " << row.label
+                          << Kv("qps", row.metrics.GetDouble("qps", 0.0))
+                          << Kv("all_served", all_served);
         }
         rows->push_back(std::move(row));
       }
@@ -586,11 +789,16 @@ KernelRun KernelServeTopK(int64_t iters, uint64_t seed) {
   options.cache_capacity = 0;  // measure compute, not the cache
   serve::Engine engine(
       std::make_shared<const serve::Snapshot>(std::move(snapshot)), options);
+  serve::Request request;
+  request.user = 0;
+  request.k = 50;
   KernelRun run;
   run.items_per_iter = num_items;
   for (int64_t it = -1; it < iters; ++it) {
-    const std::vector<serve::ScoredItem> top = engine.TopK(0, 50);
-    if (it >= 0) run.checksum += static_cast<double>(top.front().score);
+    const serve::Response response = engine.Handle(request);
+    if (it >= 0) {
+      run.checksum += static_cast<double>(response.items.front().score);
+    }
   }
   return run;
 }
@@ -678,6 +886,9 @@ Status RunCase(const CaseSpec& spec, uint64_t seed,
   }
   if (spec.scenario == "serve") {
     return RunServeCase(spec, seed, options, rows);
+  }
+  if (spec.scenario == "serve_frontend") {
+    return RunServeFrontendCase(spec, seed, options, rows);
   }
   if (spec.scenario == "ckpt") {
     return RunCkptCase(spec, seed, options, rows);

@@ -113,7 +113,8 @@ Status ParseCase(const obs::Json& json, size_t index, CaseSpec* out) {
       out->scale = value.AsDouble();
     } else if (key == "trials" || key == "epochs" || key == "queries" ||
                key == "batch" || key == "k" || key == "reps" ||
-               key == "iters") {
+               key == "iters" || key == "deadline_us" ||
+               key == "queue_cap") {
       if (!value.is_int()) {
         return CaseError(index, "\"" + key + "\" must be an integer");
       }
@@ -125,6 +126,8 @@ Status ParseCase(const obs::Json& json, size_t index, CaseSpec* out) {
       if (key == "k") out->k = v;
       if (key == "reps") out->reps = v;
       if (key == "iters") out->iters = v;
+      if (key == "deadline_us") out->deadline_us = v;
+      if (key == "queue_cap") out->queue_cap = v;
     } else if (key == "threads") {
       CGKGR_RETURN_NOT_OK(ReadIntList(value, key, &out->threads));
     } else if (key == "dims") {
@@ -133,6 +136,8 @@ Status ParseCase(const obs::Json& json, size_t index, CaseSpec* out) {
       CGKGR_RETURN_NOT_OK(ReadBoolList(value, key, &out->cache));
     } else if (key == "kernels") {
       CGKGR_RETURN_NOT_OK(ReadStringList(value, key, &out->kernels));
+    } else if (key == "reloads") {
+      CGKGR_RETURN_NOT_OK(ReadStringList(value, key, &out->reloads));
     } else {
       return CaseError(index, "unknown key \"" + key + "\"");
     }
@@ -143,8 +148,9 @@ Status ParseCase(const obs::Json& json, size_t index, CaseSpec* out) {
                                 "\" (want one of: " +
                                 Join(ScenarioNames(), ", ") + ")");
   }
-  const bool needs_model =
-      out->scenario == "train" || out->scenario == "serve";
+  const bool needs_model = out->scenario == "train" ||
+                           out->scenario == "serve" ||
+                           out->scenario == "serve_frontend";
   const bool needs_dataset = out->scenario != "micro_ops";
   if (needs_model && !Contains(models::AllModelNames(), out->model)) {
     return CaseError(index, "unknown model \"" + out->model +
@@ -166,6 +172,21 @@ Status ParseCase(const obs::Json& json, size_t index, CaseSpec* out) {
   if (out->k < 1) return CaseError(index, "\"k\" must be >= 1");
   if (out->reps < 1) return CaseError(index, "\"reps\" must be >= 1");
   if (out->iters < 1) return CaseError(index, "\"iters\" must be >= 1");
+  if (out->deadline_us < 0) {
+    return CaseError(index, "\"deadline_us\" must be >= 0");
+  }
+  if (out->queue_cap < 1) {
+    return CaseError(index, "\"queue_cap\" must be >= 1");
+  }
+  if (out->reloads.empty()) {
+    return CaseError(index, "\"reloads\" must not be empty");
+  }
+  for (const std::string& reload : out->reloads) {
+    if (reload != "none" && reload != "full" && reload != "delta") {
+      return CaseError(index, "unknown reload mode \"" + reload +
+                                  "\" (want none, full, or delta)");
+    }
+  }
   for (const int64_t t : out->threads) {
     if (t < 1) return CaseError(index, "\"threads\" entries must be >= 1");
   }
@@ -198,7 +219,7 @@ bool ValidSpecName(const std::string& name) {
 }  // namespace
 
 std::vector<std::string> ScenarioNames() {
-  return {"train", "serve", "ckpt", "micro_ops"};
+  return {"train", "serve", "serve_frontend", "ckpt", "micro_ops"};
 }
 
 Result<ExperimentSpec> ParseSpec(const obs::Json& json) {

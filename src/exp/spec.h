@@ -19,10 +19,12 @@ namespace exp {
 /// See docs/benchmarking.md for the format reference.
 
 /// The benchmark scenarios the runner knows how to execute.
-///   train     — ParallelTrainer thread sweep: samples/sec + bit-identity.
-///   serve     — serve::Engine qps/latency sweep over a frozen snapshot.
-///   ckpt      — checkpoint publish / open / load latency vs model size.
-///   micro_ops — kernel microbenchmarks of the tensor/autograd substrate.
+///   train          — ParallelTrainer thread sweep: samples/sec + bit-identity.
+///   serve          — serve::Engine qps/latency sweep over a frozen snapshot.
+///   serve_frontend — Frontend/Router reload-under-load: full vs delta
+///                    snapshot publication with shed/expired accounting.
+///   ckpt           — checkpoint publish / open / load latency vs model size.
+///   micro_ops      — kernel microbenchmarks of the tensor/autograd substrate.
 std::vector<std::string> ScenarioNames();
 
 /// One experiment case. Fields irrelevant to a case's scenario keep their
@@ -52,6 +54,15 @@ struct CaseSpec {
   /// Cache configurations swept (off/on); each produces one row per
   /// thread count.
   std::vector<bool> cache = {false};
+
+  // Serve-frontend-scenario knobs (batch/queries/k above also apply).
+  /// Per-request deadline in micros; 0 disables deadline shedding.
+  int64_t deadline_us = 0;
+  /// Admission-queue bound (FrontendOptions::max_queue).
+  int64_t queue_cap = 1024;
+  /// Mid-stream reload modes swept ("none", "full", "delta"); each
+  /// produces one row per thread count.
+  std::vector<std::string> reloads = {"none"};
 
   // Ckpt-scenario knobs.
   std::vector<int64_t> dims = {8};

@@ -1,0 +1,219 @@
+#include "serve/delta.h"
+
+#include <cstring>
+#include <utility>
+
+#include "ckpt/io.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace cgkgr {
+namespace serve {
+
+namespace {
+
+/// Section name of the delta record stream inside the ckpt frame.
+const char kDeltaSection[] = "serve-snapshot-delta";
+
+/// splitmix64 finalizer: mixes one 64-bit word into the fingerprint.
+uint64_t Mix(uint64_t h, uint64_t value) {
+  h ^= value + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xBF58476D1CE4E5B9ULL;
+  return h ^ (h >> 27);
+}
+
+}  // namespace
+
+uint64_t SnapshotFingerprint(const Snapshot& snapshot) {
+  CGKGR_CHECK(snapshot.scores.size() ==
+              static_cast<size_t>(snapshot.num_users * snapshot.num_items));
+  CGKGR_CHECK(snapshot.seen.size() ==
+              static_cast<size_t>(snapshot.num_users));
+  uint64_t h = 0xC6A4A7935BD1E995ULL;
+  h = Mix(h, static_cast<uint64_t>(snapshot.num_users));
+  h = Mix(h, static_cast<uint64_t>(snapshot.num_items));
+  h = Mix(h, ckpt::Crc32(snapshot.scores.data(),
+                         snapshot.scores.size() * sizeof(float)));
+  for (const auto& items : snapshot.seen) {
+    h = Mix(h, ckpt::Crc32(items.data(), items.size() * sizeof(int64_t)));
+  }
+  return h;
+}
+
+Result<SnapshotDelta> BuildDelta(const Snapshot& base,
+                                 const Snapshot& target) {
+  if (base.num_users != target.num_users ||
+      base.num_items != target.num_items) {
+    return Status::InvalidArgument(StrFormat(
+        "BuildDelta: dimension mismatch (base %lld x %lld, target "
+        "%lld x %lld) — a delta cannot resize; publish a full snapshot",
+        static_cast<long long>(base.num_users),
+        static_cast<long long>(base.num_items),
+        static_cast<long long>(target.num_users),
+        static_cast<long long>(target.num_items)));
+  }
+  SnapshotDelta delta;
+  delta.model_name = target.model_name;
+  delta.dataset_name = target.dataset_name;
+  delta.num_users = target.num_users;
+  delta.num_items = target.num_items;
+  delta.base_fingerprint = SnapshotFingerprint(base);
+  delta.target_fingerprint = SnapshotFingerprint(target);
+  const size_t row_bytes =
+      static_cast<size_t>(target.num_items) * sizeof(float);
+  for (int64_t user = 0; user < target.num_users; ++user) {
+    const size_t u = static_cast<size_t>(user);
+    // memcmp, not float compare: the contract is bit-exactness, and NaN or
+    // signed-zero differences must count as changes.
+    const bool scores_changed =
+        std::memcmp(base.UserScores(user), target.UserScores(user),
+                    row_bytes) != 0;
+    const bool seen_changed = base.seen[u] != target.seen[u];
+    if (!scores_changed && !seen_changed) continue;
+    DeltaRow row;
+    row.user = user;
+    row.scores.assign(target.UserScores(user),
+                      target.UserScores(user) + target.num_items);
+    row.seen = target.seen[u];
+    delta.rows.push_back(std::move(row));
+  }
+  return delta;
+}
+
+Result<Snapshot> ApplyDelta(const Snapshot& base, const SnapshotDelta& delta) {
+  if (base.num_users != delta.num_users ||
+      base.num_items != delta.num_items) {
+    return Status::InvalidArgument(StrFormat(
+        "ApplyDelta: dimension mismatch (base %lld x %lld, delta "
+        "%lld x %lld)",
+        static_cast<long long>(base.num_users),
+        static_cast<long long>(base.num_items),
+        static_cast<long long>(delta.num_users),
+        static_cast<long long>(delta.num_items)));
+  }
+  const uint64_t base_fp = SnapshotFingerprint(base);
+  if (base_fp != delta.base_fingerprint) {
+    return Status::InvalidArgument(StrFormat(
+        "ApplyDelta: base fingerprint %llx does not match the delta's "
+        "recorded base %llx — the delta was diffed against different bits",
+        static_cast<unsigned long long>(base_fp),
+        static_cast<unsigned long long>(delta.base_fingerprint)));
+  }
+  Snapshot patched = base;
+  patched.model_name = delta.model_name;
+  patched.dataset_name = delta.dataset_name;
+  for (const DeltaRow& row : delta.rows) {
+    if (row.user < 0 || row.user >= patched.num_users) {
+      return Status::InvalidArgument(StrFormat(
+          "ApplyDelta: row user %lld out of range [0, %lld)",
+          static_cast<long long>(row.user),
+          static_cast<long long>(patched.num_users)));
+    }
+    if (row.scores.size() != static_cast<size_t>(patched.num_items)) {
+      return Status::InvalidArgument(StrFormat(
+          "ApplyDelta: row for user %lld has %zu scores, want %lld",
+          static_cast<long long>(row.user), row.scores.size(),
+          static_cast<long long>(patched.num_items)));
+    }
+    std::copy(row.scores.begin(), row.scores.end(),
+              patched.scores.begin() +
+                  static_cast<size_t>(row.user * patched.num_items));
+    patched.seen[static_cast<size_t>(row.user)] = row.seen;
+  }
+  const uint64_t patched_fp = SnapshotFingerprint(patched);
+  if (patched_fp != delta.target_fingerprint) {
+    return Status::Internal(StrFormat(
+        "ApplyDelta: patched fingerprint %llx does not match the delta's "
+        "recorded target %llx — apply is not bit-exact",
+        static_cast<unsigned long long>(patched_fp),
+        static_cast<unsigned long long>(delta.target_fingerprint)));
+  }
+  return patched;
+}
+
+Status SaveDelta(const SnapshotDelta& delta, const std::string& path) {
+  ckpt::Writer writer;
+  writer.BeginSection(kDeltaSection);
+  writer.WriteString(delta.model_name);
+  writer.WriteString(delta.dataset_name);
+  writer.WriteI64(delta.num_users);
+  writer.WriteI64(delta.num_items);
+  writer.WriteU64(delta.base_fingerprint);
+  writer.WriteU64(delta.target_fingerprint);
+  writer.WriteI64(static_cast<int64_t>(delta.rows.size()));
+  for (const DeltaRow& row : delta.rows) {
+    writer.WriteI64(row.user);
+    writer.WriteFloats(row.scores.data(),
+                       static_cast<int64_t>(row.scores.size()));
+    writer.WriteI64s(row.seen);
+  }
+  return writer.Commit(path);
+}
+
+Result<SnapshotDelta> LoadDelta(const std::string& path) {
+  Result<ckpt::Reader> opened = ckpt::Reader::Open(path);
+  if (!opened.ok()) return opened.status();
+  ckpt::Reader reader = std::move(opened).value();
+  CGKGR_RETURN_NOT_OK(reader.ExpectSection(kDeltaSection));
+
+  SnapshotDelta delta;
+  CGKGR_RETURN_NOT_OK(reader.ReadString(&delta.model_name));
+  CGKGR_RETURN_NOT_OK(reader.ReadString(&delta.dataset_name));
+  CGKGR_RETURN_NOT_OK(reader.ReadI64(&delta.num_users));
+  CGKGR_RETURN_NOT_OK(reader.ReadI64(&delta.num_items));
+  CGKGR_RETURN_NOT_OK(reader.ReadU64(&delta.base_fingerprint));
+  CGKGR_RETURN_NOT_OK(reader.ReadU64(&delta.target_fingerprint));
+  if (delta.num_users < 0 || delta.num_items < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: negative delta dimensions (%lld x %lld)", path.c_str(),
+        static_cast<long long>(delta.num_users),
+        static_cast<long long>(delta.num_items)));
+  }
+  int64_t num_rows = 0;
+  CGKGR_RETURN_NOT_OK(reader.ReadI64(&num_rows));
+  if (num_rows < 0 || num_rows > delta.num_users) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: delta row count %lld outside [0, %lld]", path.c_str(),
+        static_cast<long long>(num_rows),
+        static_cast<long long>(delta.num_users)));
+  }
+  int64_t prev_user = -1;
+  for (int64_t r = 0; r < num_rows; ++r) {
+    DeltaRow row;
+    CGKGR_RETURN_NOT_OK(reader.ReadI64(&row.user));
+    CGKGR_RETURN_NOT_OK(reader.ReadFloats(&row.scores));
+    CGKGR_RETURN_NOT_OK(reader.ReadI64s(&row.seen));
+    if (row.user <= prev_user || row.user >= delta.num_users) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: delta row users must strictly ascend in [0, %lld); got "
+          "%lld after %lld",
+          path.c_str(), static_cast<long long>(delta.num_users),
+          static_cast<long long>(row.user),
+          static_cast<long long>(prev_user)));
+    }
+    if (row.scores.size() != static_cast<size_t>(delta.num_items)) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: delta row for user %lld has %zu scores, want %lld",
+          path.c_str(), static_cast<long long>(row.user), row.scores.size(),
+          static_cast<long long>(delta.num_items)));
+    }
+    for (int64_t item : row.seen) {
+      if (item < 0 || item >= delta.num_items) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: delta seen item %lld out of range [0, %lld)", path.c_str(),
+            static_cast<long long>(item),
+            static_cast<long long>(delta.num_items)));
+      }
+    }
+    prev_user = row.user;
+    delta.rows.push_back(std::move(row));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        path + ": trailing records after delta — oversized payload");
+  }
+  return delta;
+}
+
+}  // namespace serve
+}  // namespace cgkgr

@@ -1,0 +1,81 @@
+#ifndef CGKGR_SERVE_DELTA_H_
+#define CGKGR_SERVE_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/snapshot.h"
+
+namespace cgkgr {
+namespace serve {
+
+/// \file
+/// Delta snapshots: the incremental half of the serve reload path.
+///
+/// A full Snapshot is O(num_users x num_items) floats; retraining rarely
+/// moves every user. BuildDelta diffs two full snapshots into only the
+/// changed user rows, SaveDelta publishes them as a ckpt-framed `.delta`
+/// file, and Engine::ApplyDeltaSnapshot patches the serving snapshot
+/// in-place with *row-level* cache invalidation — users whose rows did not
+/// change keep their cached Top-K lists across the reload.
+///
+/// Safety model: a delta is only valid against the exact base it was built
+/// from. Both endpoints are pinned by SnapshotFingerprint — ApplyDelta
+/// refuses a mismatched base, and re-fingerprints its output against the
+/// recorded target so a successful apply is bit-exact with rebuilding the
+/// full snapshot (enforced in serve_test).
+
+/// One changed user in a delta: the full replacement score row plus the
+/// replacement seen list.
+struct DeltaRow {
+  int64_t user = 0;
+  std::vector<float> scores;  ///< length num_items
+  std::vector<int64_t> seen;  ///< sorted train-split item ids
+};
+
+/// The diff between two full snapshots with identical dimensions.
+struct SnapshotDelta {
+  std::string model_name;    ///< of the target snapshot
+  std::string dataset_name;  ///< of the target snapshot
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  /// Fingerprint the base snapshot must match for the delta to apply.
+  uint64_t base_fingerprint = 0;
+  /// Fingerprint ApplyDelta's output must match (bit-exactness witness).
+  uint64_t target_fingerprint = 0;
+  /// Changed users, ascending by user id.
+  std::vector<DeltaRow> rows;
+};
+
+/// Content fingerprint of a snapshot: CRC32 of the score matrix bytes and
+/// every seen list, mixed with the dimensions. Bit-exact score round-trips
+/// (SaveSnapshot/LoadSnapshot store raw IEEE floats) make this stable
+/// across publish/load cycles.
+uint64_t SnapshotFingerprint(const Snapshot& snapshot);
+
+/// Diffs `base` -> `target` into the changed user rows. Fails with
+/// InvalidArgument when the dimensions differ (a delta cannot resize the
+/// catalog or user set — publish a full snapshot for that).
+Result<SnapshotDelta> BuildDelta(const Snapshot& base, const Snapshot& target);
+
+/// Applies `delta` to `base`, producing the patched snapshot. Fails with
+/// InvalidArgument when `base` does not match the delta's base fingerprint,
+/// and with Internal when the patched result does not match the recorded
+/// target fingerprint (either means the delta was built against different
+/// bits than it is being applied to).
+Result<Snapshot> ApplyDelta(const Snapshot& base, const SnapshotDelta& delta);
+
+/// Writes `delta` to `path` as a framed, CRC-validated `.delta` checkpoint
+/// with the same atomic publish as SaveSnapshot.
+Status SaveDelta(const SnapshotDelta& delta, const std::string& path);
+
+/// Loads a delta previously written by SaveDelta. Every corruption mode
+/// surfaces as a descriptive non-OK Status, never a crash.
+Result<SnapshotDelta> LoadDelta(const std::string& path);
+
+}  // namespace serve
+}  // namespace cgkgr
+
+#endif  // CGKGR_SERVE_DELTA_H_

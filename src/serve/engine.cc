@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <queue>
 #include <string>
+#include <tuple>
+#include <utility>
 
 #include "ckpt/io.h"
 #include "common/logging.h"
@@ -14,6 +17,9 @@
 #include "obs/metrics.h"
 #include "obs/process_stats.h"
 #include "obs/trace.h"
+#include "serve/delta.h"
+#include "serve/request.h"
+#include "serve/stats.h"
 
 namespace cgkgr {
 namespace serve {
@@ -103,7 +109,46 @@ std::vector<ScoredItem> HeapMergeTopK(std::vector<ScoredItem> winners,
   return result;
 }
 
+bool EndsWith(const std::string& name, const std::string& suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
 }  // namespace
+
+Result<std::unique_ptr<Engine>> Engine::Create(
+    std::shared_ptr<const Snapshot> snapshot, const EngineOptions& options) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("Engine::Create: null snapshot");
+  }
+  if (snapshot->num_users < 0 || snapshot->num_items < 0 ||
+      snapshot->scores.size() !=
+          static_cast<size_t>(snapshot->num_users * snapshot->num_items) ||
+      snapshot->seen.size() != static_cast<size_t>(snapshot->num_users)) {
+    return Status::InvalidArgument(StrFormat(
+        "Engine::Create: inconsistent snapshot (%lld x %lld, %zu scores, "
+        "%zu seen lists)",
+        static_cast<long long>(snapshot->num_users),
+        static_cast<long long>(snapshot->num_items), snapshot->scores.size(),
+        snapshot->seen.size()));
+  }
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("Engine::Create: num_threads must be >= 1");
+  }
+  if (options.block_size < 1) {
+    return Status::InvalidArgument("Engine::Create: block_size must be >= 1");
+  }
+  if (options.cache_capacity < 0) {
+    return Status::InvalidArgument(
+        "Engine::Create: cache_capacity must be >= 0");
+  }
+  if (options.cache_shards < 1) {
+    return Status::InvalidArgument(
+        "Engine::Create: cache_shards must be >= 1");
+  }
+  return std::make_unique<Engine>(std::move(snapshot), options);
+}
 
 Engine::Engine(std::shared_ptr<const Snapshot> snapshot, EngineOptions options)
     : options_(options),
@@ -111,15 +156,21 @@ Engine::Engine(std::shared_ptr<const Snapshot> snapshot, EngineOptions options)
       snapshot_(std::move(snapshot)) {
   CGKGR_CHECK(snapshot_ != nullptr);
   CGKGR_CHECK(options_.block_size > 0);
+  row_epochs_.assign(static_cast<size_t>(snapshot_->num_users), 0);
   const obs::Labels labels = NextEngineLabels();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
   requests_ = registry.GetCounter("serve_requests_total", labels);
+  computes_ = registry.GetCounter("serve_computes_total", labels);
+  batch_coalesced_ =
+      registry.GetCounter("serve_batch_coalesced_total", labels);
   cache_hits_ = registry.GetCounter("serve_cache_hits_total", labels);
   cache_misses_ = registry.GetCounter("serve_cache_misses_total", labels);
   cache_evictions_ =
       registry.GetCounter("serve_cache_evictions_total", labels);
   snapshot_reloads_ =
       registry.GetCounter("serve_snapshot_reloads_total", labels);
+  snapshot_delta_reloads_ =
+      registry.GetCounter("serve_snapshot_delta_reloads_total", labels);
   snapshot_reload_skipped_ =
       registry.GetCounter("serve_snapshot_reload_skipped_total", labels);
   cache_size_ = registry.GetGauge("serve_cache_size", labels);
@@ -133,7 +184,7 @@ Engine::Engine(std::shared_ptr<const Snapshot> snapshot, EngineOptions options)
 }
 
 std::vector<ScoredItem> Engine::Compute(const Snapshot& snapshot, int64_t user,
-                                        int64_t k) const {
+                                        int64_t k, bool filter_seen) const {
   std::vector<ScoredItem> winners;
   {
     obs::ScopedSpan rank_span("serve/rank");
@@ -141,7 +192,7 @@ std::vector<ScoredItem> Engine::Compute(const Snapshot& snapshot, int64_t user,
          begin += options_.block_size) {
       BlockTopK(snapshot, user, begin,
                 std::min(snapshot.num_items, begin + options_.block_size), k,
-                options_.filter_seen, &winners);
+                filter_seen, &winners);
     }
   }
   obs::ScopedSpan merge_span("serve/merge");
@@ -149,7 +200,8 @@ std::vector<ScoredItem> Engine::Compute(const Snapshot& snapshot, int64_t user,
 }
 
 std::vector<ScoredItem> Engine::ComputeParallel(const Snapshot& snapshot,
-                                                int64_t user, int64_t k) {
+                                                int64_t user, int64_t k,
+                                                bool filter_seen) {
   const int64_t num_blocks =
       (snapshot.num_items + options_.block_size - 1) / options_.block_size;
   std::vector<std::vector<ScoredItem>> per_block(
@@ -161,7 +213,7 @@ std::vector<ScoredItem> Engine::ComputeParallel(const Snapshot& snapshot,
         0, snapshot.num_items, options_.block_size,
         [&](int64_t begin, int64_t end) {
           BlockTopK(
-              snapshot, user, begin, end, k, options_.filter_seen,
+              snapshot, user, begin, end, k, filter_seen,
               &per_block[static_cast<size_t>(begin / options_.block_size)]);
         });
     for (const auto& block : per_block) {
@@ -172,65 +224,132 @@ std::vector<ScoredItem> Engine::ComputeParallel(const Snapshot& snapshot,
   return HeapMergeTopK(std::move(winners), k);
 }
 
-std::vector<ScoredItem> Engine::Serve(
-    const Snapshot& snapshot, uint64_t generation, int64_t user, int64_t k,
-    const std::function<std::vector<ScoredItem>(int64_t, int64_t)>& compute) {
-  CGKGR_CHECK(user >= 0 && user < snapshot.num_users);
-  CGKGR_CHECK(k > 0);
+Response Engine::ServeOne(const Snapshot& snapshot, uint64_t generation,
+                          uint64_t epoch, const Request& request,
+                          bool parallel) {
+  Response response;
+  response.generation = generation;
+  if (request.user < 0 || request.user >= snapshot.num_users ||
+      request.k <= 0) {
+    response.status = ResponseStatus::kInvalidArgument;
+    return response;
+  }
   obs::ScopedSpan request_span("serve/request");
   WallTimer timer;
   requests_->Increment();
-  const CacheKey key{generation, user, k};
-  std::vector<ScoredItem> result;
-  if (cache_ != nullptr && cache_->Get(key, &result)) {
+  const bool filter_seen = ResolveFilter(request.seen_filter);
+  const CacheKey key{epoch, request.user, request.k, filter_seen};
+  if (cache_ != nullptr && cache_->Get(key, &response.items)) {
     cache_hits_->Increment();
     latency_->Record(timer.ElapsedMillis() * 1e3);
-    return result;
+    return response;
   }
   if (cache_ != nullptr) {
     cache_misses_->Increment();
   }
-  result = compute(user, k);
-  if (cache_ != nullptr) cache_->Put(key, result);
+  computes_->Increment();
+  response.items = parallel
+                       ? ComputeParallel(snapshot, request.user, request.k,
+                                         filter_seen)
+                       : Compute(snapshot, request.user, request.k,
+                                 filter_seen);
+  if (cache_ != nullptr) cache_->Put(key, response.items);
   latency_->Record(timer.ElapsedMillis() * 1e3);
-  return result;
+  return response;
 }
 
-std::vector<ScoredItem> Engine::TopK(int64_t user, int64_t k) {
+Response Engine::Handle(const Request& request) {
   std::shared_ptr<const Snapshot> snapshot;
   uint64_t generation = 0;
+  uint64_t epoch = 0;
   {
     ReaderMutexLock lock(&snapshot_mu_);
     snapshot = snapshot_;
     generation = generation_;
+    if (request.user >= 0 &&
+        request.user < static_cast<int64_t>(row_epochs_.size())) {
+      epoch = row_epochs_[static_cast<size_t>(request.user)];
+    }
   }
-  return Serve(*snapshot, generation, user, k,
-               [this, &snapshot](int64_t u, int64_t kk) {
-                 return ComputeParallel(*snapshot, u, kk);
-               });
+  return ServeOne(*snapshot, generation, epoch, request, /*parallel=*/true);
+}
+
+std::vector<Response> Engine::HandleBatch(
+    const std::vector<Request>& requests) {
+  std::shared_ptr<const Snapshot> snapshot;
+  uint64_t generation = 0;
+  std::vector<uint64_t> epochs(requests.size(), 0);
+  {
+    ReaderMutexLock lock(&snapshot_mu_);
+    snapshot = snapshot_;
+    generation = generation_;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const int64_t user = requests[i].user;
+      if (user >= 0 && user < static_cast<int64_t>(row_epochs_.size())) {
+        epochs[i] = row_epochs_[static_cast<size_t>(user)];
+      }
+    }
+  }
+  // Coalesce duplicates: a hot user repeated in one batch is computed once
+  // and fanned back out. The ordered map keeps the distinct set (and thus
+  // the parallel schedule) deterministic.
+  std::map<std::tuple<int64_t, int64_t, bool>, size_t> first_of;
+  std::vector<size_t> primaries;
+  std::vector<size_t> dup_of(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto key = std::make_tuple(
+        requests[i].user, requests[i].k,
+        ResolveFilter(requests[i].seen_filter));
+    const auto [it, inserted] = first_of.try_emplace(key, i);
+    dup_of[i] = it->second;
+    if (inserted) primaries.push_back(i);
+  }
+  std::vector<Response> responses(requests.size());
+  // Whole requests spread across lanes; each lane computes single-threaded
+  // (independent queries parallelize better than shared block merges).
+  pool_.ParallelForEach(
+      0, static_cast<int64_t>(primaries.size()), /*grain=*/1,
+      [&](int64_t p) {
+        const size_t i = primaries[static_cast<size_t>(p)];
+        responses[i] = ServeOne(*snapshot, generation, epochs[i],
+                                requests[i], /*parallel=*/false);
+      });
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (dup_of[i] == i) continue;
+    responses[i] = responses[dup_of[i]];
+    requests_->Increment();
+    batch_coalesced_->Increment();
+  }
+  return responses;
+}
+
+std::vector<ScoredItem> Engine::TopK(int64_t user, int64_t k) {
+  Request request;
+  request.user = user;
+  request.k = k;
+  Response response = Handle(request);
+  CGKGR_CHECK_MSG(response.ok(), "TopK(%lld, %lld): %s",
+                  static_cast<long long>(user), static_cast<long long>(k),
+                  ResponseStatusName(response.status));
+  return std::move(response.items);
 }
 
 std::vector<std::vector<ScoredItem>> Engine::TopKBatch(
     const std::vector<TopKRequest>& requests) {
-  std::shared_ptr<const Snapshot> snapshot;
-  uint64_t generation = 0;
-  {
-    ReaderMutexLock lock(&snapshot_mu_);
-    snapshot = snapshot_;
-    generation = generation_;
+  std::vector<Request> mapped(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    mapped[i].user = requests[i].user;
+    mapped[i].k = requests[i].k;
   }
-  std::vector<std::vector<ScoredItem>> results(requests.size());
-  // Whole requests spread across lanes; each lane computes single-threaded
-  // (independent queries parallelize better than shared block merges).
-  pool_.ParallelForEach(
-      0, static_cast<int64_t>(requests.size()), /*grain=*/1, [&](int64_t r) {
-        const TopKRequest& request = requests[static_cast<size_t>(r)];
-        results[static_cast<size_t>(r)] =
-            Serve(*snapshot, generation, request.user, request.k,
-                  [this, &snapshot](int64_t u, int64_t k) {
-                    return Compute(*snapshot, u, k);
-                  });
-      });
+  std::vector<Response> responses = HandleBatch(mapped);
+  std::vector<std::vector<ScoredItem>> results(responses.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    CGKGR_CHECK_MSG(responses[i].ok(), "TopKBatch[%zu](%lld, %lld): %s", i,
+                    static_cast<long long>(requests[i].user),
+                    static_cast<long long>(requests[i].k),
+                    ResponseStatusName(responses[i].status));
+    results[i] = std::move(responses[i].items);
+  }
   return results;
 }
 
@@ -239,11 +358,12 @@ void Engine::InstallSnapshot(std::shared_ptr<const Snapshot> snapshot,
   CGKGR_CHECK(snapshot != nullptr);
   {
     WriterMutexLock lock(&snapshot_mu_);
-    snapshot_ = std::move(snapshot);
     ++generation_;
+    row_epochs_.assign(static_cast<size_t>(snapshot->num_users), generation_);
+    snapshot_ = std::move(snapshot);
     loaded_file_ = std::move(file);
   }
-  // Explicit invalidation; the generation bump above already guarantees
+  // Explicit invalidation; the epoch bump above already guarantees
   // in-flight queries against the old snapshot cannot serve future hits.
   if (cache_ != nullptr) cache_->Clear();
   snapshot_reloads_->Increment();
@@ -256,35 +376,132 @@ void Engine::ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot) {
   InstallSnapshot(std::move(snapshot), "");
 }
 
+Status Engine::ApplyDeltaInstall(const SnapshotDelta& delta,
+                                 std::string file) {
+  // Patch optimistically against the current snapshot outside the writer
+  // lock (the copy is O(users x items)), then swap only if no other reload
+  // raced in between.
+  std::shared_ptr<const Snapshot> base;
+  {
+    ReaderMutexLock lock(&snapshot_mu_);
+    base = snapshot_;
+  }
+  Result<Snapshot> patched = ApplyDelta(*base, delta);
+  CGKGR_RETURN_NOT_OK(patched.status());
+  auto next =
+      std::make_shared<const Snapshot>(std::move(patched).value());
+  {
+    WriterMutexLock lock(&snapshot_mu_);
+    if (snapshot_ != base) {
+      return Status::Internal(
+          "ApplyDeltaSnapshot: a concurrent reload replaced the base "
+          "snapshot; re-resolve and retry");
+    }
+    ++generation_;
+    row_epochs_.resize(static_cast<size_t>(next->num_users), generation_);
+    for (const DeltaRow& row : delta.rows) {
+      row_epochs_[static_cast<size_t>(row.user)] = generation_;
+    }
+    snapshot_ = std::move(next);
+    loaded_file_ = std::move(file);
+  }
+  // No cache clear: entries for untouched users stay valid (their epoch is
+  // unchanged); entries for patched users are unreachable under the bumped
+  // epoch and age out of the LRU.
+  snapshot_delta_reloads_->Increment();
+  obs::SampleProcessStats();
+  return Status::OK();
+}
+
+Status Engine::ApplyDeltaSnapshot(const SnapshotDelta& delta) {
+  return ApplyDeltaInstall(delta, "");
+}
+
 Status Engine::ReloadFromDir(const std::string& dir) {
   Result<std::vector<std::string>> listed =
-      ckpt::ListFilesWithSuffix(dir, ".snap");
+      ckpt::ListFilesWithSuffixes(dir, {".snap", ".delta"});
   if (!listed.ok()) return listed.status();
+  const std::vector<std::string>& names = listed.value();
   std::string serving;
   {
     ReaderMutexLock lock(&snapshot_mu_);
     serving = loaded_file_;
   }
-  // Names ascend, so walk from the back: the first candidate that either is
-  // already serving or validates wins; everything older is ignored.
-  const std::vector<std::string>& names = listed.value();
-  for (auto it = names.rbegin(); it != names.rend(); ++it) {
-    if (!serving.empty() && *it == serving) return Status::OK();
-    Result<Snapshot> snapshot = LoadSnapshot(dir + "/" + *it);
-    if (!snapshot.ok()) {
-      // A corrupt (half-written, bit-flipped, truncated) snapshot must
-      // never take the engine down — log, count, try the next-newest.
-      CGKGR_LOG(Warning) << "ReloadFromDir: skipping invalid snapshot "
-                         << dir << "/" << *it << ": "
-                         << snapshot.status().ToString();
-      snapshot_reload_skipped_->Increment();
+
+  // Anchor the walk: everything at or before the serving artifact is
+  // already reflected in the engine's state.
+  size_t begin = 0;
+  bool have_base = false;
+  if (!serving.empty()) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == serving) {
+        have_base = true;
+        begin = i + 1;
+        break;
+      }
+    }
+  }
+  // No anchor: install the newest valid full snapshot first (deltas cannot
+  // bootstrap an arbitrary base), then chain only the deltas after it —
+  // every later .snap was already tried and failed in this back-walk.
+  bool deltas_only = false;
+  if (!have_base) {
+    for (size_t i = names.size(); i-- > 0;) {
+      if (!EndsWith(names[i], ".snap")) continue;
+      Result<Snapshot> snapshot = LoadSnapshot(dir + "/" + names[i]);
+      if (!snapshot.ok()) {
+        // A corrupt (half-written, bit-flipped, truncated) snapshot must
+        // never take the engine down — log, count, try the next-newest.
+        CGKGR_LOG(Warning) << "ReloadFromDir: skipping invalid snapshot "
+                           << dir << "/" << names[i] << ": "
+                           << snapshot.status().ToString();
+        snapshot_reload_skipped_->Increment();
+        continue;
+      }
+      InstallSnapshot(
+          std::make_shared<const Snapshot>(std::move(snapshot).value()),
+          names[i]);
+      have_base = true;
+      begin = i + 1;
+      deltas_only = true;
+      break;
+    }
+    if (!have_base) {
+      return Status::NotFound("no valid *.snap snapshot in " + dir);
+    }
+  }
+
+  // Forward-apply everything published after the anchor, in name order.
+  for (size_t i = begin; i < names.size(); ++i) {
+    if (EndsWith(names[i], ".snap")) {
+      if (deltas_only) continue;
+      Result<Snapshot> snapshot = LoadSnapshot(dir + "/" + names[i]);
+      if (!snapshot.ok()) {
+        CGKGR_LOG(Warning) << "ReloadFromDir: skipping invalid snapshot "
+                           << dir << "/" << names[i] << ": "
+                           << snapshot.status().ToString();
+        snapshot_reload_skipped_->Increment();
+        continue;
+      }
+      InstallSnapshot(
+          std::make_shared<const Snapshot>(std::move(snapshot).value()),
+          names[i]);
       continue;
     }
-    InstallSnapshot(
-        std::make_shared<const Snapshot>(std::move(snapshot).value()), *it);
-    return Status::OK();
+    Result<SnapshotDelta> delta = LoadDelta(dir + "/" + names[i]);
+    Status applied = delta.ok() ? ApplyDeltaInstall(delta.value(), names[i])
+                                : delta.status();
+    if (!applied.ok()) {
+      // Corrupt file or a delta diffed against bits we are not serving
+      // (e.g. its base full snapshot was skipped as corrupt): skip it, a
+      // later full snapshot will resynchronize.
+      CGKGR_LOG(Warning) << "ReloadFromDir: skipping inapplicable delta "
+                         << dir << "/" << names[i] << ": "
+                         << applied.ToString();
+      snapshot_reload_skipped_->Increment();
+    }
   }
-  return Status::NotFound("no valid *.snap snapshot in " + dir);
+  return Status::OK();
 }
 
 std::shared_ptr<const Snapshot> Engine::snapshot() const {
@@ -292,13 +509,21 @@ std::shared_ptr<const Snapshot> Engine::snapshot() const {
   return snapshot_;
 }
 
+uint64_t Engine::generation() const {
+  ReaderMutexLock lock(&snapshot_mu_);
+  return generation_;
+}
+
 EngineStats Engine::stats() const {
   EngineStats stats;
   stats.requests = requests_->value();
+  stats.computes = computes_->value();
+  stats.batch_coalesced = batch_coalesced_->value();
   stats.cache_hits = cache_hits_->value();
   stats.cache_misses = cache_misses_->value();
   stats.cache_evictions = cache_evictions_->value();
   stats.snapshot_reloads = snapshot_reloads_->value();
+  stats.snapshot_delta_reloads = snapshot_delta_reloads_->value();
   const obs::HistogramSnapshot latency = latency_->Snapshot();
   stats.p50_micros = latency.Percentile(0.50);
   stats.p95_micros = latency.Percentile(0.95);
@@ -308,6 +533,8 @@ EngineStats Engine::stats() const {
 
 void Engine::ResetStats() {
   requests_->Reset();
+  computes_->Reset();
+  batch_coalesced_->Reset();
   cache_hits_->Reset();
   cache_misses_->Reset();
   latency_->Reset();

@@ -2,31 +2,26 @@
 #define CGKGR_SERVE_ENGINE_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "serve/delta.h"
 #include "serve/lru_cache.h"
+#include "serve/request.h"
 #include "serve/snapshot.h"
 #include "serve/stats.h"
 
 namespace cgkgr {
 namespace serve {
 
-/// One ranked recommendation.
-struct ScoredItem {
-  int64_t item = 0;
-  float score = 0.0f;
-
-  bool operator==(const ScoredItem&) const = default;
-};
-
 /// One query in a TopKBatch call.
+/// \deprecated Use serve::Request with Engine::HandleBatch instead.
 struct TopKRequest {
   int64_t user = 0;
   int64_t k = 0;
@@ -35,12 +30,13 @@ struct TopKRequest {
 /// Engine construction knobs.
 struct EngineOptions {
   /// Concurrent lanes (1 = fully single-threaded, no worker spawned).
-  /// Single TopK calls split their item blocks across lanes; TopKBatch
+  /// Single requests split their item blocks across lanes; HandleBatch
   /// spreads whole requests instead (better locality, no merge contention).
   int64_t num_threads = 1;
   /// Items per scoring block (the partial_sort granule).
   int64_t block_size = 512;
-  /// Drop items the user already interacted with in the train split.
+  /// Drop items the user already interacted with in the train split
+  /// (overridable per request via Request::seen_filter).
   bool filter_seen = true;
   /// Total cached result lists across shards; 0 disables the cache.
   int64_t cache_capacity = 4096;
@@ -58,22 +54,49 @@ struct EngineOptions {
 /// deterministic: ties break toward the smaller item id regardless of
 /// block/thread schedule.
 ///
-/// Thread safety: TopK/TopKBatch may be called concurrently with each other
-/// and with ReloadSnapshot. Reload swaps the snapshot pointer under a writer
-/// lock and invalidates the result cache (entries are additionally
-/// generation-keyed, so an in-flight query can never resurrect a stale
-/// list).
+/// The request API is Handle/HandleBatch over serve::Request — bad
+/// arguments surface as Response::kInvalidArgument, duplicate (user, k,
+/// filter) entries within one batch are coalesced to a single computation,
+/// and each response carries the snapshot generation that served it.
+///
+/// Thread safety: Handle/HandleBatch may be called concurrently with each
+/// other and with the reload entry points. Full reloads swap the snapshot
+/// pointer under a writer lock and invalidate the whole result cache;
+/// delta reloads (ApplyDeltaSnapshot) bump only the *changed users'* cache
+/// epochs, so unchanged users keep their cached lists across the reload.
+/// Cache entries are epoch-keyed, so an in-flight query can never
+/// resurrect a stale list.
 class Engine {
  public:
+  /// Validating factory: returns InvalidArgument for a null or internally
+  /// inconsistent snapshot and for out-of-range options, instead of the
+  /// constructor's CHECK-abort. New call sites should use this.
+  static Result<std::unique_ptr<Engine>> Create(
+      std::shared_ptr<const Snapshot> snapshot, const EngineOptions& options);
+
+  /// Direct constructor; CHECK-fails on a null snapshot or non-positive
+  /// block size. Prefer Create() for error handling.
   Engine(std::shared_ptr<const Snapshot> snapshot, EngineOptions options);
 
+  /// Serves one request (block-parallel across the pool's lanes).
+  /// Tenant/deadline fields are ignored at this layer — the Router and
+  /// Frontend interpret them before requests reach an Engine.
+  Response Handle(const Request& request) CGKGR_EXCLUDES(snapshot_mu_);
+
+  /// Serves a batch, parallelized whole-request across the pool. Results
+  /// align with `requests`. Duplicate (user, k, filter) entries are
+  /// computed once and fanned back out (serve_batch_coalesced_total counts
+  /// the duplicates); every entry still counts toward serve_requests_total.
+  std::vector<Response> HandleBatch(const std::vector<Request>& requests)
+      CGKGR_EXCLUDES(snapshot_mu_);
+
   /// The top `k` unseen items for `user`, ranked by (score desc, item asc).
-  /// Fewer than k items are returned only when the candidate set is smaller
-  /// than k. `user` must be in [0, num_users); k must be positive.
+  /// CHECK-fails on out-of-range arguments.
+  /// \deprecated Thin wrapper over Handle(); use the Request API.
   std::vector<ScoredItem> TopK(int64_t user, int64_t k);
 
-  /// Answers a batch of requests, parallelized across the pool. Results are
-  /// aligned with `requests`.
+  /// Answers a batch of requests, parallelized across the pool.
+  /// \deprecated Thin wrapper over HandleBatch(); use the Request API.
   std::vector<std::vector<ScoredItem>> TopKBatch(
       const std::vector<TopKRequest>& requests);
 
@@ -82,18 +105,35 @@ class Engine {
   void ReloadSnapshot(std::shared_ptr<const Snapshot> snapshot)
       CGKGR_EXCLUDES(snapshot_mu_);
 
-  /// Hot-reloads from the newest valid `*.snap` snapshot in `dir`
-  /// (newest = greatest file name, matching the trainer's zero-padded
-  /// epoch naming). Corrupt or unreadable candidates are skipped with a
+  /// Patches the serving snapshot with `delta` (see serve/delta.h),
+  /// invalidating cached results only for the users the delta touches.
+  /// Fails with InvalidArgument when the delta does not apply to the
+  /// serving snapshot (dimension or base-fingerprint mismatch) and leaves
+  /// the engine serving its current snapshot untouched. Safe concurrent
+  /// with serving.
+  Status ApplyDeltaSnapshot(const SnapshotDelta& delta)
+      CGKGR_EXCLUDES(snapshot_mu_);
+
+  /// Hot-reloads from the `*.snap` / `*.delta` artifacts in `dir`,
+  /// ordered by file name (the trainer's zero-padded naming). When the
+  /// serving snapshot came from this directory, every artifact published
+  /// after it is applied in order — full snapshots install (whole-cache
+  /// invalidation), deltas patch (row-level invalidation). Otherwise the
+  /// newest valid full snapshot is installed first and later deltas are
+  /// chained on top. Corrupt or inapplicable artifacts are skipped with a
   /// logged warning and a serve_snapshot_reload_skipped_total bump, never
-  /// an abort. Returns OK when a snapshot was installed or the newest
-  /// valid one is already serving (no-op), NotFound when the directory
-  /// holds no valid snapshot. Safe concurrent with serving.
+  /// an abort. Returns OK when the engine ends up serving current state,
+  /// NotFound when the directory holds no valid snapshot. Safe concurrent
+  /// with serving.
   Status ReloadFromDir(const std::string& dir) CGKGR_EXCLUDES(snapshot_mu_);
 
   /// The currently served snapshot.
   std::shared_ptr<const Snapshot> snapshot() const
       CGKGR_EXCLUDES(snapshot_mu_);
+
+  /// Monotonically increasing snapshot generation: starts at 0, bumps on
+  /// every install (full or delta).
+  uint64_t generation() const CGKGR_EXCLUDES(snapshot_mu_);
 
   /// Point-in-time counters (reads this engine's registry instruments).
   EngineStats stats() const;
@@ -108,30 +148,41 @@ class Engine {
  private:
   /// Scores one request against `snapshot`, single-threaded.
   std::vector<ScoredItem> Compute(const Snapshot& snapshot, int64_t user,
-                                  int64_t k) const;
-  /// Block-parallel variant used for direct TopK calls.
+                                  int64_t k, bool filter_seen) const;
+  /// Block-parallel variant used for direct Handle calls.
   std::vector<ScoredItem> ComputeParallel(const Snapshot& snapshot,
-                                          int64_t user, int64_t k);
-  /// Cache lookup + compute + cache fill for one request.
-  std::vector<ScoredItem> Serve(
-      const Snapshot& snapshot, uint64_t generation, int64_t user, int64_t k,
-      const std::function<std::vector<ScoredItem>(int64_t, int64_t)>& compute);
+                                          int64_t user, int64_t k,
+                                          bool filter_seen);
+  /// Cache lookup + compute + cache fill + latency accounting for one
+  /// validated request. `epoch` is the user's row epoch under the serving
+  /// snapshot; `parallel` selects ComputeParallel over Compute.
+  Response ServeOne(const Snapshot& snapshot, uint64_t generation,
+                    uint64_t epoch, const Request& request, bool parallel);
+
+  /// The engine-resolved seen filter for a request.
+  bool ResolveFilter(SeenFilter filter) const {
+    if (filter == SeenFilter::kEngineDefault) return options_.filter_seen;
+    return filter == SeenFilter::kFilter;
+  }
 
   struct CacheKey {
-    uint64_t generation = 0;
+    uint64_t epoch = 0;
     int64_t user = 0;
     int64_t k = 0;
+    bool filter_seen = false;
 
     bool operator==(const CacheKey&) const = default;
   };
   struct CacheKeyHash {
     size_t operator()(const CacheKey& key) const {
-      // splitmix-style mixing of the three fields.
-      uint64_t h = key.generation * 0x9E3779B97F4A7C15ULL;
+      // splitmix-style mixing of the four fields.
+      uint64_t h = key.epoch * 0x9E3779B97F4A7C15ULL;
       h ^= static_cast<uint64_t>(key.user) + 0x9E3779B97F4A7C15ULL +
            (h << 6) + (h >> 2);
       h ^= static_cast<uint64_t>(key.k) + 0x9E3779B97F4A7C15ULL + (h << 6) +
            (h >> 2);
+      h ^= static_cast<uint64_t>(key.filter_seen ? 0x9E37u : 0x79B9u) +
+           (h << 6) + (h >> 2);
       return static_cast<size_t>(h);
     }
   };
@@ -140,14 +191,22 @@ class Engine {
   ThreadPool pool_;
 
   /// Swaps in `snapshot`, bumps the generation, records which directory
-  /// file it came from ("" for direct ReloadSnapshot calls), and clears
-  /// the cache.
+  /// file it came from ("" for direct ReloadSnapshot calls), resets every
+  /// user's row epoch to the new generation, and clears the cache.
   void InstallSnapshot(std::shared_ptr<const Snapshot> snapshot,
                        std::string file) CGKGR_EXCLUDES(snapshot_mu_);
+
+  /// ApplyDeltaSnapshot plus the originating directory file name.
+  Status ApplyDeltaInstall(const SnapshotDelta& delta, std::string file)
+      CGKGR_EXCLUDES(snapshot_mu_);
 
   mutable SharedMutex snapshot_mu_;
   std::shared_ptr<const Snapshot> snapshot_ CGKGR_GUARDED_BY(snapshot_mu_);
   uint64_t generation_ CGKGR_GUARDED_BY(snapshot_mu_) = 0;
+  /// Per-user cache epoch: the generation that last changed the user's
+  /// row. Cache keys embed it, so bumping one user's epoch invalidates
+  /// exactly that user's cached lists.
+  std::vector<uint64_t> row_epochs_ CGKGR_GUARDED_BY(snapshot_mu_);
   /// Directory file name the served snapshot was loaded from by
   /// ReloadFromDir; empty when it came from the constructor or a direct
   /// ReloadSnapshot call.
@@ -159,10 +218,13 @@ class Engine {
   // MetricsRegistry::Dump(). Pointers are registry-owned and stable; set
   // once in the constructor, immutable after.
   obs::Counter* requests_ = nullptr;
+  obs::Counter* computes_ = nullptr;
+  obs::Counter* batch_coalesced_ = nullptr;
   obs::Counter* cache_hits_ = nullptr;
   obs::Counter* cache_misses_ = nullptr;
   obs::Counter* cache_evictions_ = nullptr;
   obs::Counter* snapshot_reloads_ = nullptr;
+  obs::Counter* snapshot_delta_reloads_ = nullptr;
   obs::Counter* snapshot_reload_skipped_ = nullptr;
   obs::Gauge* cache_size_ = nullptr;
   obs::Histogram* latency_ = nullptr;

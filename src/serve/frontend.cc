@@ -1,0 +1,192 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "common/mutex.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "serve/router.h"
+#include "serve/stats.h"
+
+namespace cgkgr {
+namespace serve {
+
+namespace {
+
+/// One label set per Frontend instance: {frontend="0"}, {frontend="1"}, ...
+obs::Labels NextFrontendLabels() {
+  static std::atomic<int64_t> next_id{0};
+  return {{"frontend",
+           StrFormat("%lld", static_cast<long long>(
+                                 next_id.fetch_add(1,
+                                                   std::memory_order_relaxed)))}};
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Frontend>> Frontend::Create(
+    Router* router, const FrontendOptions& options) {
+  if (router == nullptr) {
+    return Status::InvalidArgument("Frontend::Create: null router");
+  }
+  if (options.max_batch < 1) {
+    return Status::InvalidArgument("Frontend::Create: max_batch must be >= 1");
+  }
+  if (options.max_queue < 1) {
+    return Status::InvalidArgument("Frontend::Create: max_queue must be >= 1");
+  }
+  if (options.num_dispatchers < 1) {
+    return Status::InvalidArgument(
+        "Frontend::Create: num_dispatchers must be >= 1");
+  }
+  if (options.default_deadline_micros < 0) {
+    return Status::InvalidArgument(
+        "Frontend::Create: default_deadline_micros must be >= 0");
+  }
+  return std::make_unique<Frontend>(router, options);
+}
+
+Frontend::Frontend(Router* router, FrontendOptions options)
+    : router_(router), options_(options) {
+  CGKGR_CHECK(router_ != nullptr);
+  CGKGR_CHECK(options_.max_batch > 0);
+  CGKGR_CHECK(options_.max_queue > 0);
+  CGKGR_CHECK(options_.num_dispatchers > 0);
+  const obs::Labels labels = NextFrontendLabels();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  submitted_ = registry.GetCounter("serve_frontend_submitted_total", labels);
+  completed_ = registry.GetCounter("serve_frontend_completed_total", labels);
+  shed_ = registry.GetCounter("serve_frontend_shed_total", labels);
+  expired_ = registry.GetCounter("serve_frontend_expired_total", labels);
+  batches_ = registry.GetCounter("serve_frontend_batches_total", labels);
+  batch_size_ = registry.GetHistogram("serve_frontend_batch_size", labels);
+  queue_depth_ = registry.GetGauge("serve_frontend_queue_depth", labels);
+  // Dispatchers are long-lived tasks, not ParallelFor lanes: the pool needs
+  // num_dispatchers workers, and ThreadPool(n) spawns n-1 (a 1-lane pool
+  // would run the infinite loop inline in Submit).
+  pool_ = std::make_unique<ThreadPool>(options_.num_dispatchers + 1,
+                                       "serve_frontend");
+  for (int64_t d = 0; d < options_.num_dispatchers; ++d) {
+    pool_->Submit([this] { DispatcherLoop(); });
+  }
+}
+
+Frontend::~Frontend() {
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  // Joins the dispatchers; they drain the queue before exiting, so every
+  // admitted request's promise has been fulfilled when this returns.
+  pool_.reset();
+  CGKGR_CHECK(queue_.empty());
+}
+
+std::future<Response> Frontend::Submit(Request request) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  submitted_->Increment();
+  ResponseStatus rejected = ResponseStatus::kOk;
+  {
+    MutexLock lock(&mu_);
+    if (stop_) {
+      rejected = ResponseStatus::kShutdown;
+    } else if (static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
+      rejected = ResponseStatus::kShedQueueFull;
+    } else {
+      Pending pending;
+      pending.request = std::move(request);
+      pending.promise = std::move(promise);
+      queue_.push_back(std::move(pending));
+      queue_peak_ = std::max(queue_peak_,
+                             static_cast<int64_t>(queue_.size()));
+    }
+  }
+  if (rejected == ResponseStatus::kOk) {
+    queue_depth_->Add(1.0);
+    work_cv_.notify_one();
+    return future;
+  }
+  if (rejected == ResponseStatus::kShedQueueFull) shed_->Increment();
+  Response response;
+  response.status = rejected;
+  response.tenant = request.tenant;
+  promise.set_value(std::move(response));
+  return future;
+}
+
+void Frontend::DispatcherLoop() {
+  for (;;) {
+    std::vector<Pending> popped;
+    {
+      MutexLock lock(&mu_);
+      // Explicit wait loop (not the predicate overload): clang's thread
+      // safety analysis treats a predicate lambda as a lock-free context.
+      while (!stop_ && queue_.empty()) work_cv_.wait(mu_);
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      while (!queue_.empty() &&
+             static_cast<int64_t>(popped.size()) < options_.max_batch) {
+        popped.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    queue_depth_->Add(-static_cast<double>(popped.size()));
+
+    // Shed overdue entries before spending compute on them: a request
+    // whose caller stopped waiting is pure wasted work.
+    std::vector<size_t> live;
+    live.reserve(popped.size());
+    for (size_t i = 0; i < popped.size(); ++i) {
+      const int64_t deadline = EffectiveDeadline(popped[i].request);
+      if (deadline > 0 &&
+          popped[i].queued.ElapsedMillis() * 1e3 > static_cast<double>(
+                                                       deadline)) {
+        expired_->Increment();
+        Response response;
+        response.status = ResponseStatus::kDeadlineExpired;
+        response.tenant = popped[i].request.tenant;
+        popped[i].promise.set_value(std::move(response));
+        continue;
+      }
+      live.push_back(i);
+    }
+    if (!live.empty()) {
+      std::vector<Request> batch;
+      batch.reserve(live.size());
+      for (const size_t i : live) batch.push_back(popped[i].request);
+      std::vector<Response> responses = router_->HandleBatch(batch);
+      // Count before fulfilling the promises: a caller that wakes on its
+      // future and immediately reads stats() must see its own completion.
+      completed_->Increment(static_cast<int64_t>(live.size()));
+      batches_->Increment();
+      batch_size_->Record(static_cast<double>(live.size()));
+      for (size_t j = 0; j < live.size(); ++j) {
+        popped[live[j]].promise.set_value(std::move(responses[j]));
+      }
+    }
+  }
+}
+
+FrontendStats Frontend::stats() const {
+  FrontendStats stats;
+  stats.submitted = submitted_->value();
+  stats.completed = completed_->value();
+  stats.shed = shed_->value();
+  stats.expired = expired_->value();
+  stats.batches = batches_->value();
+  {
+    MutexLock lock(&mu_);
+    stats.queue_peak = queue_peak_;
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace cgkgr

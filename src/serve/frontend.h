@@ -1,0 +1,123 @@
+#ifndef CGKGR_SERVE_FRONTEND_H_
+#define CGKGR_SERVE_FRONTEND_H_
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "serve/request.h"
+#include "serve/router.h"
+#include "serve/stats.h"
+
+namespace cgkgr {
+namespace serve {
+
+/// Admission-control knobs for the async front end.
+struct FrontendOptions {
+  /// Requests coalesced into one Router::HandleBatch dispatch.
+  int64_t max_batch = 64;
+  /// Bounded admission queue: a Submit arriving while this many requests
+  /// wait is shed immediately with kShedQueueFull (fail fast beats
+  /// unbounded memory growth and ever-later answers under overload).
+  int64_t max_queue = 1024;
+  /// Dispatcher lanes draining the queue concurrently.
+  int64_t num_dispatchers = 1;
+  /// Deadline applied to requests that do not carry their own
+  /// (Request::deadline_micros == 0); 0 disables the default.
+  int64_t default_deadline_micros = 0;
+};
+
+/// The async serving front end: producers Submit() requests and receive
+/// futures; dispatcher lanes drain the bounded queue, shed requests whose
+/// deadline passed while queued, coalesce the survivors into micro-batches,
+/// and push them through Router::HandleBatch (which dedups hot repeats and
+/// spreads work across each engine's pool).
+///
+/// Every admitted request's future is eventually fulfilled — served,
+/// deadline-expired, or (at shutdown) kShutdown. None are silently
+/// dropped: the destructor stops admission, drains the queue through the
+/// dispatchers, and the dispatchers exit only once it is empty.
+///
+/// Obs instruments (labeled {frontend="<id>"}):
+/// serve_frontend_{submitted,completed,shed,expired,batches}_total,
+/// serve_frontend_batch_size (histogram), serve_frontend_queue_depth
+/// (gauge).
+class Frontend {
+ public:
+  /// Validating factory; `router` must outlive the frontend.
+  static Result<std::unique_ptr<Frontend>> Create(
+      Router* router, const FrontendOptions& options);
+
+  /// Direct constructor; CHECK-fails on invalid arguments. Prefer Create().
+  Frontend(Router* router, FrontendOptions options);
+
+  /// Stops admission, then drains every queued request through the
+  /// dispatchers before returning.
+  ~Frontend();
+
+  Frontend(const Frontend&) = delete;
+  Frontend& operator=(const Frontend&) = delete;
+
+  /// Enqueues `request` and returns the future answer. Sheds immediately
+  /// (kShedQueueFull) when the queue is full, and after shutdown began
+  /// (kShutdown). The deadline clock starts now.
+  std::future<Response> Submit(Request request) CGKGR_EXCLUDES(mu_);
+
+  /// Point-in-time counters.
+  FrontendStats stats() const CGKGR_EXCLUDES(mu_);
+
+  const FrontendOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    /// Started at admission; the deadline is measured against it.
+    WallTimer queued;
+  };
+
+  /// One dispatcher lane: waits for work, pops up to max_batch entries,
+  /// expires overdue ones, serves the rest as one batch. Returns when
+  /// stop_ is set and the queue is empty.
+  void DispatcherLoop() CGKGR_EXCLUDES(mu_);
+
+  /// The request's effective deadline in micros (0 = none).
+  int64_t EffectiveDeadline(const Request& request) const {
+    return request.deadline_micros > 0 ? request.deadline_micros
+                                       : options_.default_deadline_micros;
+  }
+
+  Router* const router_;
+  const FrontendOptions options_;
+
+  mutable Mutex mu_;
+  CondVar work_cv_;  // queue became non-empty / stopping
+  std::deque<Pending> queue_ CGKGR_GUARDED_BY(mu_);
+  bool stop_ CGKGR_GUARDED_BY(mu_) = false;
+  int64_t queue_peak_ CGKGR_GUARDED_BY(mu_) = 0;
+
+  // Registry-owned instruments; set once in the constructor.
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* shed_ = nullptr;
+  obs::Counter* expired_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+
+  /// Dispatchers run as long-lived pool tasks; declared last so the pool
+  /// joins (draining the queue) before any other member is destroyed.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace serve
+}  // namespace cgkgr
+
+#endif  // CGKGR_SERVE_FRONTEND_H_

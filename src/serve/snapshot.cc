@@ -18,7 +18,7 @@ const char kSnapshotSection[] = "serve-snapshot";
 
 Snapshot BuildSnapshot(models::RecommenderModel* model,
                        const data::Dataset& dataset,
-                       const BuildSnapshotOptions& options) {
+                       const SnapshotBuildOptions& options) {
   CGKGR_CHECK(model != nullptr);
   CGKGR_CHECK(options.chunk_size > 0);
   Snapshot snapshot;

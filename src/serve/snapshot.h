@@ -40,7 +40,7 @@ struct Snapshot {
 };
 
 /// Knobs for BuildSnapshot.
-struct BuildSnapshotOptions {
+struct SnapshotBuildOptions {
   /// Pairs scored per ScorePairs call (mirrors eval::TopKOptions). Scoring
   /// always stays on the calling thread: PairScorer implementations are not
   /// required to be thread-safe (several baselines advance a member RNG per
@@ -48,11 +48,15 @@ struct BuildSnapshotOptions {
   int64_t chunk_size = 4096;
 };
 
+/// \deprecated Old spelling of SnapshotBuildOptions; kept for source
+/// compatibility with pre-redesign call sites.
+using BuildSnapshotOptions = SnapshotBuildOptions;
+
 /// Batch-scores every (user, item) pair of the dataset through the trained
 /// model and packages the result with train-split seen lists.
 Snapshot BuildSnapshot(models::RecommenderModel* model,
                        const data::Dataset& dataset,
-                       const BuildSnapshotOptions& options = {});
+                       const SnapshotBuildOptions& options = {});
 
 /// Writes `snapshot` to `path` as a framed, CRC-validated binary checkpoint
 /// (the ckpt format — see docs/checkpointing.md) with an atomic publish.

@@ -24,10 +24,17 @@ using LatencyHistogram = obs::Histogram;
 /// {engine="<id>"}; this struct is the stable per-engine read API on top.
 struct EngineStats {
   int64_t requests = 0;
+  /// Requests actually scored (cache misses + uncached computes); batch
+  /// duplicates coalesced to one computation count once here.
+  int64_t computes = 0;
+  /// Duplicate (user, k, filter) entries folded within HandleBatch calls.
+  int64_t batch_coalesced = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
   int64_t snapshot_reloads = 0;
+  /// Delta patches applied (row-level invalidation reloads).
+  int64_t snapshot_delta_reloads = 0;
   double p50_micros = 0.0;
   double p95_micros = 0.0;
   double p99_micros = 0.0;
@@ -41,6 +48,40 @@ struct EngineStats {
 
   /// Renders the counters as an aligned two-column table
   /// (common/table_printer layout).
+  std::string ToTable() const;
+};
+
+/// A point-in-time copy of a Frontend's admission counters (live values:
+/// serve_frontend_* instruments labeled {frontend="<id>"}).
+struct FrontendStats {
+  /// Submit() calls, including ones shed at the door.
+  int64_t submitted = 0;
+  /// Requests dispatched through the router (any response status).
+  int64_t completed = 0;
+  /// Requests rejected because the admission queue was full.
+  int64_t shed = 0;
+  /// Requests whose deadline passed while they waited in the queue.
+  int64_t expired = 0;
+  /// Micro-batches dispatched.
+  int64_t batches = 0;
+  /// High-water mark of the admission queue.
+  int64_t queue_peak = 0;
+
+  /// Fraction of submissions shed at the door.
+  double ShedFraction() const {
+    return submitted == 0 ? 0.0
+                          : static_cast<double>(shed) /
+                                static_cast<double>(submitted);
+  }
+
+  /// Fraction of submissions that expired in the queue.
+  double ExpiredFraction() const {
+    return submitted == 0 ? 0.0
+                          : static_cast<double>(expired) /
+                                static_cast<double>(submitted);
+  }
+
+  /// Renders the counters as an aligned two-column table.
   std::string ToTable() const;
 };
 

@@ -12,13 +12,16 @@
 #include <iterator>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/synthetic.h"
 #include "eval/protocol.h"
 #include "models/registry.h"
+#include "serve/delta.h"
 #include "serve/engine.h"
 #include "serve/lru_cache.h"
+#include "serve/request.h"
 #include "serve/snapshot.h"
 
 namespace cgkgr {
@@ -436,6 +439,361 @@ TEST(EngineTest, StatsTableRendersCounters) {
   const std::string table = engine.stats().ToTable();
   EXPECT_NE(table.find("requests"), std::string::npos);
   EXPECT_NE(table.find("p99 latency"), std::string::npos);
+}
+
+// --- Delta snapshots ---
+
+/// TinySnapshot with user 1's score row and seen list replaced.
+Snapshot TinySnapshotV2() {
+  Snapshot next = TinySnapshot();
+  next.scores[3] = -1.5f;
+  next.scores[4] = 9.25f;
+  next.scores[5] = 0.125f;
+  next.seen[1] = {0};
+  return next;
+}
+
+TEST(DeltaTest, BuildDeltaListsOnlyChangedUsers) {
+  const Snapshot base = TinySnapshot();
+  const Snapshot target = TinySnapshotV2();
+  Result<SnapshotDelta> delta = BuildDelta(base, target);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  ASSERT_EQ(delta.value().rows.size(), 1u);
+  EXPECT_EQ(delta.value().rows[0].user, 1);
+  EXPECT_EQ(delta.value().rows[0].seen, target.seen[1]);
+  // Identical snapshots diff to an empty delta.
+  Result<SnapshotDelta> empty = BuildDelta(base, base);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().rows.empty());
+}
+
+TEST(DeltaTest, ApplyDeltaIsBitExactWithFullRebuild) {
+  const Snapshot base = TinySnapshot();
+  const Snapshot target = TinySnapshotV2();
+  Result<SnapshotDelta> delta = BuildDelta(base, target);
+  ASSERT_TRUE(delta.ok());
+  Result<Snapshot> patched = ApplyDelta(base, delta.value());
+  ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+  ASSERT_EQ(patched.value().scores.size(), target.scores.size());
+  for (size_t i = 0; i < target.scores.size(); ++i) {
+    EXPECT_EQ(patched.value().scores[i], target.scores[i]) << "score " << i;
+  }
+  EXPECT_EQ(patched.value().seen, target.seen);
+  EXPECT_EQ(SnapshotFingerprint(patched.value()),
+            SnapshotFingerprint(target));
+}
+
+TEST(DeltaTest, ApplyDeltaRejectsMismatchedBase) {
+  const Snapshot base = TinySnapshot();
+  const Snapshot target = TinySnapshotV2();
+  Result<SnapshotDelta> delta = BuildDelta(base, target);
+  ASSERT_TRUE(delta.ok());
+  // Applying to the wrong base (the target itself) must be refused: the
+  // delta pins its base by fingerprint.
+  EXPECT_EQ(ApplyDelta(target, delta.value()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaTest, BuildDeltaRejectsDimensionChanges) {
+  const Snapshot base = TinySnapshot();
+  Snapshot resized = TinySnapshot();
+  resized.num_users = 3;
+  resized.scores.resize(9, 0.0f);
+  resized.seen.resize(3);
+  EXPECT_EQ(BuildDelta(base, resized).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaTest, SaveLoadRoundTripAndCorruptionRejection) {
+  const Snapshot base = TinySnapshot();
+  const Snapshot target = TinySnapshotV2();
+  Result<SnapshotDelta> delta = BuildDelta(base, target);
+  ASSERT_TRUE(delta.ok());
+  const std::string path = "/tmp/cgkgr_serve_test.delta";
+  ASSERT_TRUE(SaveDelta(delta.value(), path).ok());
+
+  Result<SnapshotDelta> loaded = LoadDelta(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().base_fingerprint,
+            delta.value().base_fingerprint);
+  EXPECT_EQ(loaded.value().target_fingerprint,
+            delta.value().target_fingerprint);
+  ASSERT_EQ(loaded.value().rows.size(), delta.value().rows.size());
+  EXPECT_EQ(loaded.value().rows[0].user, delta.value().rows[0].user);
+  EXPECT_EQ(loaded.value().rows[0].scores, delta.value().rows[0].scores);
+  // The loaded delta still applies bit-exactly.
+  Result<Snapshot> patched = ApplyDelta(base, loaded.value());
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(SnapshotFingerprint(patched.value()),
+            SnapshotFingerprint(target));
+
+  // Byte-chopped at every length (and with trailing garbage): always a
+  // Status, never a crash.
+  std::string image;
+  {
+    std::ifstream in(path, std::ios::binary);
+    image.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(image.size(), 0u);
+  const std::string chopped_path = path + ".chopped";
+  for (size_t length = 0; length < image.size(); ++length) {
+    std::ofstream out(chopped_path, std::ios::binary | std::ios::trunc);
+    out << image.substr(0, length);
+    out.close();
+    EXPECT_FALSE(LoadDelta(chopped_path).ok())
+        << "chopped to " << length << " of " << image.size() << " bytes";
+  }
+  {
+    std::ofstream out(chopped_path, std::ios::binary | std::ios::trunc);
+    out << image << "extra";
+  }
+  EXPECT_FALSE(LoadDelta(chopped_path).ok());
+}
+
+// --- Request API ---
+
+TEST(EngineTest, CreateValidatesSnapshotAndOptions) {
+  EXPECT_FALSE(Engine::Create(nullptr, EngineOptions{}).ok());
+
+  auto inconsistent = std::make_shared<const Snapshot>([] {
+    Snapshot snapshot = TinySnapshot();
+    snapshot.scores.pop_back();  // scores no longer num_users x num_items
+    return snapshot;
+  }());
+  EXPECT_FALSE(Engine::Create(inconsistent, EngineOptions{}).ok());
+
+  auto good = std::make_shared<const Snapshot>(TinySnapshot());
+  EngineOptions bad;
+  bad.num_threads = 0;
+  EXPECT_FALSE(Engine::Create(good, bad).ok());
+  bad = EngineOptions{};
+  bad.block_size = 0;
+  EXPECT_FALSE(Engine::Create(good, bad).ok());
+  bad = EngineOptions{};
+  bad.cache_capacity = -1;
+  EXPECT_FALSE(Engine::Create(good, bad).ok());
+  bad = EngineOptions{};
+  bad.cache_shards = 0;
+  EXPECT_FALSE(Engine::Create(good, bad).ok());
+
+  Result<std::unique_ptr<Engine>> engine =
+      Engine::Create(good, EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Request request;
+  request.user = 0;
+  request.k = 2;
+  EXPECT_TRUE(engine.value()->Handle(request).ok());
+}
+
+TEST(EngineTest, HandleReportsInvalidArgumentsAsResponses) {
+  Engine engine(std::make_shared<const Snapshot>(TinySnapshot()),
+                EngineOptions{});
+  for (const auto& [user, k] : std::vector<std::pair<int64_t, int64_t>>{
+           {-1, 2}, {2, 2}, {0, 0}, {0, -3}}) {
+    Request request;
+    request.user = user;
+    request.k = k;
+    const Response response = engine.Handle(request);
+    EXPECT_EQ(response.status, ResponseStatus::kInvalidArgument)
+        << "user " << user << " k " << k;
+    EXPECT_FALSE(response.ok());
+    EXPECT_TRUE(response.items.empty());
+  }
+  EXPECT_STREQ(ResponseStatusName(ResponseStatus::kInvalidArgument),
+               "invalid_argument");
+  // Bad requests never count as served traffic.
+  EXPECT_EQ(engine.stats().requests, 0);
+}
+
+TEST(EngineTest, SeenFilterOverridesEngineDefaultPerRequest) {
+  // TinySnapshot user 0 has seen = {0}; the engine default filters it.
+  Engine engine(std::make_shared<const Snapshot>(TinySnapshot()),
+                EngineOptions{});
+  Request request;
+  request.user = 0;
+  request.k = 3;
+  const Response filtered = engine.Handle(request);
+  ASSERT_TRUE(filtered.ok());
+  for (const ScoredItem& rec : filtered.items) {
+    EXPECT_NE(rec.item, 0);
+  }
+  request.seen_filter = SeenFilter::kInclude;
+  const Response included = engine.Handle(request);
+  ASSERT_TRUE(included.ok());
+  bool saw_item0 = false;
+  for (const ScoredItem& rec : included.items) {
+    saw_item0 = saw_item0 || rec.item == 0;
+  }
+  EXPECT_TRUE(saw_item0);
+  // Explicit kFilter on an engine with filtering disabled filters anyway.
+  EngineOptions unfiltered;
+  unfiltered.filter_seen = false;
+  Engine other(std::make_shared<const Snapshot>(TinySnapshot()), unfiltered);
+  request.seen_filter = SeenFilter::kFilter;
+  const Response refiltered = other.Handle(request);
+  ASSERT_TRUE(refiltered.ok());
+  EXPECT_EQ(refiltered.items, filtered.items);
+}
+
+// Regression test for the duplicate-requests bug: the same (user, k) twice
+// in one batch used to be scored twice. Now the engine computes the
+// distinct set once and fans the results back out — serve_computes_total
+// counts actual scoring calls, so the assertion is exact.
+TEST(EngineTest, HandleBatchCoalescesDuplicates) {
+  EngineOptions options;
+  options.cache_capacity = 0;  // every non-coalesced request would compute
+  Engine engine(std::make_shared<const Snapshot>(TinySnapshot()), options);
+
+  std::vector<Request> batch(6);
+  batch[0].user = 0;
+  batch[0].k = 2;
+  batch[1].user = 1;
+  batch[1].k = 2;
+  batch[2] = batch[0];  // duplicate of 0
+  batch[3].user = 1;
+  batch[3].k = 3;  // same user, different k: distinct
+  batch[4] = batch[1];  // duplicate of 1
+  batch[5] = batch[0];  // duplicate of 0
+  const std::vector<Response> responses = engine.HandleBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok()) << "request " << i;
+    Request single = batch[i];
+    EXPECT_EQ(responses[i].items, engine.Handle(single).items)
+        << "request " << i;
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.batch_coalesced, 3);  // three duplicates folded
+  // 6 batch entries + 6 verification Handle calls counted as requests, but
+  // the batch computed only its 3 distinct entries.
+  EXPECT_EQ(stats.requests, 12);
+  EXPECT_EQ(stats.computes, 9);
+}
+
+TEST(EngineTest, TopKBatchCoalescesDuplicatesWithIdenticalResults) {
+  EngineOptions options;
+  options.cache_capacity = 0;
+  Engine engine(std::make_shared<const Snapshot>(TinySnapshot()), options);
+  const std::vector<TopKRequest> requests = {{0, 2}, {0, 2}, {1, 2}, {0, 2}};
+  const auto results = engine.TopKBatch(requests);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[3]);
+  EXPECT_EQ(results[0], engine.TopK(0, 2));
+  EXPECT_EQ(results[2], engine.TopK(1, 2));
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.batch_coalesced, 2);
+  EXPECT_EQ(stats.computes, 4);  // 2 distinct in batch + 2 TopK checks
+}
+
+TEST(EngineTest, GenerationIsMonotonicAcrossReloadKinds) {
+  Engine engine(std::make_shared<const Snapshot>(TinySnapshot()),
+                EngineOptions{});
+  EXPECT_EQ(engine.generation(), 0u);
+  Request request;
+  request.user = 0;
+  request.k = 1;
+  EXPECT_EQ(engine.Handle(request).generation, 0u);
+
+  engine.ReloadSnapshot(std::make_shared<const Snapshot>(TinySnapshot()));
+  EXPECT_EQ(engine.generation(), 1u);
+
+  Result<SnapshotDelta> delta =
+      BuildDelta(TinySnapshot(), TinySnapshotV2());
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(engine.ApplyDeltaSnapshot(delta.value()).ok());
+  EXPECT_EQ(engine.generation(), 2u);
+  EXPECT_EQ(engine.Handle(request).generation, 2u);
+}
+
+TEST(EngineTest, ApplyDeltaSnapshotInvalidatesOnlyTouchedRows) {
+  EngineOptions options;
+  options.cache_capacity = 16;
+  Engine engine(std::make_shared<const Snapshot>(TinySnapshot()), options);
+
+  // Warm both users' cache entries.
+  const auto user0_before = engine.TopK(0, 2);
+  const auto user1_before = engine.TopK(1, 2);
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_misses, 2);
+  EXPECT_EQ(stats.cache_hits, 0);
+
+  // The delta touches only user 1.
+  Result<SnapshotDelta> delta =
+      BuildDelta(TinySnapshot(), TinySnapshotV2());
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(engine.ApplyDeltaSnapshot(delta.value()).ok());
+
+  // User 0: row unchanged, cached list survives the reload.
+  EXPECT_EQ(engine.TopK(0, 2), user0_before);
+  stats = engine.stats();
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 2);
+
+  // User 1: row patched, the cached list is unreachable and the fresh
+  // compute reflects the new scores (9.25 on item 1 now wins).
+  const auto user1_after = engine.TopK(1, 2);
+  EXPECT_NE(user1_after, user1_before);
+  EXPECT_EQ(user1_after.front().item, 1);
+  stats = engine.stats();
+  EXPECT_EQ(stats.cache_misses, 3);
+  EXPECT_EQ(stats.snapshot_delta_reloads, 1);
+  EXPECT_EQ(stats.snapshot_reloads, 0);
+
+  // A stale delta (built against the base we no longer serve) is refused
+  // and the engine keeps serving.
+  EXPECT_FALSE(engine.ApplyDeltaSnapshot(delta.value()).ok());
+  EXPECT_EQ(engine.TopK(1, 2), user1_after);
+}
+
+TEST(EngineTest, ReloadFromDirAppliesMixedSnapshotAndDeltaTimeline) {
+  const std::string dir = ::testing::TempDir() + "/serve-delta-dir";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const Snapshot base = TinySnapshot();
+  const Snapshot target = TinySnapshotV2();
+  ASSERT_TRUE(SaveSnapshot(base, dir + "/snap-000001.snap").ok());
+  Result<SnapshotDelta> delta = BuildDelta(base, target);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(SaveDelta(delta.value(), dir + "/snap-000002.delta").ok());
+
+  // Cold start: the back-walk installs snap-000001, then chains the delta.
+  Engine engine(std::make_shared<const Snapshot>(base), EngineOptions{});
+  ASSERT_TRUE(engine.ReloadFromDir(dir).ok());
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.snapshot_reloads, 1);
+  EXPECT_EQ(stats.snapshot_delta_reloads, 1);
+  // The served bits equal a full rebuild of the target.
+  EXPECT_EQ(SnapshotFingerprint(*engine.snapshot()),
+            SnapshotFingerprint(target));
+
+  // Steady state: nothing new, nothing reapplied.
+  ASSERT_TRUE(engine.ReloadFromDir(dir).ok());
+  stats = engine.stats();
+  EXPECT_EQ(stats.snapshot_reloads, 1);
+  EXPECT_EQ(stats.snapshot_delta_reloads, 1);
+
+  // A later full snapshot installs; a delta chained on it applies too.
+  ASSERT_TRUE(SaveSnapshot(base, dir + "/snap-000003.snap").ok());
+  ASSERT_TRUE(SaveDelta(delta.value(), dir + "/snap-000004.delta").ok());
+  ASSERT_TRUE(engine.ReloadFromDir(dir).ok());
+  stats = engine.stats();
+  EXPECT_EQ(stats.snapshot_reloads, 2);
+  EXPECT_EQ(stats.snapshot_delta_reloads, 2);
+  EXPECT_EQ(SnapshotFingerprint(*engine.snapshot()),
+            SnapshotFingerprint(target));
+
+  // An inapplicable delta (diffed against bits we are not serving) is
+  // skipped with the engine still serving and the poll still OK.
+  Result<SnapshotDelta> stale = BuildDelta(base, target);
+  ASSERT_TRUE(stale.ok());
+  ASSERT_TRUE(SaveDelta(stale.value(), dir + "/snap-000005.delta").ok());
+  ASSERT_TRUE(engine.ReloadFromDir(dir).ok());
+  EXPECT_EQ(engine.stats().snapshot_delta_reloads, 2);
+  EXPECT_EQ(SnapshotFingerprint(*engine.snapshot()),
+            SnapshotFingerprint(target));
 }
 
 // --- Threaded EvaluateTopK knob ---

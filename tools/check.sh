@@ -64,6 +64,8 @@ ANNOTATED_TUS=(
   src/obs/metrics.cc
   src/obs/trace.cc
   src/serve/engine.cc
+  src/serve/frontend.cc
+  src/serve/router.cc
   src/serve/stats.cc
 )
 
